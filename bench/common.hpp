@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Shared scaffolding for the figure-reproduction benches: default
+ * scales, per-benchmark baseline caching, and paper-vs-measured
+ * reporting helpers.
+ *
+ * Every fig* binary prints the series the paper's figure plots, plus
+ * the paper's reported aggregate next to our measured aggregate. The
+ * absolute numbers come from a different substrate (synthetic traces on
+ * a lean timing model), so EXPERIMENTS.md compares *shapes*: who wins,
+ * roughly by how much, and where the crossovers are.
+ */
+#ifndef TRIAGE_BENCH_COMMON_HPP
+#define TRIAGE_BENCH_COMMON_HPP
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "stats/experiment.hpp"
+#include "stats/metrics.hpp"
+#include "stats/table.hpp"
+#include "workloads/mixes.hpp"
+#include "workloads/spec.hpp"
+
+namespace triage::bench {
+
+/** Default single-core scale: fast enough for `for b in bench/*`. */
+inline stats::RunScale
+single_core_scale(int argc, char** argv)
+{
+    stats::RunScale s = stats::RunScale::from_args(argc, argv);
+    return s;
+}
+
+/** Default multi-core scale (per core). */
+inline stats::RunScale
+multi_core_scale(int argc, char** argv)
+{
+    stats::RunScale s;
+    // Per-core windows sized so temporal pairs can repeat (entries are
+    // born unconfident) and the partition controller's sandboxes warm.
+    s.warmup_records = 250000;
+    s.measure_records = 450000;
+    s.workload_scale = 1.0;
+    stats::RunScale cli = stats::RunScale::from_args(argc, argv);
+    // CLI overrides only when explicitly provided (detect by diff from
+    // the single-core defaults).
+    stats::RunScale def;
+    if (cli.warmup_records != def.warmup_records)
+        s.warmup_records = cli.warmup_records;
+    if (cli.measure_records != def.measure_records)
+        s.measure_records = cli.measure_records;
+    if (cli.workload_scale != def.workload_scale)
+        s.workload_scale = cli.workload_scale;
+    return s;
+}
+
+/** Runs-and-caches single-core results keyed by (bench, pf, degree). */
+class SingleCoreLab
+{
+  public:
+    SingleCoreLab(sim::MachineConfig cfg, stats::RunScale scale)
+        : cfg_(cfg), scale_(scale)
+    {}
+
+    const sim::RunResult&
+    run(const std::string& benchmark, const std::string& pf,
+        std::uint32_t degree = 1)
+    {
+        auto key = benchmark + "|" + pf + "|" + std::to_string(degree);
+        auto it = cache_.find(key);
+        if (it == cache_.end()) {
+            std::cerr << "  [run] " << benchmark << " / " << pf
+                      << " (degree " << degree << ")\n";
+            it = cache_
+                     .emplace(key, stats::run_single(cfg_, benchmark, pf,
+                                                     scale_, degree))
+                     .first;
+        }
+        return it->second;
+    }
+
+    double
+    speedup(const std::string& benchmark, const std::string& pf,
+            std::uint32_t degree = 1)
+    {
+        return stats::speedup(run(benchmark, pf, degree),
+                              run(benchmark, "none"));
+    }
+
+    /** Geomean speedup of @p pf over the benchmark list. */
+    double
+    geomean_speedup(const std::vector<std::string>& benchmarks,
+                    const std::string& pf, std::uint32_t degree = 1)
+    {
+        std::vector<double> v;
+        v.reserve(benchmarks.size());
+        for (const auto& b : benchmarks)
+            v.push_back(speedup(b, pf, degree));
+        return stats::geomean(v);
+    }
+
+    const sim::MachineConfig& config() const { return cfg_; }
+    const stats::RunScale& scale() const { return scale_; }
+
+  private:
+    sim::MachineConfig cfg_;
+    stats::RunScale scale_;
+    std::map<std::string, sim::RunResult> cache_;
+};
+
+/** "paper: +23.5%   measured: +21.0%" one-liner. */
+inline void
+paper_vs_measured(const std::string& what, const std::string& paper,
+                  const std::string& measured)
+{
+    std::cout << "  " << what << ": paper " << paper << ", measured "
+              << measured << "\n";
+}
+
+} // namespace triage::bench
+
+#endif // TRIAGE_BENCH_COMMON_HPP

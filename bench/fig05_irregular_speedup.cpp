@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 5: single-core speedup over no-L2-prefetch on the irregular
+ * SPEC subset, for BO, SMS, Triage-512KB, Triage-1MB, Triage-Dynamic.
+ *
+ * Paper: Triage 23.4% (static) / 23.5% (dynamic) vs BO 5.8%, SMS 2.2%.
+ */
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace triage;
+using namespace triage::bench;
+
+int
+main(int argc, char** argv)
+{
+    stats::banner(std::cout,
+                  "Figure 5: Triage outperforms BO and SMS (irregular "
+                  "SPEC, single core)");
+    sim::MachineConfig cfg;
+    SingleCoreLab lab(cfg, single_core_scale(argc, argv));
+
+    const std::vector<std::string> pfs = {
+        "bo", "sms", "triage_512KB", "triage_1MB", "triage_dyn"};
+
+    stats::Table t({"benchmark", "bo", "sms", "triage_512KB",
+                    "triage_1MB", "triage_dyn"});
+    for (const auto& b : workloads::irregular_spec()) {
+        std::vector<std::string> row{b};
+        for (const auto& pf : pfs)
+            row.push_back(stats::fmt_x(lab.speedup(b, pf)));
+        t.row(row);
+    }
+    std::vector<std::string> avg{"geomean"};
+    for (const auto& pf : pfs) {
+        avg.push_back(stats::fmt_x(
+            lab.geomean_speedup(workloads::irregular_spec(), pf)));
+    }
+    t.row(avg);
+    t.print(std::cout);
+
+    std::cout << "\nPaper reference points:\n";
+    paper_vs_measured(
+        "BO speedup", "+5.8%",
+        stats::fmt_pct(
+            lab.geomean_speedup(workloads::irregular_spec(), "bo") - 1));
+    paper_vs_measured(
+        "SMS speedup", "+2.2%",
+        stats::fmt_pct(
+            lab.geomean_speedup(workloads::irregular_spec(), "sms") - 1));
+    paper_vs_measured(
+        "Triage-1MB speedup", "+23.4%",
+        stats::fmt_pct(lab.geomean_speedup(workloads::irregular_spec(),
+                                           "triage_1MB") -
+                       1));
+    paper_vs_measured(
+        "Triage-Dynamic speedup", "+23.5%",
+        stats::fmt_pct(lab.geomean_speedup(workloads::irregular_spec(),
+                                           "triage_dyn") -
+                       1));
+    return 0;
+}

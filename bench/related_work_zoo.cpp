@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The related-work zoo (paper Section 2): every prefetcher family the
+ * paper situates Triage against, on one table — sequential next-line,
+ * stride-class Best-Offset, delta-correlating GHB PC/DC, spatial SMS,
+ * table-based Markov, the ISB/MISB structural-space line, idealized
+ * STMS/Domino, and Triage itself. Extends Figure 12's design space
+ * with the historical baselines.
+ */
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace triage;
+using namespace triage::bench;
+
+int
+main(int argc, char** argv)
+{
+    stats::banner(std::cout,
+                  "Related work zoo: every prefetcher family of "
+                  "Section 2 (irregular SPEC aggregate)");
+    sim::MachineConfig cfg;
+    SingleCoreLab lab(cfg, single_core_scale(argc, argv));
+    const auto& benches = workloads::irregular_spec();
+
+    struct Entry {
+        const char* spec;
+        const char* family;
+    };
+    const Entry zoo[] = {
+        {"next_line", "sequential [Smith'78]"},
+        {"bo", "offset/stride [Michaud'16]"},
+        {"ghb_pcdc", "delta correlation [Nesbit'05]"},
+        {"sms", "spatial footprints [Somogyi'06]"},
+        {"markov", "address pairs, global [Joseph'97]"},
+        {"stms", "GHB temporal, off-chip* [Wenisch'09]"},
+        {"domino", "pair-indexed temporal, off-chip* [Bakhshalipour'18]"},
+        {"isb", "structural space, TLB-sync [Jain'13]"},
+        {"misb", "structural space, fine-grained [Wu'19a]"},
+        {"triage_dyn", "on-chip LLC metadata [this paper]"},
+    };
+
+    stats::Table t({"prefetcher", "family", "speedup", "coverage",
+                    "accuracy", "traffic overhead"});
+    for (const auto& z : zoo) {
+        double sp = lab.geomean_speedup(benches, z.spec);
+        double cov = 0;
+        double acc = 0;
+        double tr = 0;
+        for (const auto& b : benches) {
+            const auto& r = lab.run(b, z.spec);
+            cov += stats::avg_coverage(r);
+            acc += stats::avg_accuracy(r);
+            tr += stats::traffic_overhead(r, lab.run(b, "none"));
+        }
+        auto n = static_cast<double>(benches.size());
+        t.row({z.spec, z.family, stats::fmt_x(sp),
+               stats::fmt(cov / n * 100, 1) + "%",
+               stats::fmt(acc / n * 100, 1) + "%",
+               stats::fmt_pct(tr / n)});
+    }
+    t.print(std::cout);
+    std::cout << "\n(* idealized off-chip timing per the paper's "
+                 "methodology)\n"
+                 "Reading: address correlation beats weaker "
+                 "correlations on irregular codes, and Triage gets it "
+                 "without the off-chip traffic.\n";
+    return 0;
+}

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Table 1: the machine configuration, as encoded in
+ * sim::MachineConfig. Printing it from the code guarantees the benches
+ * and the documentation cannot drift apart.
+ */
+#include <iostream>
+
+#include "sim/config.hpp"
+#include "stats/table.hpp"
+
+int
+main()
+{
+    using namespace triage;
+    stats::banner(std::cout, "Table 1: Machine Configuration");
+    sim::MachineConfig cfg;
+    std::cout << cfg.describe(1) << "\n";
+    stats::banner(std::cout, "Multi-core variants");
+    for (unsigned cores : {2u, 4u, 8u, 16u}) {
+        std::cout << cores << "-core: shared "
+                  << cfg.llc.size_bytes * cores / (1024 * 1024)
+                  << " MB LLC, same 32 GB/s DRAM (bandwidth-constrained"
+                  << (cores >= 8 ? ", the Figure 17 regime" : "")
+                  << ")\n";
+    }
+    return 0;
+}

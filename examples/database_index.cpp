@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Database-index scenario: B-tree probe streams (root -> leaf pointer
+ * chases with Zipf-popular keys) — the key-value-store pattern
+ * temporal prefetchers were originally motivated by. Shows how to
+ * build a custom workload from kernels via the public API and how
+ * prefetcher benefit shifts as the index outgrows the LLC.
+ *
+ * Usage: database_index [--scale=F]
+ */
+#include <iostream>
+#include <memory>
+
+#include "sim/system.hpp"
+#include "stats/experiment.hpp"
+#include "stats/metrics.hpp"
+#include "stats/table.hpp"
+#include "workloads/kernels.hpp"
+#include "workloads/synthetic.hpp"
+
+using namespace triage;
+using namespace triage::workloads;
+
+namespace {
+
+std::unique_ptr<SyntheticWorkload>
+make_index_workload(std::uint32_t levels, std::uint64_t keys)
+{
+    BTreeProbeKernel::Params p;
+    p.levels = levels;
+    p.keys = keys;
+    p.fanout = 64;           // wide nodes: few hot levels, big leaf tier
+    p.point_query_prob = 0.1;
+    std::vector<WeightedKernel> ks;
+    ks.push_back({std::make_unique<BTreeProbeKernel>(p), 1.0});
+    return std::make_unique<SyntheticWorkload>(
+        "btree_L" + std::to_string(levels), 99, 1200000, std::move(ks));
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    sim::MachineConfig cfg;
+    stats::RunScale scale = stats::RunScale::from_args(argc, argv);
+    scale.warmup_records = 250000;
+    scale.measure_records = 500000;
+
+    std::cout << "B-tree index probes: Zipf-popular keys, dependent "
+                 "root->leaf walks\n\n";
+
+    stats::Table t({"tree", "footprint regime", "prefetcher", "degree",
+                    "speedup", "coverage"});
+    struct Shape {
+        std::uint32_t levels;
+        std::uint64_t keys;
+        const char* regime;
+    };
+    for (const auto& s :
+         {Shape{2, 1u << 14, "hot levels fit LLC"},
+          Shape{4, 1u << 16, "leaves spill to DRAM"}}) {
+        auto base_wl = make_index_workload(s.levels, s.keys);
+        sim::SingleCoreSystem base_sys(cfg);
+        auto base = base_sys.run(*base_wl, scale.warmup_records,
+                                 scale.measure_records);
+        struct Cfg {
+            const char* pf;
+            std::uint32_t degree;
+        };
+        for (const auto& [pf, degree] :
+             {Cfg{"bo", 4}, Cfg{"triage_dyn", 1}, Cfg{"triage_dyn", 4},
+              Cfg{"misb", 4}}) {
+            sim::SingleCoreSystem sys(cfg);
+            sys.set_prefetcher(stats::make_prefetcher(pf, degree));
+            auto wl = make_index_workload(s.levels, s.keys);
+            auto r = sys.run(*wl, scale.warmup_records,
+                             scale.measure_records);
+            t.row({"L" + std::to_string(s.levels), s.regime, pf,
+                   std::to_string(degree),
+                   stats::fmt_x(stats::speedup(r, base)),
+                   stats::fmt_pct(stats::avg_coverage(r))});
+        }
+    }
+    t.print(std::cout);
+    std::cout << "\nIndex scans recur (temporal prefetchable); point "
+                 "queries are effectively compulsory. Degree-1 "
+                 "prefetches land barely ahead of the next probe, so "
+                 "running several probes ahead (degree 4) is what "
+                 "converts coverage into speedup — the paper's Figure "
+                 "20 effect.\n";
+    return 0;
+}

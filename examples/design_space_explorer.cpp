@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Design-space exploration with the public API: sweep Triage's
+ * metadata store size and replacement policy on one benchmark,
+ * illustrating how to construct custom Triage configurations rather
+ * than using the stock factories.
+ *
+ * Usage: design_space_explorer [benchmark] [--scale=F]
+ */
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "sim/config.hpp"
+#include "sim/system.hpp"
+#include "stats/experiment.hpp"
+#include "stats/metrics.hpp"
+#include "stats/table.hpp"
+#include "triage/triage.hpp"
+#include "workloads/spec.hpp"
+
+using namespace triage;
+
+namespace {
+
+sim::RunResult
+run_custom(const sim::MachineConfig& cfg, const std::string& bench,
+           const stats::RunScale& scale, const core::TriageConfig& tcfg)
+{
+    sim::SingleCoreSystem sys(cfg);
+    sys.set_prefetcher(std::make_unique<core::Triage>(tcfg));
+    auto wl = workloads::make_benchmark(bench, scale.workload_scale);
+    return sys.run(*wl, scale.warmup_records, scale.measure_records);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string bench = "sphinx3";
+    if (argc > 1 && argv[1][0] != '-')
+        bench = argv[1];
+    sim::MachineConfig cfg;
+    stats::RunScale scale = stats::RunScale::from_args(argc, argv);
+    scale.warmup_records = 250000;
+    scale.measure_records = 400000;
+
+    std::cout << "Sweeping Triage's metadata store on '" << bench
+              << "'\n\n";
+    auto base = stats::run_single(cfg, bench, "none", scale);
+
+    stats::Table t({"store", "replacement", "speedup", "coverage",
+                    "store entries"});
+    for (std::uint64_t kb : {128, 256, 512, 1024}) {
+        for (auto repl :
+             {core::MetaReplKind::Lru, core::MetaReplKind::Hawkeye}) {
+            core::TriageConfig tcfg;
+            tcfg.static_bytes = kb * 1024;
+            tcfg.repl = repl;
+            auto r = run_custom(cfg, bench, scale, tcfg);
+            t.row({std::to_string(kb) + "KB",
+                   repl == core::MetaReplKind::Lru ? "lru" : "hawkeye",
+                   stats::fmt_x(stats::speedup(r, base)),
+                   stats::fmt_pct(stats::avg_coverage(r)),
+                   std::to_string(kb * 1024 / 4)});
+        }
+    }
+    // The unlimited-metadata upper bound.
+    {
+        core::TriageConfig tcfg;
+        tcfg.unlimited = true;
+        tcfg.charge_llc_capacity = false;
+        auto r = run_custom(cfg, bench, scale, tcfg);
+        t.row({"unlimited", "-", stats::fmt_x(stats::speedup(r, base)),
+               stats::fmt_pct(stats::avg_coverage(r)), "-"});
+    }
+    t.print(std::cout);
+    std::cout << "\nHawkeye's benefit is largest when the store is "
+                 "small; at 1 MB the gap narrows (paper Figure 9).\n";
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Graph-analytics scenario: a BFS-like workload (the astar_lakes
+ * analog) compared across the full prefetcher zoo — the "pointer-based
+ * data structures" case the paper's introduction motivates.
+ *
+ * Usage: graph_analytics [--scale=F]
+ */
+#include <iostream>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "stats/experiment.hpp"
+#include "stats/metrics.hpp"
+#include "stats/table.hpp"
+
+using namespace triage;
+
+int
+main(int argc, char** argv)
+{
+    sim::MachineConfig cfg;
+    stats::RunScale scale = stats::RunScale::from_args(argc, argv);
+    // The astar analog's traversal lap is ~400 K references; windows
+    // must cover two laps for temporal metadata to become confident.
+    scale.warmup_records = 450000;
+    scale.measure_records = 800000;
+
+    const std::string bench = "astar_lakes";
+    std::cout << "Graph analytics on the '" << bench
+              << "' analog (frontier walk over an irregular graph)\n\n";
+
+    auto base = stats::run_single(cfg, bench, "none", scale);
+
+    stats::Table t({"prefetcher", "speedup", "coverage", "accuracy",
+                    "traffic overhead"});
+    for (const std::string pf :
+         {"bo", "sms", "markov", "stms", "misb", "triage_1MB",
+          "triage_dyn", "bo+triage_dyn"}) {
+        auto r = stats::run_single(cfg, bench, pf, scale);
+        t.row({pf, stats::fmt_x(stats::speedup(r, base)),
+               stats::fmt_pct(stats::avg_coverage(r)),
+               stats::fmt_pct(stats::avg_accuracy(r)),
+               stats::fmt_pct(stats::traffic_overhead(r, base))});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nReading: no single prefetcher owns a graph "
+                 "traversal. BO/stride cover the regular node and edge "
+                 "arrays, the temporal prefetchers cover the payload "
+                 "gathers (note their coverage and accuracy), and the "
+                 "BO+Triage hybrid composes both — while the off-chip "
+                 "temporal baselines (STMS) pay hundreds of percent "
+                 "metadata traffic for the same coverage Triage gets "
+                 "from a slice of the LLC.\n";
+    return 0;
+}

@@ -1,0 +1,201 @@
+#include "cache/cache.hpp"
+
+#include "util/bitops.hpp"
+#include "util/log.hpp"
+
+namespace triage::cache {
+
+SetAssocCache::SetAssocCache(const CacheGeometry& geom,
+                             std::unique_ptr<ReplacementPolicy> repl)
+    : name_(geom.name), assoc_(geom.assoc), data_ways_(geom.assoc),
+      repl_(std::move(repl))
+{
+    TRIAGE_ASSERT(geom.assoc > 0);
+    TRIAGE_ASSERT(geom.size_bytes % (sim::BLOCK_SIZE * geom.assoc) == 0,
+                  "cache size must be a whole number of sets");
+    sets_ = static_cast<std::uint32_t>(
+        geom.size_bytes / (sim::BLOCK_SIZE * geom.assoc));
+    TRIAGE_ASSERT(util::is_pow2(sets_), "set count must be a power of two");
+    lines_.resize(static_cast<std::size_t>(sets_) * assoc_);
+    TRIAGE_ASSERT(repl_ != nullptr);
+}
+
+std::uint32_t
+SetAssocCache::set_of(sim::Addr block) const
+{
+    return static_cast<std::uint32_t>(block & (sets_ - 1));
+}
+
+Line*
+SetAssocCache::find_line(sim::Addr block)
+{
+    std::uint32_t set = set_of(block);
+    Line* row = &lines_[static_cast<std::size_t>(set) * assoc_];
+    for (std::uint32_t w = 0; w < data_ways_; ++w) {
+        if (row[w].valid && row[w].block == block)
+            return &row[w];
+    }
+    return nullptr;
+}
+
+LookupResult
+SetAssocCache::access(sim::Addr block, sim::Pc pc, sim::Cycle now,
+                      bool is_write, bool is_prefetch_probe)
+{
+    Line* line = find_line(block);
+    if (line == nullptr) {
+        if (is_prefetch_probe)
+            ++stats_.pf_probe_misses;
+        else
+            ++stats_.demand_misses;
+        repl_->on_miss(set_of(block), block, pc);
+        return {false, nullptr};
+    }
+    LookupResult res{true, line, false, false, nullptr};
+    if (is_prefetch_probe) {
+        ++stats_.pf_probe_hits;
+        std::uint32_t pway = static_cast<std::uint32_t>(
+            line - &lines_[static_cast<std::size_t>(set_of(block)) *
+                           assoc_]);
+        repl_->on_hit({set_of(block), pway, block, pc, true});
+        return res;
+    }
+    ++stats_.demand_hits;
+    if (line->prefetched) {
+        ++stats_.prefetch_hits;
+        res.first_prefetch_use = true;
+        res.pf_owner = line->pf_owner;
+        if (line->ready_time > now) {
+            ++stats_.late_prefetch_hits;
+            res.late_prefetch = true;
+        }
+        line->prefetched = false;
+        line->pf_owner = nullptr;
+    }
+    if (is_write)
+        line->dirty = true;
+    std::uint32_t way =
+        static_cast<std::uint32_t>(line - &lines_[static_cast<std::size_t>(
+                                              set_of(block)) * assoc_]);
+    repl_->on_hit({set_of(block), way, block, pc, false});
+    return res;
+}
+
+const Line*
+SetAssocCache::peek(sim::Addr block) const
+{
+    return const_cast<SetAssocCache*>(this)->find_line(block);
+}
+
+Line*
+SetAssocCache::peek_mutable(sim::Addr block)
+{
+    return find_line(block);
+}
+
+Eviction
+SetAssocCache::insert(sim::Addr block, sim::Pc pc, sim::Cycle ready_time,
+                      bool dirty, bool is_prefetch,
+                      prefetch::Prefetcher* pf_owner)
+{
+    std::uint32_t set = set_of(block);
+    Line* row = &lines_[static_cast<std::size_t>(set) * assoc_];
+
+    // Re-insertion of a resident block just refreshes its state.
+    for (std::uint32_t w = 0; w < data_ways_; ++w) {
+        if (row[w].valid && row[w].block == block) {
+            row[w].dirty |= dirty;
+            if (ready_time < row[w].ready_time)
+                row[w].ready_time = ready_time;
+            return {};
+        }
+    }
+
+    // Prefer an invalid way.
+    std::uint32_t victim_way = data_ways_;
+    for (std::uint32_t w = 0; w < data_ways_; ++w) {
+        if (!row[w].valid) {
+            victim_way = w;
+            break;
+        }
+    }
+    Eviction ev;
+    if (victim_way == data_ways_) {
+        victim_way = repl_->victim(set, 0, data_ways_);
+        TRIAGE_ASSERT(victim_way < data_ways_, "victim outside partition");
+        Line& v = row[victim_way];
+        ev.valid = true;
+        ev.block = v.block;
+        ev.dirty = v.dirty;
+        ev.prefetched = v.prefetched;
+        ++stats_.evictions;
+        if (v.dirty)
+            ++stats_.dirty_evictions;
+        if (v.prefetched)
+            ++stats_.unused_prefetch_evictions;
+        repl_->on_invalidate(set, victim_way);
+    }
+    Line& l = row[victim_way];
+    l.block = block;
+    l.valid = true;
+    l.dirty = dirty;
+    l.prefetched = is_prefetch;
+    l.ready_time = ready_time;
+    l.pf_owner = is_prefetch ? pf_owner : nullptr;
+    repl_->on_insert({set, victim_way, block, pc, is_prefetch});
+    return ev;
+}
+
+bool
+SetAssocCache::invalidate(sim::Addr block)
+{
+    Line* line = find_line(block);
+    if (line == nullptr)
+        return false;
+    std::uint32_t set = set_of(block);
+    std::uint32_t way =
+        static_cast<std::uint32_t>(line -
+                                   &lines_[static_cast<std::size_t>(set) *
+                                           assoc_]);
+    repl_->on_invalidate(set, way);
+    line->valid = false;
+    return true;
+}
+
+void
+SetAssocCache::set_data_ways(std::uint32_t n, std::uint64_t* flushed_dirty)
+{
+    TRIAGE_ASSERT(n >= 1 && n <= assoc_, "data partition out of range");
+    if (n < data_ways_) {
+        // Shrinking: hand ways [n, data_ways_) to metadata; invalidate.
+        std::uint64_t dirty_count = 0;
+        for (std::uint32_t set = 0; set < sets_; ++set) {
+            Line* row = &lines_[static_cast<std::size_t>(set) * assoc_];
+            for (std::uint32_t w = n; w < data_ways_; ++w) {
+                if (row[w].valid) {
+                    if (row[w].dirty)
+                        ++dirty_count;
+                    repl_->on_invalidate(set, w);
+                    row[w].valid = false;
+                }
+            }
+        }
+        if (flushed_dirty != nullptr)
+            *flushed_dirty = dirty_count;
+    } else if (flushed_dirty != nullptr) {
+        *flushed_dirty = 0;
+    }
+    // Growing needs no work: reclaimed ways are already invalid.
+    data_ways_ = n;
+}
+
+std::uint64_t
+SetAssocCache::valid_lines() const
+{
+    std::uint64_t n = 0;
+    for (const auto& l : lines_)
+        n += l.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace triage::cache

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Set-associative cache with pluggable replacement, per-line fill
+ * timestamps (so in-flight fills behave like MSHR merges), prefetch
+ * bits, and way partitioning (used by Triage to carve metadata ways out
+ * of the LLC).
+ */
+#ifndef TRIAGE_CACHE_CACHE_HPP
+#define TRIAGE_CACHE_CACHE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/replacement.hpp"
+#include "sim/types.hpp"
+
+namespace triage::prefetch {
+class Prefetcher;
+} // namespace triage::prefetch
+
+namespace triage::cache {
+
+/** One cache line's bookkeeping state. */
+struct Line {
+    sim::Addr block = 0;
+    bool valid = false;
+    bool dirty = false;
+    /** Set by prefetch fill; cleared on first demand touch. */
+    bool prefetched = false;
+    /** Fill completes at this time; before it, hits see extra latency. */
+    sim::Cycle ready_time = 0;
+    /** Prefetcher to credit when a prefetched line is first demanded. */
+    prefetch::Prefetcher* pf_owner = nullptr;
+};
+
+/** Result of a lookup. */
+struct LookupResult {
+    bool hit = false;
+    Line* line = nullptr; ///< valid only when hit
+    /** This demand touch was the first use of a prefetched line. */
+    bool first_prefetch_use = false;
+    /** ...and the prefetch fill was still in flight (late prefetch). */
+    bool late_prefetch = false;
+    /** Owner of the consumed prefetch (valid iff first_prefetch_use). */
+    prefetch::Prefetcher* pf_owner = nullptr;
+};
+
+/** Information about a line displaced by insert(). */
+struct Eviction {
+    bool valid = false; ///< a valid line was displaced
+    sim::Addr block = 0;
+    bool dirty = false;
+    bool prefetched = false; ///< evicted before any demand use
+};
+
+/** Hit/miss/eviction counters. */
+struct CacheStats {
+    std::uint64_t demand_hits = 0;
+    std::uint64_t demand_misses = 0;
+    std::uint64_t pf_probe_hits = 0;   ///< prefetch-initiated lookups
+    std::uint64_t pf_probe_misses = 0;
+    std::uint64_t prefetch_hits = 0;   ///< demand hits on prefetched lines
+    std::uint64_t late_prefetch_hits = 0; ///< ...whose fill was in flight
+    std::uint64_t evictions = 0;
+    std::uint64_t dirty_evictions = 0;
+    std::uint64_t unused_prefetch_evictions = 0;
+
+    std::uint64_t
+    demand_accesses() const
+    {
+        return demand_hits + demand_misses;
+    }
+};
+
+/** Construction parameters. */
+struct CacheGeometry {
+    std::string name;
+    std::uint64_t size_bytes = 0;
+    std::uint32_t assoc = 0;
+};
+
+/**
+ * A set-associative cache of 64 B lines.
+ *
+ * Way partitioning: @c set_data_ways(n) restricts data to the first n
+ * ways of every set; the remaining ways model space repurposed for
+ * prefetcher metadata. Shrinking the data partition invalidates the
+ * ways handed over (dirty lines are reported so the caller can charge
+ * writeback traffic), matching Triage's flush-on-repartition rule.
+ */
+class SetAssocCache
+{
+  public:
+    SetAssocCache(const CacheGeometry& geom,
+                  std::unique_ptr<ReplacementPolicy> repl);
+
+    /**
+     * Lookup. Updates replacement state and stats; demand lookups clear
+     * the prefetch bit on first touch (recording a useful prefetch),
+     * prefetch probes (@p is_prefetch_probe) keep it and use separate
+     * stat counters.
+     */
+    LookupResult access(sim::Addr block, sim::Pc pc, sim::Cycle now,
+                        bool is_write, bool is_prefetch_probe = false);
+
+    /** Tag probe with no side effects. */
+    const Line* peek(sim::Addr block) const;
+    Line* peek_mutable(sim::Addr block);
+
+    /**
+     * Install @p block (fill completes at @p ready_time).
+     * @p pf_owner credits the issuing prefetcher on first demand use.
+     * @return the displaced line, if any.
+     */
+    Eviction insert(sim::Addr block, sim::Pc pc, sim::Cycle ready_time,
+                    bool dirty, bool is_prefetch,
+                    prefetch::Prefetcher* pf_owner = nullptr);
+
+    /** Drop @p block if present (no writeback). @return line was present. */
+    bool invalidate(sim::Addr block);
+
+    /**
+     * Restrict data to the first @p n ways per set.
+     * @param[out] flushed_dirty number of dirty lines invalidated.
+     */
+    void set_data_ways(std::uint32_t n, std::uint64_t* flushed_dirty = nullptr);
+
+    std::uint32_t data_ways() const { return data_ways_; }
+    std::uint32_t assoc() const { return assoc_; }
+    std::uint32_t num_sets() const { return sets_; }
+    const CacheStats& stats() const { return stats_; }
+    void clear_stats() { stats_ = {}; }
+    const std::string& name() const { return name_; }
+
+    /** Number of currently valid lines (tests / utilization metrics). */
+    std::uint64_t valid_lines() const;
+
+  private:
+    std::uint32_t set_of(sim::Addr block) const;
+    Line* find_line(sim::Addr block);
+
+    std::string name_;
+    std::uint32_t sets_;
+    std::uint32_t assoc_;
+    std::uint32_t data_ways_;
+    std::vector<Line> lines_; ///< sets_ x assoc_, row-major
+    std::unique_ptr<ReplacementPolicy> repl_;
+    CacheStats stats_;
+};
+
+} // namespace triage::cache
+
+#endif // TRIAGE_CACHE_CACHE_HPP

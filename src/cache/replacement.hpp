@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Replacement-policy interface used by SetAssocCache and by Triage's
+ * metadata store. Concrete policies live in src/replacement/.
+ */
+#ifndef TRIAGE_CACHE_REPLACEMENT_HPP
+#define TRIAGE_CACHE_REPLACEMENT_HPP
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace triage::cache {
+
+/** Per-access context handed to the replacement policy. */
+struct ReplAccess {
+    std::uint32_t set = 0;
+    std::uint32_t way = 0;
+    sim::Addr tag = 0; ///< block address (or metadata key)
+    sim::Pc pc = 0;    ///< PC of the triggering access (Hawkeye training)
+    bool is_prefetch = false;
+};
+
+/**
+ * Replacement policy for one set-associative structure.
+ *
+ * The host structure owns validity; @c victim() is only consulted when
+ * every candidate way is valid. @p way_begin / @p way_end bound the
+ * ways eligible under the current partition mask.
+ */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** A resident entry was re-referenced. */
+    virtual void on_hit(const ReplAccess& a) = 0;
+
+    /** A new entry was installed in @p a.way (after victim()). */
+    virtual void on_insert(const ReplAccess& a) = 0;
+
+    /**
+     * An access missed (before insertion); lets history-based policies
+     * (Hawkeye) train even when the host decides not to insert.
+     */
+    virtual void on_miss(std::uint32_t set, sim::Addr tag, sim::Pc pc) = 0;
+
+    /** Entry evicted or invalidated without reuse. */
+    virtual void on_invalidate(std::uint32_t set, std::uint32_t way) = 0;
+
+    /** Choose a victim way in [way_begin, way_end). */
+    virtual std::uint32_t victim(std::uint32_t set, std::uint32_t way_begin,
+                                 std::uint32_t way_end) = 0;
+
+    virtual const char* name() const = 0;
+};
+
+} // namespace triage::cache
+
+#endif // TRIAGE_CACHE_REPLACEMENT_HPP

@@ -1,0 +1,63 @@
+#include "prefetch/hybrid.hpp"
+
+#include "util/log.hpp"
+
+namespace triage::prefetch {
+
+Hybrid::Hybrid(std::vector<std::unique_ptr<Prefetcher>> children)
+    : children_(std::move(children))
+{
+    TRIAGE_ASSERT(!children_.empty());
+    for (std::size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0)
+            name_ += "+";
+        name_ += children_[i]->name();
+    }
+}
+
+void
+Hybrid::train(const TrainEvent& ev, PrefetchHost& host)
+{
+    ++stats_.train_events;
+    for (auto& c : children_)
+        c->train(ev, host);
+}
+
+void
+Hybrid::on_fill(sim::Addr block, sim::Cycle now, bool was_prefetch)
+{
+    for (auto& c : children_)
+        c->on_fill(block, now, was_prefetch);
+}
+
+PrefetcherStats
+Hybrid::snapshot() const
+{
+    PrefetcherStats agg;
+    agg.train_events = stats_.train_events;
+    for (const auto& c : children_) {
+        PrefetcherStats s = c->snapshot();
+        agg.candidates += s.candidates;
+        agg.redundant += s.redundant;
+        agg.filled_from_llc += s.filled_from_llc;
+        agg.issued_to_dram += s.issued_to_dram;
+        agg.dropped += s.dropped;
+        agg.useful += s.useful;
+        agg.late += s.late;
+        agg.meta_onchip_reads += s.meta_onchip_reads;
+        agg.meta_onchip_writes += s.meta_onchip_writes;
+        agg.meta_offchip_reads += s.meta_offchip_reads;
+        agg.meta_offchip_writes += s.meta_offchip_writes;
+    }
+    return agg;
+}
+
+void
+Hybrid::clear_stats()
+{
+    stats_ = {};
+    for (auto& c : children_)
+        c->clear_stats();
+}
+
+} // namespace triage::prefetch

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Hybrid prefetcher: compose several prefetchers on the same training
+ * stream (the paper evaluates BO+Triage and BO+SMS, Figures 10, 14-18).
+ * Each child issues prefetches under its own identity, so usefulness
+ * and accuracy remain per-child; snapshot() aggregates.
+ */
+#ifndef TRIAGE_PREFETCH_HYBRID_HPP
+#define TRIAGE_PREFETCH_HYBRID_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "prefetch/prefetcher.hpp"
+
+namespace triage::prefetch {
+
+/** Composition of child prefetchers trained on the same stream. */
+class Hybrid final : public Prefetcher
+{
+  public:
+    explicit Hybrid(std::vector<std::unique_ptr<Prefetcher>> children);
+
+    void train(const TrainEvent& ev, PrefetchHost& host) override;
+    void on_fill(sim::Addr block, sim::Cycle now,
+                 bool was_prefetch) override;
+    const std::string& name() const override { return name_; }
+
+    PrefetcherStats snapshot() const override;
+    void clear_stats() override;
+
+    Prefetcher& child(std::size_t i) { return *children_[i]; }
+    std::size_t num_children() const { return children_.size(); }
+
+  private:
+    std::vector<std::unique_ptr<Prefetcher>> children_;
+    std::string name_;
+};
+
+} // namespace triage::prefetch
+
+#endif // TRIAGE_PREFETCH_HYBRID_HPP

@@ -1,0 +1,86 @@
+#include "prefetch/markov.hpp"
+
+#include <algorithm>
+
+#include "util/bitops.hpp"
+#include "util/log.hpp"
+
+namespace triage::prefetch {
+
+Markov::Markov(MarkovConfig cfg)
+    : cfg_(cfg), sets_(cfg.table_entries / cfg.ways)
+{
+    TRIAGE_ASSERT(util::is_pow2(sets_));
+    table_.resize(cfg.table_entries);
+    for (auto& e : table_)
+        e.succ.assign(cfg.successors, 0);
+}
+
+Markov::Entry*
+Markov::find(sim::Addr addr)
+{
+    std::size_t set = util::mix64(addr) & (sets_ - 1);
+    Entry* row = &table_[set * cfg_.ways];
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+        if (row[w].valid && row[w].addr == addr)
+            return &row[w];
+    }
+    return nullptr;
+}
+
+Markov::Entry&
+Markov::allocate(sim::Addr addr)
+{
+    std::size_t set = util::mix64(addr) & (sets_ - 1);
+    Entry* row = &table_[set * cfg_.ways];
+    Entry* victim = &row[0];
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+        if (!row[w].valid) {
+            victim = &row[w];
+            break;
+        }
+        if (row[w].lru < victim->lru)
+            victim = &row[w];
+    }
+    victim->addr = addr;
+    std::fill(victim->succ.begin(), victim->succ.end(), 0);
+    victim->valid = true;
+    return *victim;
+}
+
+void
+Markov::train(const TrainEvent& ev, PrefetchHost& host)
+{
+    ++stats_.train_events;
+    if (ev.l2_hit && !ev.was_prefetch_hit)
+        return;
+
+    // Predict: issue all recorded successors (MRU first).
+    if (Entry* e = find(ev.block)) {
+        e->lru = ++clock_;
+        for (sim::Addr s : e->succ) {
+            if (s != 0 && s != ev.block)
+                send(ev, host, s, ev.now);
+        }
+    }
+
+    // Train the global predecessor's successor list (MRU insertion).
+    if (have_last_ && last_miss_ != ev.block) {
+        Entry* p = find(last_miss_);
+        if (p == nullptr)
+            p = &allocate(last_miss_);
+        p->lru = ++clock_;
+        auto hit = std::find(p->succ.begin(), p->succ.end(), ev.block);
+        if (hit != p->succ.end()) {
+            std::rotate(p->succ.begin(), hit, hit + 1);
+        } else {
+            std::rotate(p->succ.begin(), p->succ.end() - 1,
+                        p->succ.end());
+            p->succ.front() = ev.block;
+        }
+    }
+    last_miss_ = ev.block;
+    have_last_ = true;
+}
+
+} // namespace triage::prefetch

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Markov prefetcher (Joseph & Grunwald, ISCA 1997): a bounded on-chip
+ * table mapping each miss address to its most likely successors, with
+ * no PC localization. Included as the historical table-based baseline
+ * Triage's Section 2 discusses (its 2-4x larger tables motivate
+ * Triage's PC-localized single-successor entries).
+ */
+#ifndef TRIAGE_PREFETCH_MARKOV_HPP
+#define TRIAGE_PREFETCH_MARKOV_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "prefetch/prefetcher.hpp"
+
+namespace triage::prefetch {
+
+/** Tuning knobs. */
+struct MarkovConfig {
+    std::uint32_t table_entries = 65536; ///< power of two
+    std::uint32_t ways = 8;
+    std::uint32_t successors = 2; ///< successor slots per entry
+};
+
+/** Markov correlation-table prefetcher. */
+class Markov final : public Prefetcher
+{
+  public:
+    explicit Markov(MarkovConfig cfg = {});
+
+    void train(const TrainEvent& ev, PrefetchHost& host) override;
+    const std::string& name() const override { return name_; }
+
+  private:
+    struct Entry {
+        sim::Addr addr = 0;
+        std::vector<sim::Addr> succ;
+        std::uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    Entry* find(sim::Addr addr);
+    Entry& allocate(sim::Addr addr);
+
+    MarkovConfig cfg_;
+    std::uint32_t sets_;
+    std::vector<Entry> table_;
+    std::uint64_t clock_ = 0;
+    sim::Addr last_miss_ = 0;
+    bool have_last_ = false;
+    std::string name_ = "markov";
+};
+
+} // namespace triage::prefetch
+
+#endif // TRIAGE_PREFETCH_MARKOV_HPP

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Next-line / sequential prefetcher (Smith 1978, Jouppi 1990): the
+ * simplest commercial baseline the paper's related work cites — on
+ * every trigger access, prefetch the next N sequential lines.
+ */
+#ifndef TRIAGE_PREFETCH_NEXT_LINE_HPP
+#define TRIAGE_PREFETCH_NEXT_LINE_HPP
+
+#include "prefetch/prefetcher.hpp"
+
+namespace triage::prefetch {
+
+/** Tuning knobs. */
+struct NextLineConfig {
+    std::uint32_t degree = 1;  ///< sequential lines per trigger
+    bool on_miss_only = true;  ///< trigger on misses (tagged) or all
+};
+
+/** Sequential next-line prefetcher. */
+class NextLine final : public Prefetcher
+{
+  public:
+    explicit NextLine(NextLineConfig cfg = {}) : cfg_(cfg) {}
+
+    void
+    train(const TrainEvent& ev, PrefetchHost& host) override
+    {
+        ++stats_.train_events;
+        if (cfg_.on_miss_only && ev.l2_hit && !ev.was_prefetch_hit)
+            return;
+        for (std::uint32_t d = 1; d <= cfg_.degree; ++d)
+            send(ev, host, ev.block + d, ev.now);
+    }
+
+    const std::string& name() const override { return name_; }
+
+  private:
+    NextLineConfig cfg_;
+    std::string name_ = "next_line";
+};
+
+} // namespace triage::prefetch
+
+#endif // TRIAGE_PREFETCH_NEXT_LINE_HPP

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * The prefetcher interface and the host interface the memory hierarchy
+ * exposes to prefetchers.
+ *
+ * All L2 prefetchers observe the L2 access stream (paper Section 4.1)
+ * and insert into L2. A prefetcher receives every L2 demand access as a
+ * TrainEvent and may issue any number of prefetch candidates through
+ * its PrefetchHost. The host reports the fate of each candidate, which
+ * Triage uses to filter its Hawkeye training (only prefetches that miss
+ * in the cache train positively).
+ */
+#ifndef TRIAGE_PREFETCH_PREFETCHER_HPP
+#define TRIAGE_PREFETCH_PREFETCHER_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace triage::prefetch {
+
+/** What happened to an issued prefetch candidate. */
+enum class PfOutcome : std::uint8_t {
+    RedundantL2,      ///< target already resident (or in flight) in L2
+    FilledFromLlc,    ///< LLC hit; moved into L2 with no off-chip traffic
+    IssuedToDram,     ///< missed everywhere; fetched from memory
+    DroppedBandwidth, ///< memory controller prefetch queue was full
+};
+
+/** One L2 demand access, as seen by prefetchers. */
+struct TrainEvent {
+    sim::Pc pc = 0;
+    sim::Addr block = 0; ///< block (line) address, not byte address
+    sim::Cycle now = 0;
+    unsigned core = 0;
+    bool is_write = false;
+    bool l2_hit = false;
+    /** The access hit a line whose first demand touch this is. */
+    bool was_prefetch_hit = false;
+};
+
+/** Counters every prefetcher accumulates (host-maintained where noted). */
+struct PrefetcherStats {
+    std::uint64_t train_events = 0;
+    std::uint64_t candidates = 0;   ///< prefetches attempted
+    std::uint64_t redundant = 0;    ///< already in L2
+    std::uint64_t filled_from_llc = 0;
+    std::uint64_t issued_to_dram = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t useful = 0;       ///< prefetched lines later demanded (host)
+    std::uint64_t late = 0;         ///< ...still in flight on demand (host)
+
+    // Metadata accounting.
+    std::uint64_t meta_onchip_reads = 0;  ///< LLC-resident metadata lookups
+    std::uint64_t meta_onchip_writes = 0; ///< LLC-resident metadata updates
+    std::uint64_t meta_offchip_reads = 0; ///< DRAM metadata reads (MISB...)
+    std::uint64_t meta_offchip_writes = 0;
+
+    /** Prefetches that actually entered the hierarchy. */
+    std::uint64_t
+    issued() const
+    {
+        return filled_from_llc + issued_to_dram;
+    }
+
+    /** Fraction of issued prefetches that were demanded before eviction. */
+    double
+    accuracy() const
+    {
+        return issued() == 0 ? 0.0
+                             : static_cast<double>(useful) /
+                                   static_cast<double>(issued());
+    }
+};
+
+/**
+ * Services the hierarchy provides to prefetchers: issuing prefetches,
+ * charging metadata latency/energy/traffic, and (for Triage) resizing
+ * the LLC metadata partition.
+ */
+class PrefetchHost
+{
+  public:
+    virtual ~PrefetchHost() = default;
+
+    /**
+     * Try to prefetch @p block for @p core; the request leaves the
+     * prefetcher at time @p when (e.g. delayed by metadata lookups).
+     * @p owner receives credit when the line is later demanded.
+     */
+    virtual PfOutcome issue_prefetch(unsigned core, sim::Addr block,
+                                     sim::Cycle when,
+                                     class Prefetcher* owner) = 0;
+
+    /** LLC load-to-use latency (per on-chip metadata table lookup). */
+    virtual sim::Cycle llc_latency() const = 0;
+
+    /**
+     * Account one LLC access made on behalf of on-chip prefetcher
+     * metadata (energy model: 1 unit per access, Figure 13).
+     */
+    virtual void count_metadata_llc_access(unsigned core, bool is_write) = 0;
+
+    /**
+     * Perform an off-chip metadata access of @p bytes (MISB/STMS/
+     * Domino). When @p charge_time is false the access is counted as
+     * traffic but does not occupy DRAM channels (idealized prefetchers).
+     * @return completion time of the access.
+     */
+    virtual sim::Cycle offchip_metadata_access(unsigned core, sim::Cycle now,
+                                               std::uint32_t bytes,
+                                               bool is_write,
+                                               bool charge_time) = 0;
+
+    /**
+     * Request @p bytes of LLC capacity for core-private prefetcher
+     * metadata (Triage's dynamic partitioning). The host converts the
+     * aggregate demand across cores into way partitioning.
+     */
+    virtual void request_metadata_capacity(unsigned core,
+                                           std::uint64_t bytes,
+                                           sim::Cycle now) = 0;
+};
+
+/** Base class for all L2 prefetchers. */
+class Prefetcher
+{
+  public:
+    virtual ~Prefetcher() = default;
+
+    /** Observe one L2 demand access; may issue prefetches via @p host. */
+    virtual void train(const TrainEvent& ev, PrefetchHost& host) = 0;
+
+    /**
+     * A line this prefetcher fetched received its first demand hit
+     * (useful prefetch). Invoked by the hierarchy.
+     */
+    virtual void on_prefetch_used(sim::Addr /*block*/, sim::Cycle /*now*/) {}
+
+    /**
+     * A block finished filling into L2 (demand or prefetch). Best-Offset
+     * uses fills to populate its recent-requests table.
+     */
+    virtual void on_fill(sim::Addr /*block*/, sim::Cycle /*now*/,
+                         bool /*was_prefetch*/)
+    {}
+
+    virtual const std::string& name() const = 0;
+
+    /** Stats snapshot; composites (hybrids) aggregate their children. */
+    virtual PrefetcherStats snapshot() const { return stats_; }
+    virtual void clear_stats() { stats_ = {}; }
+
+    PrefetcherStats& stats() { return stats_; }
+    const PrefetcherStats& stats() const { return stats_; }
+
+  protected:
+    /**
+     * A prefetch whose issue time slipped this far past its trigger
+     * (e.g. behind saturated off-chip metadata reads) is pointless;
+     * send() drops it instead of scheduling a fill in the far future.
+     */
+    static constexpr sim::Cycle MAX_ISSUE_DELAY = 1000;
+
+    /** Helper: issue one candidate and do the standard stats accounting. */
+    PfOutcome
+    send(const TrainEvent& ev, PrefetchHost& host, sim::Addr block,
+         sim::Cycle when)
+    {
+        ++stats_.candidates;
+        if (when > ev.now + MAX_ISSUE_DELAY) {
+            ++stats_.dropped;
+            return PfOutcome::DroppedBandwidth;
+        }
+        PfOutcome out = host.issue_prefetch(ev.core, block, when, this);
+        switch (out) {
+          case PfOutcome::RedundantL2: ++stats_.redundant; break;
+          case PfOutcome::FilledFromLlc: ++stats_.filled_from_llc; break;
+          case PfOutcome::IssuedToDram: ++stats_.issued_to_dram; break;
+          case PfOutcome::DroppedBandwidth: ++stats_.dropped; break;
+        }
+        return out;
+    }
+
+    PrefetcherStats stats_;
+};
+
+} // namespace triage::prefetch
+
+#endif // TRIAGE_PREFETCH_PREFETCHER_HPP

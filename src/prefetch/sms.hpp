@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Spatial Memory Streaming (Somogyi et al., ISCA 2006): correlate
+ * spatial footprints of memory regions with the (PC, region-offset)
+ * that first touched the region, and replay the footprint on the next
+ * trigger — the paper's representative of on-chip *irregular spatial*
+ * prefetching.
+ */
+#ifndef TRIAGE_PREFETCH_SMS_HPP
+#define TRIAGE_PREFETCH_SMS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "prefetch/prefetcher.hpp"
+
+namespace triage::prefetch {
+
+/** Tuning knobs (2 KB regions = 32 blocks, as in the original paper). */
+struct SmsConfig {
+    std::uint32_t region_blocks = 32;     ///< power of two
+    std::uint32_t filter_entries = 32;    ///< regions touched once
+    std::uint32_t accum_entries = 64;     ///< active generations
+    std::uint32_t pht_sets = 1024;        ///< pattern history table
+    std::uint32_t pht_ways = 4;
+};
+
+/** SMS prefetcher. */
+class Sms final : public Prefetcher
+{
+  public:
+    explicit Sms(SmsConfig cfg = {});
+
+    void train(const TrainEvent& ev, PrefetchHost& host) override;
+    const std::string& name() const override { return name_; }
+
+  private:
+    struct Generation {
+        sim::Addr region = 0;
+        sim::Pc trigger_pc = 0;
+        std::uint32_t trigger_offset = 0;
+        std::uint32_t pattern = 0; ///< bitmap over region blocks
+        std::uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    struct PhtEntry {
+        std::uint64_t key = 0; ///< hash of (pc, offset)
+        std::uint32_t pattern = 0;
+        std::uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    std::uint64_t pht_key(sim::Pc pc, std::uint32_t offset) const;
+    void pht_store(std::uint64_t key, std::uint32_t pattern);
+    const PhtEntry* pht_find(std::uint64_t key) const;
+    /** Close a generation: record its footprint in the PHT. */
+    void retire_generation(Generation& g);
+    Generation* find_generation(std::vector<Generation>& table,
+                                sim::Addr region);
+    Generation* allocate(std::vector<Generation>& table);
+
+    SmsConfig cfg_;
+    std::uint32_t offset_mask_;
+    unsigned region_shift_;
+    std::vector<Generation> filter_;
+    std::vector<Generation> accum_;
+    std::vector<PhtEntry> pht_; ///< pht_sets x pht_ways
+    std::uint64_t clock_ = 0;
+    std::string name_ = "sms";
+};
+
+} // namespace triage::prefetch
+
+#endif // TRIAGE_PREFETCH_SMS_HPP

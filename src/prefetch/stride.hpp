@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Per-PC stride prefetcher (Baer & Chen style), used as the always-on
+ * L1D prefetcher from Table 1.
+ */
+#ifndef TRIAGE_PREFETCH_STRIDE_HPP
+#define TRIAGE_PREFETCH_STRIDE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "prefetch/prefetcher.hpp"
+
+namespace triage::prefetch {
+
+/** Tuning knobs. */
+struct StrideConfig {
+    std::uint32_t table_entries = 256; ///< power of two, PC-indexed
+    std::uint32_t degree = 2;          ///< blocks ahead once confident
+    std::uint8_t confidence_threshold = 2;
+};
+
+/**
+ * Classic reference-prediction-table stride prefetcher: per PC, track
+ * the last block and stride with a 2-bit confidence counter; once
+ * confident, prefetch the next `degree` strided blocks.
+ */
+class StridePrefetcher final : public Prefetcher
+{
+  public:
+    explicit StridePrefetcher(StrideConfig cfg = {});
+
+    void train(const TrainEvent& ev, PrefetchHost& host) override;
+    const std::string& name() const override { return name_; }
+
+  private:
+    struct Entry {
+        sim::Pc pc = 0;
+        sim::Addr last_block = 0;
+        std::int64_t stride = 0;
+        std::uint8_t confidence = 0;
+        bool valid = false;
+    };
+
+    Entry& entry_for(sim::Pc pc);
+
+    StrideConfig cfg_;
+    std::vector<Entry> table_;
+    std::string name_ = "stride";
+};
+
+} // namespace triage::prefetch
+
+#endif // TRIAGE_PREFETCH_STRIDE_HPP

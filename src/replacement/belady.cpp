@@ -1,0 +1,55 @@
+#include "replacement/belady.hpp"
+
+#include <limits>
+#include <set>
+#include <unordered_map>
+
+namespace triage::replacement {
+
+std::uint64_t
+belady_hits(const std::vector<std::uint64_t>& keys, std::uint32_t capacity)
+{
+    const std::uint64_t INF = std::numeric_limits<std::uint64_t>::max();
+    const std::size_t n = keys.size();
+
+    // next_use[i]: index of the next access to keys[i] after i (INF if none).
+    std::vector<std::uint64_t> next_use(n, INF);
+    std::unordered_map<std::uint64_t, std::uint64_t> last_index;
+    for (std::size_t i = n; i-- > 0;) {
+        auto it = last_index.find(keys[i]);
+        next_use[i] = it == last_index.end() ? INF : it->second;
+        last_index[keys[i]] = i;
+    }
+
+    // Resident set ordered by next use (farthest = evict first).
+    // Entries: (next_use, key). Also map key -> its current next_use.
+    std::set<std::pair<std::uint64_t, std::uint64_t>> by_next_use;
+    std::unordered_map<std::uint64_t, std::uint64_t> resident;
+
+    std::uint64_t hits = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t key = keys[i];
+        auto r = resident.find(key);
+        if (r != resident.end()) {
+            ++hits;
+            by_next_use.erase({r->second, key});
+            r->second = next_use[i];
+            by_next_use.insert({next_use[i], key});
+            continue;
+        }
+        if (resident.size() == capacity) {
+            auto farthest = std::prev(by_next_use.end());
+            // MIN refinement: if the incoming line is re-used later than
+            // every resident, bypassing it is optimal.
+            if (farthest->first < next_use[i])
+                continue;
+            resident.erase(farthest->second);
+            by_next_use.erase(farthest);
+        }
+        resident[key] = next_use[i];
+        by_next_use.insert({next_use[i], key});
+    }
+    return hits;
+}
+
+} // namespace triage::replacement

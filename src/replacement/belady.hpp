@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Offline Belady (MIN) oracle: the ground truth OPTgen approximates.
+ * Used by property tests and by "Perfect" baselines.
+ */
+#ifndef TRIAGE_REPLACEMENT_BELADY_HPP
+#define TRIAGE_REPLACEMENT_BELADY_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace triage::replacement {
+
+/**
+ * Simulate Belady's MIN on an access sequence with the given capacity.
+ * @return the number of hits OPT achieves.
+ */
+std::uint64_t belady_hits(const std::vector<std::uint64_t>& keys,
+                          std::uint32_t capacity);
+
+} // namespace triage::replacement
+
+#endif // TRIAGE_REPLACEMENT_BELADY_HPP

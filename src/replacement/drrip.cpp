@@ -1,0 +1,105 @@
+#include "replacement/drrip.hpp"
+
+#include "util/log.hpp"
+
+namespace triage::replacement {
+
+Drrip::Drrip(std::uint32_t sets, std::uint32_t assoc, DrripConfig cfg)
+    : assoc_(assoc), cfg_(cfg),
+      rrpv_(static_cast<std::size_t>(sets) * assoc, cfg.max_rrpv),
+      rng_(sets * 31 + assoc)
+{
+    TRIAGE_ASSERT(cfg_.dueling_stride >= 2);
+}
+
+Drrip::SetRole
+Drrip::role_of(std::uint32_t set) const
+{
+    // Leader sets are spread through the index space: one SRRIP and
+    // one BRRIP leader per dueling_stride sets.
+    std::uint32_t r = set % cfg_.dueling_stride;
+    if (r == 0)
+        return SetRole::LeadSrrip;
+    if (r == cfg_.dueling_stride / 2)
+        return SetRole::LeadBrrip;
+    return SetRole::FollowSrrip;
+}
+
+std::uint8_t&
+Drrip::rrpv(std::uint32_t set, std::uint32_t way)
+{
+    return rrpv_[static_cast<std::size_t>(set) * assoc_ + way];
+}
+
+void
+Drrip::on_hit(const cache::ReplAccess& a)
+{
+    rrpv(a.set, a.way) = 0;
+}
+
+void
+Drrip::on_miss(std::uint32_t set, sim::Addr, sim::Pc)
+{
+    // Misses in leader sets train the selector: a miss in the SRRIP
+    // leader votes for BRRIP and vice versa.
+    switch (role_of(set)) {
+      case SetRole::LeadSrrip:
+        psel_ = std::min(psel_ + 1, cfg_.psel_max);
+        break;
+      case SetRole::LeadBrrip:
+        psel_ = std::max(psel_ - 1, -cfg_.psel_max - 1);
+        break;
+      default:
+        break;
+    }
+}
+
+void
+Drrip::on_insert(const cache::ReplAccess& a)
+{
+    bool use_brrip;
+    switch (role_of(a.set)) {
+      case SetRole::LeadSrrip:
+        use_brrip = false;
+        break;
+      case SetRole::LeadBrrip:
+        use_brrip = true;
+        break;
+      default:
+        use_brrip = psel_ > 0;
+        break;
+    }
+    if (use_brrip) {
+        // BRRIP: distant insertion, occasionally long.
+        rrpv(a.set, a.way) =
+            rng_.next_below(cfg_.brrip_epsilon) == 0
+                ? static_cast<std::uint8_t>(cfg_.max_rrpv - 1)
+                : cfg_.max_rrpv;
+    } else {
+        rrpv(a.set, a.way) =
+            static_cast<std::uint8_t>(cfg_.max_rrpv - 1);
+    }
+}
+
+void
+Drrip::on_invalidate(std::uint32_t set, std::uint32_t way)
+{
+    rrpv(set, way) = cfg_.max_rrpv;
+}
+
+std::uint32_t
+Drrip::victim(std::uint32_t set, std::uint32_t way_begin,
+              std::uint32_t way_end)
+{
+    TRIAGE_ASSERT(way_begin < way_end);
+    for (;;) {
+        for (std::uint32_t w = way_begin; w < way_end; ++w) {
+            if (rrpv(set, w) >= cfg_.max_rrpv)
+                return w;
+        }
+        for (std::uint32_t w = way_begin; w < way_end; ++w)
+            ++rrpv(set, w);
+    }
+}
+
+} // namespace triage::replacement

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * DRRIP: dynamic re-reference interval prediction (Jaleel et al.,
+ * ISCA 2010). Set-dueling between SRRIP and BRRIP insertion, with the
+ * winner applied to follower sets. Provided as an alternative LLC data
+ * policy for ablations against the paper's LRU-managed data partition.
+ */
+#ifndef TRIAGE_REPLACEMENT_DRRIP_HPP
+#define TRIAGE_REPLACEMENT_DRRIP_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/replacement.hpp"
+#include "util/rng.hpp"
+
+namespace triage::replacement {
+
+/** Tuning knobs. */
+struct DrripConfig {
+    std::uint8_t max_rrpv = 3;
+    /** 1-in-N dedicated sets per policy (set dueling). */
+    std::uint32_t dueling_stride = 32;
+    /** BRRIP inserts at max_rrpv-1 with probability 1/brrip_epsilon. */
+    std::uint32_t brrip_epsilon = 32;
+    /** Saturating policy-selector width (psel). */
+    std::int32_t psel_max = 1023;
+};
+
+/** DRRIP replacement. */
+class Drrip final : public cache::ReplacementPolicy
+{
+  public:
+    Drrip(std::uint32_t sets, std::uint32_t assoc, DrripConfig cfg = {});
+
+    void on_hit(const cache::ReplAccess& a) override;
+    void on_insert(const cache::ReplAccess& a) override;
+    void on_miss(std::uint32_t set, sim::Addr tag, sim::Pc pc) override;
+    void on_invalidate(std::uint32_t set, std::uint32_t way) override;
+    std::uint32_t victim(std::uint32_t set, std::uint32_t way_begin,
+                         std::uint32_t way_end) override;
+    const char* name() const override { return "drrip"; }
+
+    /** True when the selector currently favours SRRIP (tests). */
+    bool srrip_winning() const { return psel_ <= 0; }
+
+  private:
+    enum class SetRole : std::uint8_t { FollowSrrip, LeadSrrip, LeadBrrip };
+
+    SetRole role_of(std::uint32_t set) const;
+    std::uint8_t& rrpv(std::uint32_t set, std::uint32_t way);
+
+    std::uint32_t assoc_;
+    DrripConfig cfg_;
+    std::vector<std::uint8_t> rrpv_;
+    std::int32_t psel_ = 0;
+    util::Rng rng_;
+};
+
+} // namespace triage::replacement
+
+#endif // TRIAGE_REPLACEMENT_DRRIP_HPP

@@ -1,0 +1,195 @@
+#include "replacement/hawkeye.hpp"
+
+#include "util/bitops.hpp"
+#include "util/log.hpp"
+
+namespace triage::replacement {
+
+HawkeyePredictor::HawkeyePredictor(std::uint32_t entries)
+    : table_(entries, 4), mask_(entries - 1)
+{
+    TRIAGE_ASSERT(util::is_pow2(entries));
+}
+
+std::uint32_t
+HawkeyePredictor::index(sim::Pc pc) const
+{
+    return static_cast<std::uint32_t>(util::mix64(pc)) & mask_;
+}
+
+void
+HawkeyePredictor::train_positive(sim::Pc pc)
+{
+    auto& c = table_[index(pc)];
+    c = util::sat_inc<std::uint8_t>(c, 7);
+}
+
+void
+HawkeyePredictor::train_negative(sim::Pc pc)
+{
+    auto& c = table_[index(pc)];
+    c = util::sat_dec<std::uint8_t>(c);
+}
+
+bool
+HawkeyePredictor::predict(sim::Pc pc) const
+{
+    return table_[index(pc)] >= 4;
+}
+
+std::uint8_t
+HawkeyePredictor::counter(sim::Pc pc) const
+{
+    return table_[index(pc)];
+}
+
+Hawkeye::Hawkeye(std::uint32_t sets, std::uint32_t assoc, HawkeyeConfig cfg)
+    : sets_(sets), assoc_(assoc), cfg_(cfg),
+      predictor_(cfg.predictor_entries),
+      rrpv_(static_cast<std::size_t>(sets) * assoc, cfg.max_rrpv),
+      line_pcs_(static_cast<std::size_t>(sets) * assoc, 0)
+{
+    TRIAGE_ASSERT(util::is_pow2(sets_));
+    std::uint32_t n_sampled = cfg_.sampled_sets;
+    if (n_sampled > sets_)
+        n_sampled = sets_;
+    TRIAGE_ASSERT(util::is_pow2(n_sampled));
+    // A set is sampled iff its low log2(sets/n_sampled) bits are zero;
+    // sampler index is the remaining high bits.
+    sample_shift_ = util::log2_exact(sets_ / n_sampled);
+    sample_mask_ = (1u << sample_shift_) - 1;
+    samplers_.reserve(n_sampled);
+    for (std::uint32_t i = 0; i < n_sampled; ++i)
+        samplers_.emplace_back(assoc_, cfg_.history_factor);
+}
+
+bool
+Hawkeye::is_sampled(std::uint32_t set) const
+{
+    return (set & sample_mask_) == 0;
+}
+
+Hawkeye::SampledSet&
+Hawkeye::sampler_for(std::uint32_t set)
+{
+    return samplers_[set >> sample_shift_];
+}
+
+std::uint8_t&
+Hawkeye::rrpv(std::uint32_t set, std::uint32_t way)
+{
+    return rrpv_[static_cast<std::size_t>(set) * assoc_ + way];
+}
+
+sim::Pc&
+Hawkeye::line_pc(std::uint32_t set, std::uint32_t way)
+{
+    return line_pcs_[static_cast<std::size_t>(set) * assoc_ + way];
+}
+
+void
+Hawkeye::sample_access(std::uint32_t set, sim::Addr tag, sim::Pc pc)
+{
+    SampledSet& s = sampler_for(set);
+    auto it = s.last_pc.find(tag);
+    bool opt_hit = s.optgen.access(tag);
+    if (it != s.last_pc.end()) {
+        // OPT's verdict trains the PC that last touched this line: that
+        // load decided whether keeping the line would have paid off.
+        if (opt_hit)
+            predictor_.train_positive(it->second);
+        else
+            predictor_.train_negative(it->second);
+        it->second = pc;
+    } else {
+        s.last_pc.emplace(tag, pc);
+    }
+    // Bound the last-PC map (entries older than the OPTgen window are
+    // dead weight; a size cap keeps memory honest without timestamps).
+    if (s.last_pc.size() > 16ULL * assoc_ * cfg_.history_factor) {
+        s.last_pc.clear();
+    }
+}
+
+void
+Hawkeye::on_hit(const cache::ReplAccess& a)
+{
+    if (is_sampled(a.set))
+        sample_access(a.set, a.tag, a.pc);
+    line_pc(a.set, a.way) = a.pc;
+    rrpv(a.set, a.way) = predictor_.predict(a.pc) ? 0 : cfg_.max_rrpv;
+}
+
+void
+Hawkeye::on_miss(std::uint32_t set, sim::Addr tag, sim::Pc pc)
+{
+    if (is_sampled(set))
+        sample_access(set, tag, pc);
+}
+
+void
+Hawkeye::on_insert(const cache::ReplAccess& a)
+{
+    line_pc(a.set, a.way) = a.pc;
+    bool friendly = predictor_.predict(a.pc);
+    if (friendly) {
+        // Age everyone else so older friendly lines become victims
+        // before fresher ones.
+        for (std::uint32_t w = 0; w < assoc_; ++w) {
+            if (w == a.way)
+                continue;
+            auto& r = rrpv(a.set, w);
+            if (r < cfg_.max_rrpv - 1)
+                ++r;
+        }
+        rrpv(a.set, a.way) = 0;
+    } else {
+        rrpv(a.set, a.way) = cfg_.max_rrpv;
+    }
+}
+
+void
+Hawkeye::on_invalidate(std::uint32_t set, std::uint32_t way)
+{
+    rrpv(set, way) = cfg_.max_rrpv;
+    line_pc(set, way) = 0;
+}
+
+std::uint32_t
+Hawkeye::victim(std::uint32_t set, std::uint32_t way_begin,
+                std::uint32_t way_end)
+{
+    TRIAGE_ASSERT(way_begin < way_end);
+    // Prefer a predicted-averse line (RRPV == max).
+    for (std::uint32_t w = way_begin; w < way_end; ++w) {
+        if (rrpv(set, w) == cfg_.max_rrpv)
+            return w;
+    }
+    // All friendly: evict the oldest and detrain its PC — the predictor
+    // was wrong about this line's reuse fitting in the cache.
+    std::uint32_t best = way_begin;
+    std::uint8_t best_rrpv = rrpv(set, way_begin);
+    for (std::uint32_t w = way_begin + 1; w < way_end; ++w) {
+        if (rrpv(set, w) > best_rrpv) {
+            best_rrpv = rrpv(set, w);
+            best = w;
+        }
+    }
+    predictor_.train_negative(line_pc(set, best));
+    return best;
+}
+
+double
+Hawkeye::sampled_opt_hit_rate() const
+{
+    std::uint64_t acc = 0;
+    std::uint64_t hits = 0;
+    for (const auto& s : samplers_) {
+        acc += s.optgen.accesses();
+        hits += s.optgen.hits();
+    }
+    return acc == 0 ? 0.0
+                    : static_cast<double>(hits) / static_cast<double>(acc);
+}
+
+} // namespace triage::replacement

@@ -1,0 +1,58 @@
+#include "replacement/lru.hpp"
+
+#include "util/log.hpp"
+
+namespace triage::replacement {
+
+Lru::Lru(std::uint32_t sets, std::uint32_t assoc)
+    : assoc_(assoc),
+      stamps_(static_cast<std::size_t>(sets) * assoc, 0)
+{
+}
+
+std::uint64_t&
+Lru::stamp(std::uint32_t set, std::uint32_t way)
+{
+    return stamps_[static_cast<std::size_t>(set) * assoc_ + way];
+}
+
+void
+Lru::on_hit(const cache::ReplAccess& a)
+{
+    stamp(a.set, a.way) = ++clock_;
+}
+
+void
+Lru::on_insert(const cache::ReplAccess& a)
+{
+    stamp(a.set, a.way) = ++clock_;
+}
+
+void
+Lru::on_miss(std::uint32_t, sim::Addr, sim::Pc)
+{
+}
+
+void
+Lru::on_invalidate(std::uint32_t set, std::uint32_t way)
+{
+    stamp(set, way) = 0;
+}
+
+std::uint32_t
+Lru::victim(std::uint32_t set, std::uint32_t way_begin,
+            std::uint32_t way_end)
+{
+    TRIAGE_ASSERT(way_begin < way_end);
+    std::uint32_t best = way_begin;
+    std::uint64_t best_stamp = stamp(set, way_begin);
+    for (std::uint32_t w = way_begin + 1; w < way_end; ++w) {
+        if (stamp(set, w) < best_stamp) {
+            best_stamp = stamp(set, w);
+            best = w;
+        }
+    }
+    return best;
+}
+
+} // namespace triage::replacement

@@ -1,0 +1,72 @@
+#include "replacement/optgen.hpp"
+
+#include "util/log.hpp"
+
+namespace triage::replacement {
+
+OptGen::OptGen(std::uint32_t capacity, std::uint32_t history_factor)
+    : capacity_(capacity), window_(capacity * history_factor)
+{
+    TRIAGE_ASSERT(capacity_ > 0);
+    TRIAGE_ASSERT(window_ > 0);
+    occupancy_.assign(window_, 0);
+}
+
+bool
+OptGen::access(std::uint64_t key)
+{
+    ++accesses_;
+
+    // The slot for "now" starts a fresh interval.
+    occupancy_[now_ % window_] = 0;
+
+    bool hit = false;
+    auto it = last_seen_.find(key);
+    if (it != last_seen_.end() && now_ - it->second < window_) {
+        std::uint64_t prev = it->second;
+        // OPT keeps the line iff no slot in [prev, now) is full.
+        bool fits = true;
+        for (std::uint64_t t = prev; t < now_; ++t) {
+            if (occupancy_[t % window_] >= capacity_) {
+                fits = false;
+                break;
+            }
+        }
+        if (fits) {
+            for (std::uint64_t t = prev; t < now_; ++t)
+                ++occupancy_[t % window_];
+            hit = true;
+            ++hits_;
+        }
+    }
+    if (it != last_seen_.end())
+        it->second = now_;
+    else
+        last_seen_.emplace(key, now_);
+    ++now_;
+
+    // Periodically drop stale last-seen entries so the map stays O(window).
+    if (now_ - last_prune_ > 4ULL * window_) {
+        for (auto i = last_seen_.begin(); i != last_seen_.end();) {
+            if (now_ - i->second >= window_)
+                i = last_seen_.erase(i);
+            else
+                ++i;
+        }
+        last_prune_ = now_;
+    }
+    return hit;
+}
+
+void
+OptGen::clear()
+{
+    occupancy_.assign(window_, 0);
+    last_seen_.clear();
+    now_ = 0;
+    accesses_ = 0;
+    hits_ = 0;
+    last_prune_ = 0;
+}
+
+} // namespace triage::replacement

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * OPTgen: incremental reconstruction of Belady's optimal policy over a
+ * sliding history window (Jain & Lin, ISCA 2016).
+ *
+ * OPTgen answers, for each access, "would the optimal policy have hit?"
+ * using the *liveness interval* argument: an access to X at time t whose
+ * previous access was at time p is an OPT hit iff, at every time slot in
+ * [p, t), fewer than `capacity` lines are simultaneously live. The
+ * occupancy vector counts live lines per slot over the most recent
+ * 8 x capacity slots.
+ *
+ * Triage uses OPTgen in two places: inside the Hawkeye-style metadata
+ * replacement policy, and as the 1 KB "sandbox" that estimates metadata
+ * hit rates at candidate store sizes for dynamic partitioning.
+ */
+#ifndef TRIAGE_REPLACEMENT_OPTGEN_HPP
+#define TRIAGE_REPLACEMENT_OPTGEN_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace triage::replacement {
+
+/** One OPTgen instance models a single fully-associative set/sandbox. */
+class OptGen
+{
+  public:
+    /**
+     * @param capacity modeled cache capacity in entries.
+     * @param history_factor window length as a multiple of capacity
+     *        (the paper uses 8x).
+     */
+    explicit OptGen(std::uint32_t capacity, std::uint32_t history_factor = 8);
+
+    /**
+     * Feed the next access.
+     * @return true if OPT would hit this access.
+     */
+    bool access(std::uint64_t key);
+
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t hits() const { return hits_; }
+
+    /** OPT hit rate over everything fed so far. */
+    double
+    hit_rate() const
+    {
+        return accesses_ == 0
+                   ? 0.0
+                   : static_cast<double>(hits_) / static_cast<double>(accesses_);
+    }
+
+    std::uint32_t capacity() const { return capacity_; }
+
+    /** Forget all history and counters. */
+    void clear();
+
+    /** Reset only the hit/access counters (start a new measurement epoch). */
+    void clear_counters() { accesses_ = 0; hits_ = 0; }
+
+  private:
+    std::uint32_t capacity_;
+    std::uint32_t window_;
+    std::uint64_t now_ = 0; ///< access count == logical time
+    std::vector<std::uint16_t> occupancy_; ///< circular, indexed by time%window_
+    std::unordered_map<std::uint64_t, std::uint64_t> last_seen_;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t last_prune_ = 0;
+};
+
+} // namespace triage::replacement
+
+#endif // TRIAGE_REPLACEMENT_OPTGEN_HPP

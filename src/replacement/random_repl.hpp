@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Random replacement (deterministic PCG32 stream).
+ */
+#ifndef TRIAGE_REPLACEMENT_RANDOM_REPL_HPP
+#define TRIAGE_REPLACEMENT_RANDOM_REPL_HPP
+
+#include "cache/replacement.hpp"
+#include "util/rng.hpp"
+
+namespace triage::replacement {
+
+/** Uniform-random victim selection; useful as a baseline in tests. */
+class RandomRepl final : public cache::ReplacementPolicy
+{
+  public:
+    explicit RandomRepl(std::uint64_t seed = 1) : rng_(seed) {}
+
+    void on_hit(const cache::ReplAccess&) override {}
+    void on_insert(const cache::ReplAccess&) override {}
+    void on_miss(std::uint32_t, sim::Addr, sim::Pc) override {}
+    void on_invalidate(std::uint32_t, std::uint32_t) override {}
+
+    std::uint32_t
+    victim(std::uint32_t, std::uint32_t way_begin,
+           std::uint32_t way_end) override
+    {
+        return way_begin + rng_.next_below(way_end - way_begin);
+    }
+
+    const char* name() const override { return "random"; }
+
+  private:
+    util::Rng rng_;
+};
+
+} // namespace triage::replacement
+
+#endif // TRIAGE_REPLACEMENT_RANDOM_REPL_HPP

@@ -1,0 +1,91 @@
+#include "replacement/ship.hpp"
+
+#include "util/bitops.hpp"
+#include "util/log.hpp"
+
+namespace triage::replacement {
+
+Ship::Ship(std::uint32_t sets, std::uint32_t assoc, ShipConfig cfg)
+    : assoc_(assoc), cfg_(cfg),
+      lines_(static_cast<std::size_t>(sets) * assoc,
+             {cfg.max_rrpv, false, 0}),
+      shct_(cfg.shct_entries, 1)
+{
+    TRIAGE_ASSERT(util::is_pow2(cfg.shct_entries));
+}
+
+std::uint32_t
+Ship::signature_of(sim::Pc pc) const
+{
+    return static_cast<std::uint32_t>(util::mix64(pc)) &
+           (cfg_.shct_entries - 1);
+}
+
+Ship::LineState&
+Ship::line(std::uint32_t set, std::uint32_t way)
+{
+    return lines_[static_cast<std::size_t>(set) * assoc_ + way];
+}
+
+std::uint8_t
+Ship::counter_of(sim::Pc pc) const
+{
+    return shct_[signature_of(pc)];
+}
+
+void
+Ship::on_hit(const cache::ReplAccess& a)
+{
+    LineState& l = line(a.set, a.way);
+    l.rrpv = 0;
+    if (!l.outcome) {
+        l.outcome = true;
+        shct_[l.signature] =
+            util::sat_inc<std::uint8_t>(shct_[l.signature],
+                                        cfg_.shct_max);
+    }
+}
+
+void
+Ship::on_miss(std::uint32_t, sim::Addr, sim::Pc)
+{
+}
+
+void
+Ship::on_insert(const cache::ReplAccess& a)
+{
+    LineState& l = line(a.set, a.way);
+    l.signature = signature_of(a.pc);
+    l.outcome = false;
+    // Predicted-dead signatures insert at the eviction boundary.
+    l.rrpv = shct_[l.signature] == 0
+                 ? cfg_.max_rrpv
+                 : static_cast<std::uint8_t>(cfg_.max_rrpv - 1);
+}
+
+void
+Ship::on_invalidate(std::uint32_t set, std::uint32_t way)
+{
+    LineState& l = line(set, way);
+    if (!l.outcome)
+        shct_[l.signature] = util::sat_dec(shct_[l.signature]);
+    l.rrpv = cfg_.max_rrpv;
+    l.outcome = false;
+}
+
+std::uint32_t
+Ship::victim(std::uint32_t set, std::uint32_t way_begin,
+             std::uint32_t way_end)
+{
+    TRIAGE_ASSERT(way_begin < way_end);
+    for (;;) {
+        for (std::uint32_t w = way_begin; w < way_end; ++w) {
+            if (line(set, w).rrpv >= cfg_.max_rrpv)
+                return w;
+        }
+        for (std::uint32_t w = way_begin; w < way_end; ++w)
+            ++line(set, w).rrpv;
+    }
+}
+
+} // namespace triage::replacement

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * SHiP: signature-based hit prediction (Wu et al., MICRO 2011).
+ * PC-signature counters learn whether lines inserted by a signature
+ * are re-referenced; dead-on-arrival signatures insert at distant
+ * RRPV. The intellectual midpoint between SRRIP and Hawkeye, included
+ * to round out the replacement-policy design space used in ablations.
+ */
+#ifndef TRIAGE_REPLACEMENT_SHIP_HPP
+#define TRIAGE_REPLACEMENT_SHIP_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/replacement.hpp"
+
+namespace triage::replacement {
+
+/** Tuning knobs. */
+struct ShipConfig {
+    std::uint8_t max_rrpv = 3;
+    std::uint32_t shct_entries = 16384; ///< signature counters (pow2)
+    std::uint8_t shct_max = 7;          ///< 3-bit counters
+};
+
+/** SHiP replacement. */
+class Ship final : public cache::ReplacementPolicy
+{
+  public:
+    Ship(std::uint32_t sets, std::uint32_t assoc, ShipConfig cfg = {});
+
+    void on_hit(const cache::ReplAccess& a) override;
+    void on_insert(const cache::ReplAccess& a) override;
+    void on_miss(std::uint32_t set, sim::Addr tag, sim::Pc pc) override;
+    void on_invalidate(std::uint32_t set, std::uint32_t way) override;
+    std::uint32_t victim(std::uint32_t set, std::uint32_t way_begin,
+                         std::uint32_t way_end) override;
+    const char* name() const override { return "ship"; }
+
+    /** Counter for a PC signature (tests). */
+    std::uint8_t counter_of(sim::Pc pc) const;
+
+  private:
+    struct LineState {
+        std::uint8_t rrpv;
+        bool outcome; ///< re-referenced since insertion
+        std::uint32_t signature;
+    };
+
+    std::uint32_t signature_of(sim::Pc pc) const;
+    LineState& line(std::uint32_t set, std::uint32_t way);
+
+    std::uint32_t assoc_;
+    ShipConfig cfg_;
+    std::vector<LineState> lines_;
+    std::vector<std::uint8_t> shct_;
+};
+
+} // namespace triage::replacement
+
+#endif // TRIAGE_REPLACEMENT_SHIP_HPP

@@ -1,0 +1,52 @@
+#include "replacement/srrip.hpp"
+
+#include "util/log.hpp"
+
+namespace triage::replacement {
+
+Srrip::Srrip(std::uint32_t sets, std::uint32_t assoc)
+    : assoc_(assoc),
+      rrpv_(static_cast<std::size_t>(sets) * assoc, MAX_RRPV)
+{
+}
+
+std::uint8_t&
+Srrip::rrpv(std::uint32_t set, std::uint32_t way)
+{
+    return rrpv_[static_cast<std::size_t>(set) * assoc_ + way];
+}
+
+void
+Srrip::on_hit(const cache::ReplAccess& a)
+{
+    rrpv(a.set, a.way) = 0;
+}
+
+void
+Srrip::on_insert(const cache::ReplAccess& a)
+{
+    rrpv(a.set, a.way) = MAX_RRPV - 1;
+}
+
+void
+Srrip::on_invalidate(std::uint32_t set, std::uint32_t way)
+{
+    rrpv(set, way) = MAX_RRPV;
+}
+
+std::uint32_t
+Srrip::victim(std::uint32_t set, std::uint32_t way_begin,
+              std::uint32_t way_end)
+{
+    TRIAGE_ASSERT(way_begin < way_end);
+    for (;;) {
+        for (std::uint32_t w = way_begin; w < way_end; ++w) {
+            if (rrpv(set, w) == MAX_RRPV)
+                return w;
+        }
+        for (std::uint32_t w = way_begin; w < way_end; ++w)
+            ++rrpv(set, w);
+    }
+}
+
+} // namespace triage::replacement

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Static RRIP replacement (Jaleel et al., ISCA 2010).
+ */
+#ifndef TRIAGE_REPLACEMENT_SRRIP_HPP
+#define TRIAGE_REPLACEMENT_SRRIP_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/replacement.hpp"
+
+namespace triage::replacement {
+
+/** 2-bit SRRIP: insert at RRPV 2, promote to 0 on hit, age to find 3. */
+class Srrip final : public cache::ReplacementPolicy
+{
+  public:
+    Srrip(std::uint32_t sets, std::uint32_t assoc);
+
+    void on_hit(const cache::ReplAccess& a) override;
+    void on_insert(const cache::ReplAccess& a) override;
+    void on_miss(std::uint32_t, sim::Addr, sim::Pc) override {}
+    void on_invalidate(std::uint32_t set, std::uint32_t way) override;
+    std::uint32_t victim(std::uint32_t set, std::uint32_t way_begin,
+                         std::uint32_t way_end) override;
+    const char* name() const override { return "srrip"; }
+
+  private:
+    static constexpr std::uint8_t MAX_RRPV = 3;
+
+    std::uint8_t& rrpv(std::uint32_t set, std::uint32_t way);
+
+    std::uint32_t assoc_;
+    std::vector<std::uint8_t> rrpv_;
+};
+
+} // namespace triage::replacement
+
+#endif // TRIAGE_REPLACEMENT_SRRIP_HPP

@@ -1,0 +1,32 @@
+#include "sim/config.hpp"
+
+#include <sstream>
+
+namespace triage::sim {
+
+std::string
+MachineConfig::describe(unsigned n_cores) const
+{
+    std::ostringstream os;
+    os << "Core       : out-of-order, 2 GHz, " << fetch_width
+       << "-wide fetch/dispatch, " << retire_width << "-wide retire, "
+       << rob_entries << " ROB entries\n"
+       << "L1D        : " << l1d.size_bytes / 1024 << " KB, " << l1d.assoc
+       << "-way, " << l1d.latency << "-cycle latency"
+       << (l1_stride_prefetcher ? ", stride prefetcher" : "") << "\n"
+       << "L2         : " << l2.size_bytes / 1024 << " KB, private, "
+       << l2.assoc << "-way, " << l2.latency << "-cycle load-to-use\n"
+       << "L3         : " << llc.size_bytes / (1024 * 1024)
+       << " MB/core (x" << n_cores << " cores), shared, " << llc.assoc
+       << "-way, " << llc.latency + llc_extra_latency
+       << "-cycle load-to-use\n"
+       << "DRAM       : " << dram_latency << "-cycle (85 ns) latency, "
+       << dram_channels << " channels, "
+       << (16 / dram_channels) * dram_channels
+       << " B/cycle total (32 GB/s at 2 GHz)\n"
+       << "Prefetch   : degree " << prefetch_degree
+       << ", trained on L2 access stream, fills L2";
+    return os.str();
+}
+
+} // namespace triage::sim

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Machine configuration (the paper's Table 1) plus simulator knobs.
+ */
+#ifndef TRIAGE_SIM_CONFIG_HPP
+#define TRIAGE_SIM_CONFIG_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace triage::sim {
+
+/** Parameters of one cache level. */
+struct CacheConfig {
+    std::uint64_t size_bytes = 0;
+    std::uint32_t assoc = 0;
+    /** Load-to-use latency in cycles, measured from request issue. */
+    std::uint32_t latency = 0;
+};
+
+/** Data-cache replacement policy selector (LLC). */
+enum class ReplPolicy : std::uint8_t {
+    Lru,
+    Srrip,
+    Drrip,
+    Ship,
+    Hawkeye,
+};
+
+/**
+ * Full machine configuration. Defaults reproduce the paper's Table 1:
+ * 2 GHz 4-wide out-of-order core, 128-entry ROB, 64 KB L1D (stride
+ * prefetcher), 512 KB private L2, 2 MB/core shared 16-way L3, DRAM at
+ * 85 ns / 32 GB/s.
+ */
+struct MachineConfig {
+    // Core.
+    std::uint32_t rob_entries = 128;
+    std::uint32_t fetch_width = 4;
+    std::uint32_t retire_width = 4;
+
+    // Cache hierarchy.
+    CacheConfig l1d{64 * 1024, 4, 3};
+    CacheConfig l2{512 * 1024, 8, 11};
+    /** LLC size is per core; the shared cache scales with core count. */
+    CacheConfig llc{2 * 1024 * 1024, 16, 20};
+
+    /**
+     * Extra LLC access latency in cycles (Section 4.6 sensitivity study:
+     * fine-grained metadata lookup logic could lengthen the LLC pipeline
+     * by up to 6 cycles; applied to both data and metadata accesses).
+     */
+    std::uint32_t llc_extra_latency = 0;
+
+    // DRAM (Table 1: 85 ns latency, 32 GB/s total over 2 channels).
+    std::uint32_t dram_channels = 2;
+    /** Idle-queue DRAM latency in cycles (85 ns at 2 GHz). */
+    std::uint32_t dram_latency = 170;
+    /**
+     * Per-channel occupancy per 64 B transfer, in core cycles.
+     * 32 GB/s at 2 GHz is 16 B/cycle total, i.e. 8 B/cycle per channel,
+     * so one 64 B line occupies a channel for 8 cycles.
+     */
+    std::uint32_t dram_cycles_per_transfer = 8;
+    /**
+     * Prefetch reads are dropped when a channel backlog exceeds this many
+     * pending transfers; models a bounded prefetch queue with
+     * demand-over-prefetch priority at the memory controller.
+     */
+    std::uint32_t dram_prefetch_queue_limit = 32;
+
+    /** L1 stride prefetcher enabled (Table 1 baseline includes it). */
+    bool l1_stride_prefetcher = true;
+
+    /** Per-core L2-access-stream prefetch degree (Section 4.1: default 1). */
+    std::uint32_t prefetch_degree = 1;
+
+    /** LLC data-partition replacement policy (paper baseline: LRU). */
+    ReplPolicy llc_replacement = ReplPolicy::Lru;
+
+    /**
+     * Per-core limit on outstanding off-chip demand misses (L2 MSHRs);
+     * 0 = unlimited. When the MSHR file is full, a new demand miss
+     * stalls until the oldest fill completes and prefetch misses are
+     * dropped.
+     */
+    std::uint32_t l2_mshrs = 0;
+
+    /**
+     * Model address translation (Table 1's 48-entry L1 / 1024-entry L2
+     * TLBs). Off by default: the synthetic analogs use flat addresses
+     * and translation adds second-order latency only.
+     */
+    bool model_tlb = false;
+    std::uint32_t l1_tlb_entries = 48;
+    std::uint32_t l2_tlb_entries = 1024;
+    std::uint32_t l2_tlb_latency = 7;    ///< extra cycles on L1-TLB miss
+    std::uint32_t page_walk_latency = 60; ///< extra cycles on L2-TLB miss
+
+    /** Human-readable multi-line description (for table1_config). */
+    std::string describe(unsigned n_cores = 1) const;
+
+    /** Bytes covered by one LLC way (whole shared cache / assoc). */
+    std::uint64_t
+    llc_way_bytes(unsigned n_cores) const
+    {
+        return llc.size_bytes * n_cores / llc.assoc;
+    }
+};
+
+} // namespace triage::sim
+
+#endif // TRIAGE_SIM_CONFIG_HPP

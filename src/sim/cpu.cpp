@@ -1,0 +1,148 @@
+#include "sim/cpu.hpp"
+
+#include <algorithm>
+
+#include "cache/hierarchy.hpp"
+#include "util/log.hpp"
+
+namespace triage::sim {
+
+CoreModel::CoreModel(const MachineConfig& cfg, cache::MemorySystem& mem,
+                     unsigned core_id)
+    : cfg_(cfg), mem_(mem), core_id_(core_id),
+      rob_(cfg.rob_entries, 0),
+      mem_completions_(DEP_RING, 0)
+{
+    TRIAGE_ASSERT(cfg.rob_entries > 0 && cfg.fetch_width > 0 &&
+                  cfg.retire_width > 0);
+}
+
+void
+CoreModel::bind(Workload* wl)
+{
+    wl_ = wl;
+}
+
+Cycle
+CoreModel::retire_head()
+{
+    // In-order retirement: the head leaves no earlier than its own
+    // completion, no earlier than the previous retirement's cycle, and
+    // at most retire_width leave per cycle.
+    Cycle completion = rob_[rob_head_];
+    rob_head_ = (rob_head_ + 1) % cfg_.rob_entries;
+    --rob_count_;
+
+    Cycle t = std::max(completion, retire_cycle_);
+    if (t > retire_cycle_) {
+        retire_cycle_ = t;
+        retired_this_cycle_ = 1;
+    } else {
+        if (retired_this_cycle_ >= cfg_.retire_width) {
+            ++retire_cycle_;
+            retired_this_cycle_ = 1;
+        } else {
+            ++retired_this_cycle_;
+        }
+    }
+    return retire_cycle_;
+}
+
+void
+CoreModel::dispatch_one(Cycle completion)
+{
+    if (rob_count_ == cfg_.rob_entries) {
+        // Window full: dispatch stalls until the head retires.
+        Cycle freed = retire_head();
+        if (freed > dispatch_cycle_) {
+            dispatch_cycle_ = freed;
+            dispatched_this_cycle_ = 0;
+        }
+    }
+    std::uint32_t tail =
+        (rob_head_ + rob_count_) % cfg_.rob_entries;
+    rob_[tail] = completion;
+    ++rob_count_;
+
+    ++dispatched_this_cycle_;
+    if (dispatched_this_cycle_ >= cfg_.fetch_width) {
+        ++dispatch_cycle_;
+        dispatched_this_cycle_ = 0;
+    }
+}
+
+void
+CoreModel::step(const TraceRecord& rec)
+{
+    // Non-memory filler instructions complete one cycle after dispatch.
+    for (std::uint32_t i = 0; i < rec.nonmem_before; ++i) {
+        dispatch_one(dispatch_cycle_ + 1);
+        ++stats_.instructions;
+    }
+
+    Cycle issue = dispatch_cycle_;
+    if (rec.dep_distance != 0 && rec.dep_distance <= DEP_RING &&
+        rec.dep_distance <= mem_seq_) {
+        Cycle dep_done =
+            mem_completions_[(mem_seq_ - rec.dep_distance) % DEP_RING];
+        issue = std::max(issue, dep_done);
+    }
+
+    Cycle completion =
+        mem_.access(core_id_, rec.pc, rec.addr, rec.is_write, issue);
+    Cycle rob_completion = completion;
+    if (rec.is_write) {
+        // Stores retire from the store buffer without waiting for the
+        // fill; dependent loads observe forwarded data one cycle later.
+        rob_completion = issue + 1;
+        completion = issue + 1;
+        ++stats_.stores;
+    } else {
+        ++stats_.loads;
+    }
+    mem_completions_[mem_seq_ % DEP_RING] = completion;
+    ++mem_seq_;
+
+    dispatch_one(rob_completion);
+    ++stats_.instructions;
+    ++stats_.mem_records;
+}
+
+bool
+CoreModel::run_until(Cycle target)
+{
+    TRIAGE_ASSERT(wl_ != nullptr, "no workload bound");
+    TraceRecord rec;
+    while (dispatch_cycle_ < target) {
+        if (!wl_->next(rec))
+            return false;
+        step(rec);
+    }
+    return true;
+}
+
+void
+CoreModel::run_records(std::uint64_t n)
+{
+    TRIAGE_ASSERT(wl_ != nullptr, "no workload bound");
+    TraceRecord rec;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        if (!wl_->next(rec)) {
+            wl_->reset();
+            if (!wl_->next(rec))
+                return; // empty workload
+        }
+        step(rec);
+    }
+}
+
+Cycle
+CoreModel::drain() const
+{
+    Cycle end = std::max(dispatch_cycle_, retire_cycle_);
+    for (std::uint32_t i = 0; i < rob_count_; ++i)
+        end = std::max(end, rob_[(rob_head_ + i) % cfg_.rob_entries]);
+    return end;
+}
+
+} // namespace triage::sim

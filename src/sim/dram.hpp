@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Bandwidth-constrained DRAM model.
+ *
+ * Each channel is a priority queue served at one 64 B transfer per
+ * `dram_cycles_per_transfer` core cycles. Demand reads are served
+ * first (FIFO among themselves) and suffer from background traffic
+ * only through a non-preemptible in-flight transfer and queue-full
+ * blocking. Background traffic — prefetch fills, writebacks, off-chip
+ * prefetcher metadata — is served from the leftover bandwidth: its
+ * queueing delay scales with 1/(1 - demand utilization), so a
+ * prefetcher whose metadata traffic pushes total demand past the
+ * channel's capacity sees its own metadata reads and prefetch fills
+ * slow to uselessness while demands keep flowing (the Figure 17
+ * mechanism). Prefetch reads are dropped outright when the queue
+ * backs up.
+ *
+ * The queue state advances lazily (drained on each request), so the
+ * model needs no global event loop.
+ *
+ * All traffic is accounted per TrafficClass so benches can report the
+ * paper's traffic-overhead numbers (Figures 11, 12).
+ */
+#ifndef TRIAGE_SIM_DRAM_HPP
+#define TRIAGE_SIM_DRAM_HPP
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/types.hpp"
+
+namespace triage::sim {
+
+/** Byte counters per traffic class. */
+struct DramTraffic {
+    std::array<std::uint64_t, NUM_TRAFFIC_CLASSES> bytes{};
+
+    std::uint64_t
+    total() const
+    {
+        std::uint64_t t = 0;
+        for (auto b : bytes)
+            t += b;
+        return t;
+    }
+
+    std::uint64_t
+    of(TrafficClass c) const
+    {
+        return bytes[static_cast<unsigned>(c)];
+    }
+};
+
+/** Multi-channel DRAM with demand-priority queueing. */
+class Dram
+{
+  public:
+    explicit Dram(const MachineConfig& cfg);
+
+    /**
+     * Issue a demand read for @p block at time @p now.
+     * @return absolute completion time (base latency + queueing).
+     */
+    Cycle demand_read(Addr block, Cycle now);
+
+    /**
+     * Issue a prefetch read. Returns the completion time, or 0 if the
+     * prefetch was dropped because the channel queue exceeded the
+     * prefetch queue limit (caller must treat 0 as "not issued").
+     */
+    Cycle prefetch_read(Addr block, Cycle now);
+
+    /** Account a dirty writeback (fire-and-forget background write). */
+    void writeback(Addr block, Cycle now);
+
+    /**
+     * Off-chip prefetcher-metadata access of @p bytes (MISB et al.).
+     * Consumes background bandwidth; returns completion time of the
+     * read. @p charge_time false models an *idealized* prefetcher whose
+     * metadata traffic is counted but does not occupy the bus
+     * (Section 4.1: idealized STMS/Domino).
+     */
+    Cycle metadata_access(Cycle now, std::uint32_t bytes, bool is_write,
+                          bool charge_time = true);
+
+    /** Total queued transfers on @p block's channel at @p now. */
+    Cycle queue_delay(Addr block, Cycle now) const;
+
+    const DramTraffic& traffic() const { return traffic_; }
+    std::uint64_t dropped_prefetches() const { return dropped_prefetches_; }
+
+    /** Reset byte counters (not channel state). */
+    void clear_traffic() { traffic_ = {}; dropped_prefetches_ = 0; }
+
+    /** Add bytes to a traffic class without consuming channel time. */
+    void
+    account_traffic(TrafficClass c, std::uint64_t bytes)
+    {
+        traffic_.bytes[static_cast<unsigned>(c)] += bytes;
+    }
+
+    /** Recent demand utilization of @p chan in [0, 1) (diagnostics). */
+    double demand_utilization(unsigned chan) const;
+
+  private:
+    struct Channel {
+        double demand_q = 0.0; ///< queued demand transfers
+        double bg_q = 0.0;     ///< queued background transfers
+        Cycle last_drain = 0;
+        /** EWMA of demand inter-arrival time (cycles). */
+        double demand_iat = 1e6;
+        Cycle last_demand = 0;
+    };
+
+    /** Total queued transfers a channel may hold before blocking. */
+    static constexpr double QUEUE_CAP = 64.0;
+
+    unsigned channel_of(Addr block) const;
+    /** Serve queued transfers for the time elapsed since last drain. */
+    void drain(Channel& c, Cycle now) const;
+    Cycle enqueue_demand(unsigned chan, Cycle now);
+    /**
+     * Enqueue a background transfer.
+     * @return queueing delay before its service completes.
+     */
+    Cycle enqueue_background(unsigned chan, Cycle now);
+
+    std::uint32_t latency_;
+    std::uint32_t cycles_per_transfer_;
+    std::uint32_t prefetch_queue_limit_;
+    std::vector<Channel> channels_;
+    DramTraffic traffic_;
+    std::uint64_t dropped_prefetches_ = 0;
+};
+
+} // namespace triage::sim
+
+#endif // TRIAGE_SIM_DRAM_HPP

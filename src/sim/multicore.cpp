@@ -1,0 +1,122 @@
+#include "sim/multicore.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace triage::sim {
+
+MultiCoreSystem::MultiCoreSystem(const MachineConfig& cfg, unsigned n_cores)
+    : cfg_(cfg), n_cores_(n_cores), mem_(cfg, n_cores),
+      workloads_(n_cores)
+{
+    cores_.reserve(n_cores);
+    for (unsigned c = 0; c < n_cores; ++c)
+        cores_.push_back(std::make_unique<CoreModel>(cfg, mem_, c));
+}
+
+void
+MultiCoreSystem::set_prefetcher(unsigned core,
+                                std::unique_ptr<prefetch::Prefetcher> pf)
+{
+    mem_.set_prefetcher(core, std::move(pf));
+}
+
+void
+MultiCoreSystem::bind(unsigned core, const Workload& wl)
+{
+    workloads_[core] = wl.clone();
+    cores_[core]->bind(workloads_[core].get());
+}
+
+void
+MultiCoreSystem::advance(unsigned core, Cycle target)
+{
+    while (!cores_[core]->run_until(target)) {
+        // Benchmark finished a pass: restart it so slower co-runners
+        // always observe contention (Section 4.1).
+        workloads_[core]->reset();
+    }
+}
+
+RunResult
+MultiCoreSystem::run(std::uint64_t warmup_records,
+                     std::uint64_t measure_records, Cycle quantum)
+{
+    for (unsigned c = 0; c < n_cores_; ++c)
+        TRIAGE_ASSERT(workloads_[c] != nullptr, "core without workload");
+
+    // Phase 1: warm until every core has executed warmup_records.
+    Cycle global = quantum;
+    auto all_warm = [&] {
+        for (unsigned c = 0; c < n_cores_; ++c) {
+            if (cores_[c]->stats().mem_records < warmup_records)
+                return false;
+        }
+        return true;
+    };
+    while (!all_warm()) {
+        for (unsigned c = 0; c < n_cores_; ++c)
+            advance(c, global);
+        global += quantum;
+    }
+
+    // Global measurement start.
+    mem_.clear_stats(global);
+    std::vector<CoreStats> base(n_cores_);
+    std::vector<Cycle> start_cycle(n_cores_);
+    std::vector<Cycle> end_cycle(n_cores_, 0);
+    std::vector<CoreStats> final_stats(n_cores_);
+    std::vector<bool> done(n_cores_, false);
+    for (unsigned c = 0; c < n_cores_; ++c) {
+        base[c] = cores_[c]->stats();
+        start_cycle[c] = cores_[c]->now();
+    }
+
+    // Phase 2: run until every core finishes its measurement window.
+    unsigned remaining = n_cores_;
+    while (remaining > 0) {
+        for (unsigned c = 0; c < n_cores_; ++c)
+            advance(c, global);
+        global += quantum;
+        for (unsigned c = 0; c < n_cores_; ++c) {
+            if (done[c])
+                continue;
+            if (cores_[c]->stats().mem_records - base[c].mem_records >=
+                measure_records) {
+                done[c] = true;
+                end_cycle[c] = cores_[c]->drain();
+                final_stats[c] = cores_[c]->stats();
+                --remaining;
+            }
+        }
+    }
+
+    RunResult res;
+    res.per_core.resize(n_cores_);
+    Cycle max_end = 0;
+    Cycle min_start = start_cycle[0];
+    for (unsigned c = 0; c < n_cores_; ++c) {
+        RunStats& s = res.per_core[c];
+        s.instructions =
+            final_stats[c].instructions - base[c].instructions;
+        s.mem_records = final_stats[c].mem_records - base[c].mem_records;
+        s.cycles = end_cycle[c] - start_cycle[c];
+        s.l1 = mem_.l1(c).stats();
+        s.l2 = mem_.l2(c).stats();
+        if (mem_.prefetcher(c) != nullptr)
+            s.l2pf = mem_.prefetcher(c)->snapshot();
+        if (mem_.l1_stride(c) != nullptr)
+            s.l1_stride = mem_.l1_stride(c)->snapshot();
+        s.energy = mem_.metadata_energy(c);
+        s.avg_metadata_ways = mem_.avg_metadata_ways(c, end_cycle[c]);
+        max_end = std::max(max_end, end_cycle[c]);
+        min_start = std::min(min_start, start_cycle[c]);
+    }
+    res.llc = mem_.llc().stats();
+    res.traffic = mem_.dram().traffic();
+    res.span = max_end - min_start;
+    return res;
+}
+
+} // namespace triage::sim

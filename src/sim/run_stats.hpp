@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Aggregated results of a simulation run: per-core performance, cache
+ * behaviour, prefetcher effectiveness, traffic and energy.
+ */
+#ifndef TRIAGE_SIM_RUN_STATS_HPP
+#define TRIAGE_SIM_RUN_STATS_HPP
+
+#include <cstdint>
+
+#include "cache/cache.hpp"
+#include "cache/hierarchy.hpp"
+#include "prefetch/prefetcher.hpp"
+#include "sim/cpu.hpp"
+#include "sim/dram.hpp"
+#include "sim/types.hpp"
+
+namespace triage::sim {
+
+/** Everything measured for one core over one measurement window. */
+struct RunStats {
+    // Performance.
+    std::uint64_t instructions = 0;
+    std::uint64_t mem_records = 0;
+    Cycle cycles = 0;
+
+    // Cache behaviour (this core's private levels; LLC is global).
+    cache::CacheStats l1;
+    cache::CacheStats l2;
+
+    // Prefetchers.
+    prefetch::PrefetcherStats l2pf;
+    prefetch::PrefetcherStats l1_stride;
+
+    // Metadata accounting.
+    cache::MetadataEnergy energy;
+    double avg_metadata_ways = 0.0;
+
+    double
+    ipc() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(instructions) /
+                                 static_cast<double>(cycles);
+    }
+
+    /**
+     * Prefetch coverage: fraction of would-be L2 demand misses that the
+     * prefetcher eliminated (useful prefetches over useful + remaining
+     * misses).
+     */
+    double
+    coverage() const
+    {
+        std::uint64_t denom = l2pf.useful + l2.demand_misses;
+        return denom == 0 ? 0.0
+                          : static_cast<double>(l2pf.useful) /
+                                static_cast<double>(denom);
+    }
+
+    /** Prefetch accuracy of the L2 prefetcher under test. */
+    double accuracy() const { return l2pf.accuracy(); }
+};
+
+/** Results of a whole run (single- or multi-core). */
+struct RunResult {
+    std::vector<RunStats> per_core;
+    /** Shared-LLC stats over the measurement window. */
+    cache::CacheStats llc;
+    /** DRAM bytes moved during the measurement window. */
+    DramTraffic traffic;
+    /** Wall-clock span (max core end minus measurement start). */
+    Cycle span = 0;
+
+    const RunStats& core0() const { return per_core.front(); }
+};
+
+} // namespace triage::sim
+
+#endif // TRIAGE_SIM_RUN_STATS_HPP

@@ -1,0 +1,50 @@
+#include "sim/system.hpp"
+
+namespace triage::sim {
+
+SingleCoreSystem::SingleCoreSystem(const MachineConfig& cfg)
+    : cfg_(cfg), mem_(cfg, 1), core_(cfg, mem_, 0)
+{
+}
+
+void
+SingleCoreSystem::set_prefetcher(std::unique_ptr<prefetch::Prefetcher> pf)
+{
+    mem_.set_prefetcher(0, std::move(pf));
+}
+
+RunResult
+SingleCoreSystem::run(Workload& wl, std::uint64_t warmup_records,
+                      std::uint64_t measure_records)
+{
+    core_.bind(&wl);
+    core_.run_records(warmup_records);
+
+    mem_.clear_stats(core_.now());
+    CoreStats before = core_.stats();
+    Cycle start = core_.now();
+
+    core_.run_records(measure_records);
+    Cycle end = core_.drain();
+
+    RunResult res;
+    RunStats s;
+    s.instructions = core_.stats().instructions - before.instructions;
+    s.mem_records = core_.stats().mem_records - before.mem_records;
+    s.cycles = end - start;
+    s.l1 = mem_.l1(0).stats();
+    s.l2 = mem_.l2(0).stats();
+    if (mem_.prefetcher(0) != nullptr)
+        s.l2pf = mem_.prefetcher(0)->snapshot();
+    if (mem_.l1_stride(0) != nullptr)
+        s.l1_stride = mem_.l1_stride(0)->snapshot();
+    s.energy = mem_.metadata_energy(0);
+    s.avg_metadata_ways = mem_.avg_metadata_ways(0, end);
+    res.per_core.push_back(s);
+    res.llc = mem_.llc().stats();
+    res.traffic = mem_.dram().traffic();
+    res.span = end - start;
+    return res;
+}
+
+} // namespace triage::sim

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Single-core simulation harness: wire a workload, a prefetcher and the
+ * memory hierarchy together, warm up, measure, and report RunStats.
+ */
+#ifndef TRIAGE_SIM_SYSTEM_HPP
+#define TRIAGE_SIM_SYSTEM_HPP
+
+#include <memory>
+
+#include "cache/hierarchy.hpp"
+#include "sim/cpu.hpp"
+#include "sim/run_stats.hpp"
+#include "sim/trace.hpp"
+
+namespace triage::sim {
+
+/** Convenience owner of one core + memory system. */
+class SingleCoreSystem
+{
+  public:
+    explicit SingleCoreSystem(const MachineConfig& cfg);
+
+    /** Install the L2 prefetcher under test (null = no L2 prefetching). */
+    void set_prefetcher(std::unique_ptr<prefetch::Prefetcher> pf);
+
+    /**
+     * Warm up for @p warmup_records memory references, then measure the
+     * next @p measure_records (restarting the workload as needed).
+     */
+    RunResult run(Workload& wl, std::uint64_t warmup_records,
+                  std::uint64_t measure_records);
+
+    cache::MemorySystem& memory() { return mem_; }
+    CoreModel& core() { return core_; }
+
+  private:
+    MachineConfig cfg_;
+    cache::MemorySystem mem_;
+    CoreModel core_;
+};
+
+} // namespace triage::sim
+
+#endif // TRIAGE_SIM_SYSTEM_HPP

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Two-level TLB model (Table 1: 48-entry fully-associative L1,
+ * 1024-entry 4-way L2). Translation is identity (the workloads use
+ * flat addresses); the model charges latency only: an L1-TLB miss adds
+ * the L2-TLB latency, an L2-TLB miss adds a fixed page-walk penalty.
+ */
+#ifndef TRIAGE_SIM_TLB_HPP
+#define TRIAGE_SIM_TLB_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace triage::sim {
+
+/** Statistics. */
+struct TlbStats {
+    std::uint64_t accesses = 0;
+    std::uint64_t l1_misses = 0;
+    std::uint64_t walks = 0;
+};
+
+/** Two-level data TLB charging translation latency. */
+class Tlb
+{
+  public:
+    /**
+     * @param l1_entries fully-associative first level.
+     * @param l2_entries 4-way second level.
+     */
+    Tlb(std::uint32_t l1_entries, std::uint32_t l2_entries,
+        std::uint32_t l2_latency, std::uint32_t walk_latency);
+
+    /**
+     * Translate the page of @p byte_addr.
+     * @return extra cycles charged to this access.
+     */
+    std::uint32_t access(Addr byte_addr);
+
+    const TlbStats& stats() const { return stats_; }
+    void clear_stats() { stats_ = {}; }
+
+  private:
+    static constexpr unsigned PAGE_SHIFT = 12;
+
+    struct Entry {
+        Addr page = 0;
+        std::uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    /** Probe a table; returns hit and touches LRU. */
+    static bool probe(std::vector<Entry>& table, std::uint32_t ways,
+                      Addr page, std::uint64_t& clock);
+    /** Install a page into a table (LRU victim within its set). */
+    static void install(std::vector<Entry>& table, std::uint32_t ways,
+                        Addr page, std::uint64_t& clock);
+
+    std::uint32_t l2_latency_;
+    std::uint32_t walk_latency_;
+    std::vector<Entry> l1_; ///< fully associative (ways == size)
+    std::vector<Entry> l2_; ///< 4-way
+    std::uint32_t l2_ways_ = 4;
+    std::uint64_t clock_ = 0;
+    TlbStats stats_;
+};
+
+} // namespace triage::sim
+
+#endif // TRIAGE_SIM_TLB_HPP

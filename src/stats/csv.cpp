@@ -1,0 +1,37 @@
+#include "stats/csv.hpp"
+
+#include <ostream>
+
+namespace triage::stats {
+
+CsvWriter::CsvWriter(std::ostream& os) : os_(os) {}
+
+std::string
+CsvWriter::escape(const std::string& field)
+{
+    bool needs_quotes = field.find_first_of(",\"\n\r") !=
+                        std::string::npos;
+    if (!needs_quotes)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void
+CsvWriter::row(const std::vector<std::string>& cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0)
+            os_ << ',';
+        os_ << escape(cells[i]);
+    }
+    os_ << '\n';
+}
+
+} // namespace triage::stats

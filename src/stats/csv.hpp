@@ -1,0 +1,38 @@
+/**
+ * @file
+ * CSV emission for bench results: machine-readable output alongside
+ * the human-readable tables, so figures can be re-plotted without
+ * scraping text.
+ */
+#ifndef TRIAGE_STATS_CSV_HPP
+#define TRIAGE_STATS_CSV_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace triage::stats {
+
+/**
+ * Minimal RFC-4180 CSV writer: quotes fields containing commas,
+ * quotes, or newlines; doubles embedded quotes.
+ */
+class CsvWriter
+{
+  public:
+    /** Write to @p os (kept by reference; must outlive the writer). */
+    explicit CsvWriter(std::ostream& os);
+
+    /** Emit one row. */
+    void row(const std::vector<std::string>& cells);
+
+    /** Escape one field per RFC 4180 (exposed for tests). */
+    static std::string escape(const std::string& field);
+
+  private:
+    std::ostream& os_;
+};
+
+} // namespace triage::stats
+
+#endif // TRIAGE_STATS_CSV_HPP

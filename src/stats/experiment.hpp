@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Experiment harness shared by the figure benches and examples: a
+ * string-spec prefetcher factory and single-/multi-core run drivers.
+ *
+ * Prefetcher specs: "none", "bo", "sms", "markov", "stms", "domino",
+ * "misb", "triage_512KB", "triage_1MB", "triage_dyn",
+ * "triage_unlimited", and hybrids joined with '+', e.g.
+ * "bo+triage_dyn". Every spec takes the run's prefetch degree.
+ */
+#ifndef TRIAGE_STATS_EXPERIMENT_HPP
+#define TRIAGE_STATS_EXPERIMENT_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "prefetch/prefetcher.hpp"
+#include "sim/config.hpp"
+#include "sim/run_stats.hpp"
+#include "workloads/mixes.hpp"
+
+namespace triage::stats {
+
+/** Scale knobs every bench accepts (see DESIGN.md Section 6). */
+struct RunScale {
+    std::uint64_t warmup_records = 400000;
+    std::uint64_t measure_records = 1000000;
+    double workload_scale = 1.0;
+
+    /** Parse --scale=F / --warmup=N / --measure=N / --mixes=N args. */
+    static RunScale from_args(int argc, char** argv);
+    /** --mixes=N when present (default @p def). */
+    static unsigned mixes_from_args(int argc, char** argv, unsigned def);
+};
+
+/** Build one prefetcher instance from a spec string. */
+std::unique_ptr<prefetch::Prefetcher>
+make_prefetcher(const std::string& spec, std::uint32_t degree = 1);
+
+/**
+ * Single-core run of @p benchmark under @p pf_spec.
+ * "none" runs the no-L2-prefetch baseline (the L1 stride prefetcher
+ * from Table 1 stays on in all configurations).
+ */
+sim::RunResult run_single(const sim::MachineConfig& cfg,
+                          const std::string& benchmark,
+                          const std::string& pf_spec,
+                          const RunScale& scale,
+                          std::uint32_t degree = 1);
+
+/** Multi-core run of @p mix (benchmark name per core). */
+sim::RunResult run_mix(const sim::MachineConfig& cfg,
+                       const workloads::Mix& mix,
+                       const std::string& pf_spec, const RunScale& scale,
+                       std::uint32_t degree = 1);
+
+/** Per-core average metadata ways of the last run_mix call (Fig 19). */
+const std::vector<double>& last_mix_metadata_ways();
+
+} // namespace triage::stats
+
+#endif // TRIAGE_STATS_EXPERIMENT_HPP

@@ -1,0 +1,82 @@
+#include "stats/metrics.hpp"
+
+#include <cmath>
+
+#include "util/log.hpp"
+
+namespace triage::stats {
+
+double
+geomean(const std::vector<double>& values)
+{
+    if (values.empty())
+        return 1.0;
+    double log_sum = 0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+speedup(const sim::RunResult& with_pf, const sim::RunResult& baseline)
+{
+    TRIAGE_ASSERT(with_pf.per_core.size() == baseline.per_core.size());
+    std::vector<double> ratios;
+    ratios.reserve(with_pf.per_core.size());
+    for (std::size_t c = 0; c < with_pf.per_core.size(); ++c)
+        ratios.push_back(with_pf.per_core[c].ipc() /
+                         baseline.per_core[c].ipc());
+    return geomean(ratios);
+}
+
+std::uint64_t
+total_traffic(const sim::RunResult& r)
+{
+    return r.traffic.total();
+}
+
+double
+traffic_overhead(const sim::RunResult& with_pf,
+                 const sim::RunResult& baseline)
+{
+    double base = static_cast<double>(total_traffic(baseline));
+    if (base == 0)
+        return 0;
+    return (static_cast<double>(total_traffic(with_pf)) - base) / base;
+}
+
+double
+miss_reduction(const sim::RunResult& with_pf,
+               const sim::RunResult& baseline)
+{
+    std::uint64_t base = 0;
+    std::uint64_t pf = 0;
+    for (const auto& c : baseline.per_core)
+        base += c.l2.demand_misses;
+    for (const auto& c : with_pf.per_core)
+        pf += c.l2.demand_misses;
+    if (base == 0)
+        return 0;
+    return (static_cast<double>(base) - static_cast<double>(pf)) /
+           static_cast<double>(base);
+}
+
+double
+avg_coverage(const sim::RunResult& r)
+{
+    double sum = 0;
+    for (const auto& c : r.per_core)
+        sum += c.coverage();
+    return sum / static_cast<double>(r.per_core.size());
+}
+
+double
+avg_accuracy(const sim::RunResult& r)
+{
+    double sum = 0;
+    for (const auto& c : r.per_core)
+        sum += c.accuracy();
+    return sum / static_cast<double>(r.per_core.size());
+}
+
+} // namespace triage::stats

@@ -1,0 +1,68 @@
+#include "stats/report.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace triage::stats {
+
+namespace {
+
+/** Doubles serialized with enough precision to round-trip metrics. */
+std::string
+num(double v)
+{
+    std::ostringstream os;
+    os.precision(10);
+    os << v;
+    return os.str();
+}
+
+} // namespace
+
+void
+write_json(std::ostream& os, const sim::RunResult& r)
+{
+    os << "{\n  \"cores\": [\n";
+    for (std::size_t c = 0; c < r.per_core.size(); ++c) {
+        const auto& s = r.per_core[c];
+        os << "    {\"ipc\": " << num(s.ipc())
+           << ", \"instructions\": " << s.instructions
+           << ", \"cycles\": " << s.cycles
+           << ", \"mem_records\": " << s.mem_records
+           << ",\n     \"l1_misses\": " << s.l1.demand_misses
+           << ", \"l2_misses\": " << s.l2.demand_misses
+           << ", \"coverage\": " << num(s.coverage())
+           << ", \"accuracy\": " << num(s.accuracy())
+           << ",\n     \"pf_issued\": " << s.l2pf.issued()
+           << ", \"pf_useful\": " << s.l2pf.useful
+           << ", \"pf_late\": " << s.l2pf.late
+           << ", \"pf_dropped\": " << s.l2pf.dropped
+           << ",\n     \"meta_onchip\": " << s.energy.onchip_accesses
+           << ", \"meta_offchip\": " << s.energy.offchip_accesses
+           << ", \"meta_ways\": " << num(s.avg_metadata_ways) << "}"
+           << (c + 1 < r.per_core.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n  \"llc\": {\"demand_hits\": " << r.llc.demand_hits
+       << ", \"demand_misses\": " << r.llc.demand_misses << "},\n";
+    const auto& t = r.traffic;
+    os << "  \"traffic\": {\"demand\": "
+       << t.of(sim::TrafficClass::DemandRead)
+       << ", \"prefetch\": " << t.of(sim::TrafficClass::PrefetchRead)
+       << ", \"writeback\": " << t.of(sim::TrafficClass::Writeback)
+       << ", \"metadata_read\": "
+       << t.of(sim::TrafficClass::MetadataRead)
+       << ", \"metadata_write\": "
+       << t.of(sim::TrafficClass::MetadataWrite)
+       << ", \"total\": " << t.total() << "},\n";
+    os << "  \"span_cycles\": " << r.span << "\n}\n";
+}
+
+std::string
+to_json(const sim::RunResult& r)
+{
+    std::ostringstream os;
+    write_json(os, r);
+    return os.str();
+}
+
+} // namespace triage::stats

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Machine-readable run reports: serialize a RunResult as JSON so
+ * external tooling (plotters, regression dashboards) can consume
+ * simulator output without scraping tables.
+ */
+#ifndef TRIAGE_STATS_REPORT_HPP
+#define TRIAGE_STATS_REPORT_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/run_stats.hpp"
+
+namespace triage::stats {
+
+/**
+ * Write @p r as a JSON object:
+ * {
+ *   "cores": [ {ipc, instructions, cycles, l1_misses, l2_misses,
+ *               coverage, accuracy, pf_issued, pf_useful,
+ *               meta_onchip, meta_offchip, meta_ways}, ... ],
+ *   "llc": {demand_hits, demand_misses},
+ *   "traffic": {demand, prefetch, writeback, metadata_read,
+ *               metadata_write, total},
+ *   "span_cycles": N
+ * }
+ * Pretty-printed with two-space indentation.
+ */
+void write_json(std::ostream& os, const sim::RunResult& r);
+
+/** Convenience: JSON to a string. */
+std::string to_json(const sim::RunResult& r);
+
+} // namespace triage::stats
+
+#endif // TRIAGE_STATS_REPORT_HPP

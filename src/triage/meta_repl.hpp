@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Replacement policies for Triage's metadata store.
+ *
+ * The store needs its own policy interface (rather than the data-cache
+ * one) because Triage's Hawkeye variant trains on a *filtered* access
+ * stream: a metadata access only becomes visible to OPTgen and the PC
+ * predictor if the prefetch it produced was issued to memory; accesses
+ * whose prefetch was redundant are invisible (paper Section 3,
+ * "Metadata Replacement"). Per-entry RRIP state is still updated on
+ * every access.
+ */
+#ifndef TRIAGE_CORE_META_REPL_HPP
+#define TRIAGE_CORE_META_REPL_HPP
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "replacement/hawkeye.hpp"
+#include "replacement/optgen.hpp"
+#include "sim/types.hpp"
+
+namespace triage::core {
+
+/** Which replacement policy manages the metadata store. */
+enum class MetaReplKind : std::uint8_t {
+    Lru,
+    Hawkeye,
+};
+
+/** Replacement policy over a sets x ways metadata store. */
+class MetaRepl
+{
+  public:
+    virtual ~MetaRepl() = default;
+
+    /**
+     * A resident entry was accessed.
+     * @p visible gates OPTgen / predictor training (false for accesses
+     * that produced a redundant prefetch); per-entry state always
+     * updates.
+     */
+    virtual void on_hit(std::uint32_t set, std::uint32_t way,
+                        std::uint64_t key, sim::Pc pc, bool visible) = 0;
+
+    /** An access found no entry (trains history-based policies). */
+    virtual void on_miss(std::uint32_t set, std::uint64_t key, sim::Pc pc,
+                         bool visible) = 0;
+
+    /** A new entry was installed at @p way. */
+    virtual void on_insert(std::uint32_t set, std::uint32_t way,
+                           std::uint64_t key, sim::Pc pc) = 0;
+
+    virtual void on_invalidate(std::uint32_t set, std::uint32_t way) = 0;
+
+    /** Choose a victim among [0, ways). */
+    virtual std::uint32_t victim(std::uint32_t set) = 0;
+
+    virtual const char* name() const = 0;
+};
+
+/** LRU metadata replacement (the Figure 9 baseline). */
+class MetaLru final : public MetaRepl
+{
+  public:
+    MetaLru(std::uint32_t sets, std::uint32_t ways);
+
+    void on_hit(std::uint32_t set, std::uint32_t way, std::uint64_t key,
+                sim::Pc pc, bool visible) override;
+    void on_miss(std::uint32_t set, std::uint64_t key, sim::Pc pc,
+                 bool visible) override;
+    void on_insert(std::uint32_t set, std::uint32_t way, std::uint64_t key,
+                   sim::Pc pc) override;
+    void on_invalidate(std::uint32_t set, std::uint32_t way) override;
+    std::uint32_t victim(std::uint32_t set) override;
+    const char* name() const override { return "lru"; }
+
+  private:
+    std::uint32_t ways_;
+    std::uint64_t clock_ = 0;
+    std::vector<std::uint64_t> stamps_;
+};
+
+/** Triage's filtered-training Hawkeye for metadata. */
+class MetaHawkeye final : public MetaRepl
+{
+  public:
+    /**
+     * @param sampled_sets how many sets feed OPTgen.
+     * @param history_factor OPTgen window as a multiple of ways.
+     */
+    MetaHawkeye(std::uint32_t sets, std::uint32_t ways,
+                std::uint32_t sampled_sets = 64,
+                std::uint32_t history_factor = 8);
+
+    void on_hit(std::uint32_t set, std::uint32_t way, std::uint64_t key,
+                sim::Pc pc, bool visible) override;
+    void on_miss(std::uint32_t set, std::uint64_t key, sim::Pc pc,
+                 bool visible) override;
+    void on_insert(std::uint32_t set, std::uint32_t way, std::uint64_t key,
+                   sim::Pc pc) override;
+    void on_invalidate(std::uint32_t set, std::uint32_t way) override;
+    std::uint32_t victim(std::uint32_t set) override;
+    const char* name() const override { return "hawkeye"; }
+
+    const replacement::HawkeyePredictor& predictor() const
+    {
+        return predictor_;
+    }
+
+  private:
+    static constexpr std::uint8_t MAX_RRPV = 7;
+
+    struct SampledSet {
+        replacement::OptGen optgen;
+        std::unordered_map<std::uint64_t, sim::Pc> last_pc;
+
+        SampledSet(std::uint32_t ways, std::uint32_t factor)
+            : optgen(ways, factor)
+        {}
+    };
+
+    bool is_sampled(std::uint32_t set) const;
+    void sample(std::uint32_t set, std::uint64_t key, sim::Pc pc);
+    std::uint8_t& rrpv(std::uint32_t set, std::uint32_t way);
+    sim::Pc& entry_pc(std::uint32_t set, std::uint32_t way);
+
+    std::uint32_t sets_;
+    std::uint32_t ways_;
+    std::uint32_t sample_shift_;
+    std::uint32_t sample_mask_;
+    std::uint32_t history_factor_;
+    replacement::HawkeyePredictor predictor_;
+    std::vector<SampledSet> samplers_;
+    std::vector<std::uint8_t> rrpv_;
+    std::vector<sim::Pc> pcs_;
+};
+
+/** Factory. */
+std::unique_ptr<MetaRepl> make_meta_repl(MetaReplKind kind,
+                                         std::uint32_t sets,
+                                         std::uint32_t ways);
+
+} // namespace triage::core
+
+#endif // TRIAGE_CORE_META_REPL_HPP

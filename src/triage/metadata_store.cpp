@@ -1,0 +1,226 @@
+#include "triage/metadata_store.hpp"
+
+#include "util/bitops.hpp"
+#include "util/log.hpp"
+
+namespace triage::core {
+
+MetadataStore::MetadataStore(MetadataStoreConfig cfg)
+    : cfg_(cfg), capacity_bytes_(0)
+{
+    TRIAGE_ASSERT(cfg_.line_entries > 0);
+    TRIAGE_ASSERT(cfg_.entry_bytes > 0);
+    build(cfg.capacity_bytes);
+}
+
+void
+MetadataStore::build(std::uint64_t bytes)
+{
+    capacity_bytes_ = bytes;
+    std::uint64_t n_entries = bytes / cfg_.entry_bytes;
+    std::uint64_t n_sets = n_entries / cfg_.line_entries;
+    if (n_sets == 0) {
+        sets_ = 0;
+        entries_.clear();
+        repl_.reset();
+        return;
+    }
+    // Round down to a power of two for cheap indexing.
+    sets_ = 1u << util::log2_ceil(n_sets + 1) >> 1;
+    if (sets_ == 0)
+        sets_ = 1;
+    entries_.assign(static_cast<std::size_t>(sets_) * cfg_.line_entries,
+                    Entry{});
+    repl_ = make_meta_repl(cfg_.repl, sets_, cfg_.line_entries);
+}
+
+std::uint32_t
+MetadataStore::set_of(sim::Addr trigger) const
+{
+    return static_cast<std::uint32_t>(util::mix64(trigger)) & (sets_ - 1);
+}
+
+MetadataStore::Entry*
+MetadataStore::find_entry(sim::Addr trigger, std::uint32_t* way_out)
+{
+    if (sets_ == 0)
+        return nullptr;
+    std::uint32_t set = set_of(trigger);
+    Entry* row = &entries_[static_cast<std::size_t>(set) *
+                           cfg_.line_entries];
+    if (cfg_.compressed_tags) {
+        auto id = compressor_.find(compressor_.tag_of(trigger));
+        if (!id.has_value())
+            return nullptr;
+        std::uint32_t trig_set = compressor_.set_of(trigger);
+        for (std::uint32_t w = 0; w < cfg_.line_entries; ++w) {
+            // Sub-tag match: compressed tag plus the trigger's set id
+            // (implicit in a real set-associative layout, explicit here
+            // because we hash rather than slice the index).
+            if (row[w].valid && row[w].trigger_ctag == *id &&
+                compressor_.set_of(row[w].full_trigger) == trig_set) {
+                if (way_out != nullptr)
+                    *way_out = w;
+                if (row[w].full_trigger != trigger)
+                    ++stats_.tag_alias_drops;
+                return &row[w];
+            }
+        }
+        return nullptr;
+    }
+    for (std::uint32_t w = 0; w < cfg_.line_entries; ++w) {
+        if (row[w].valid && row[w].full_trigger == trigger) {
+            if (way_out != nullptr)
+                *way_out = w;
+            return &row[w];
+        }
+    }
+    return nullptr;
+}
+
+MetaLookup
+MetadataStore::probe(sim::Addr trigger)
+{
+    ++stats_.lookups;
+    MetaLookup lk;
+    std::uint32_t way = 0;
+    Entry* e = find_entry(trigger, &way);
+    if (e == nullptr)
+        return lk;
+    lk.hit = true;
+    lk.confident = e->confident;
+    lk.set = set_of(trigger);
+    lk.way = way;
+    lk.next = cfg_.compressed_tags
+                  ? compressor_.combine(compressor_.decompress(e->next_ctag),
+                                        e->next_set)
+                  : e->full_next;
+    ++stats_.hits;
+    return lk;
+}
+
+void
+MetadataStore::commit_access(sim::Addr trigger, const MetaLookup& lk,
+                             sim::Pc pc, bool visible)
+{
+    if (repl_ == nullptr)
+        return;
+    if (lk.hit)
+        repl_->on_hit(lk.set, lk.way, trigger, pc, visible);
+    else
+        repl_->on_miss(set_of(trigger), trigger, pc, visible);
+}
+
+void
+MetadataStore::update(sim::Addr trigger, sim::Addr next, sim::Pc pc)
+{
+    if (sets_ == 0)
+        return;
+    ++stats_.updates;
+    std::uint32_t way = 0;
+    Entry* e = find_entry(trigger, &way);
+    std::uint32_t set = set_of(trigger);
+    if (e != nullptr) {
+        bool matches = cfg_.compressed_tags
+                           ? (e->full_next == next)
+                           : (e->full_next == next);
+        if (matches) {
+            e->confident = true;
+        } else if (e->confident) {
+            e->confident = false; // first disagreement: keep successor
+        } else {
+            // Second disagreement: adopt the new successor (it must
+            // confirm once more before prefetching when entries start
+            // unconfident).
+            ++stats_.confidence_flips;
+            e->full_next = next;
+            if (cfg_.compressed_tags) {
+                e->next_ctag =
+                    compressor_.compress(compressor_.tag_of(next));
+                e->next_set = compressor_.set_of(next);
+            }
+            e->confident = cfg_.insert_confident;
+        }
+        // A metadata write refreshes recency but is invisible to the
+        // filtered Hawkeye training (only prefetch-producing reads are).
+        repl_->on_hit(set, way, trigger, pc, false);
+        return;
+    }
+
+    // Install a fresh correlation.
+    Entry* row = &entries_[static_cast<std::size_t>(set) *
+                           cfg_.line_entries];
+    std::uint32_t target = cfg_.line_entries;
+    for (std::uint32_t w = 0; w < cfg_.line_entries; ++w) {
+        if (!row[w].valid) {
+            target = w;
+            break;
+        }
+    }
+    if (target == cfg_.line_entries) {
+        target = repl_->victim(set);
+        TRIAGE_ASSERT(target < cfg_.line_entries);
+        repl_->on_invalidate(set, target);
+        ++stats_.evictions;
+    }
+    Entry& n = row[target];
+    n.full_trigger = trigger;
+    n.full_next = next;
+    n.confident = cfg_.insert_confident;
+    n.valid = true;
+    if (cfg_.compressed_tags) {
+        n.trigger_ctag = compressor_.compress(compressor_.tag_of(trigger));
+        n.next_ctag = compressor_.compress(compressor_.tag_of(next));
+        n.next_set = compressor_.set_of(next);
+    }
+    repl_->on_insert(set, target, trigger, pc);
+    ++stats_.inserts;
+}
+
+void
+MetadataStore::resize(std::uint64_t bytes)
+{
+    if (bytes == capacity_bytes_)
+        return;
+    std::vector<Entry> survivors;
+    survivors.reserve(valid_entries());
+    for (const auto& e : entries_) {
+        if (e.valid)
+            survivors.push_back(e);
+    }
+    build(bytes);
+    if (sets_ == 0)
+        return;
+    // Rehash survivors into the new geometry; overflow is discarded
+    // (the paper invalidates repartitioned lines — we are slightly
+    // kinder and keep whatever still fits).
+    for (const auto& s : survivors) {
+        std::uint32_t set = set_of(s.full_trigger);
+        Entry* row = &entries_[static_cast<std::size_t>(set) *
+                               cfg_.line_entries];
+        for (std::uint32_t w = 0; w < cfg_.line_entries; ++w) {
+            if (!row[w].valid) {
+                row[w] = s;
+                repl_->on_insert(set, w, s.full_trigger, 0);
+                break;
+            }
+        }
+    }
+}
+
+std::uint64_t
+MetadataStore::capacity_entries() const
+{
+    return static_cast<std::uint64_t>(sets_) * cfg_.line_entries;
+}
+
+std::uint64_t
+MetadataStore::valid_entries() const
+{
+    std::uint64_t n = 0;
+    for (const auto& e : entries_)
+        n += e.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace triage::core

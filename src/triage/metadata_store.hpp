@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Triage's on-chip metadata store (paper Sections 3.1-3.2).
+ *
+ * The store models the LLC-resident table: 4-byte entries, 16 tagged
+ * entries per 64-byte LLC line, indexed by trigger address. Each entry
+ * records the compressed tag of the trigger and the compressed tag +
+ * set id of its PC-localized successor, plus a 1-bit confidence
+ * counter. Anything that does not fit is simply discarded — there is
+ * no off-chip backing store.
+ */
+#ifndef TRIAGE_CORE_METADATA_STORE_HPP
+#define TRIAGE_CORE_METADATA_STORE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/types.hpp"
+#include "triage/meta_repl.hpp"
+#include "triage/tag_compressor.hpp"
+
+namespace triage::core {
+
+/** Store construction parameters. */
+struct MetadataStoreConfig {
+    std::uint64_t capacity_bytes = 1024 * 1024;
+    std::uint32_t entry_bytes = 4;
+    /** Entries per LLC line (the store's associativity). */
+    std::uint32_t line_entries = 16;
+    MetaReplKind repl = MetaReplKind::Hawkeye;
+    /** Model the compressed-tag table (false stores full addresses). */
+    bool compressed_tags = true;
+    /**
+     * Confidence of a freshly inserted correlation. Starting
+     * unconfident means a pair must be observed twice before it
+     * prefetches, which mutes the one-shot pairs that churn through
+     * workloads without stable successors (cf. ISB's counters).
+     */
+    bool insert_confident = false;
+};
+
+/** Running counters. */
+struct MetadataStoreStats {
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t updates = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t confidence_flips = 0; ///< successor replaced
+    std::uint64_t tag_alias_drops = 0;  ///< lookup invalidated by recycle
+};
+
+/** Result of a lookup. */
+struct MetaLookup {
+    bool hit = false;
+    /** Confidence bit is set (prediction trustworthy). */
+    bool confident = false;
+    sim::Addr next = 0;  ///< reconstructed successor block
+    std::uint32_t set = 0;
+    std::uint32_t way = 0;
+};
+
+/**
+ * Set-associative table of (trigger -> successor) correlations.
+ *
+ * Lookup and replacement-training are split so the caller can apply
+ * Triage's filtered-training rule: probe() finds the entry, and
+ * commit_access() later tells the policy whether the resulting
+ * prefetch made the access "visible".
+ */
+class MetadataStore
+{
+  public:
+    explicit MetadataStore(MetadataStoreConfig cfg = {});
+
+    /** Probe for @p trigger. No replacement-policy side effects. */
+    MetaLookup probe(sim::Addr trigger);
+
+    /**
+     * Report the outcome of a probe: @p visible is false when the
+     * prefetch produced was redundant (invisible to Hawkeye training).
+     */
+    void commit_access(sim::Addr trigger, const MetaLookup& lk, sim::Pc pc,
+                       bool visible);
+
+    /**
+     * Learn the correlation (trigger -> next) with 1-bit confidence:
+     * matching updates re-arm confidence, one mismatch lowers it, a
+     * second mismatch replaces the successor.
+     */
+    void update(sim::Addr trigger, sim::Addr next, sim::Pc pc);
+
+    /**
+     * Resize to @p bytes, rehashing surviving entries into the new
+     * geometry and discarding overflow (repartition semantics).
+     */
+    void resize(std::uint64_t bytes);
+
+    std::uint64_t capacity_bytes() const { return capacity_bytes_; }
+    std::uint64_t capacity_entries() const;
+    std::uint64_t valid_entries() const;
+    const MetadataStoreStats& stats() const { return stats_; }
+    const TagCompressor& compressor() const { return compressor_; }
+    MetaRepl* repl() { return repl_.get(); }
+
+  private:
+    struct Entry {
+        std::uint16_t trigger_ctag = 0;
+        std::uint16_t next_ctag = 0;
+        std::uint32_t next_set = 0;
+        bool confident = false;
+        bool valid = false;
+        // Uncompressed mirrors (used when compressed_tags is off, and
+        // for rehash-on-resize).
+        sim::Addr full_trigger = 0;
+        sim::Addr full_next = 0;
+    };
+
+    std::uint32_t set_of(sim::Addr trigger) const;
+    Entry* find_entry(sim::Addr trigger, std::uint32_t* way_out);
+    void build(std::uint64_t bytes);
+
+    MetadataStoreConfig cfg_;
+    std::uint64_t capacity_bytes_;
+    std::uint32_t sets_ = 0;
+    std::vector<Entry> entries_;
+    std::unique_ptr<MetaRepl> repl_;
+    TagCompressor compressor_;
+    MetadataStoreStats stats_;
+};
+
+} // namespace triage::core
+
+#endif // TRIAGE_CORE_METADATA_STORE_HPP

@@ -1,0 +1,144 @@
+#include "triage/partition.hpp"
+
+#include <algorithm>
+
+#include "util/bitops.hpp"
+#include "util/log.hpp"
+
+namespace triage::core {
+
+PartitionController::PartitionController(PartitionConfig cfg)
+    : cfg_(std::move(cfg)),
+      last_rates_(cfg_.sizes.size(), 0.0),
+      level_(std::min<std::uint32_t>(
+          cfg_.initial_level,
+          static_cast<std::uint32_t>(cfg_.sizes.size())))
+{
+    TRIAGE_ASSERT(!cfg_.sizes.empty());
+    TRIAGE_ASSERT(std::is_sorted(cfg_.sizes.begin(), cfg_.sizes.end()));
+    for (std::uint64_t bytes : cfg_.sizes) {
+        // Sampled capacity: a 1-in-2^k access sample behaves like a
+        // 1-in-2^k capacity cache for OPT (same stack distances in the
+        // sampled stream), which is what keeps each sandbox ~1 KB.
+        std::uint64_t entries = bytes / cfg_.entry_bytes;
+        auto cap = static_cast<std::uint32_t>(
+            std::max<std::uint64_t>(entries >> cfg_.sample_shift, 16));
+        sandboxes_.emplace_back(cap, cfg_.history_factor);
+    }
+}
+
+bool
+PartitionController::observe(sim::Addr trigger, bool visible)
+{
+    ++accesses_;
+    if (visible &&
+        (util::mix64(trigger ^ 0xabcdefULL) &
+         ((1ULL << cfg_.sample_shift) - 1)) == 0) {
+        ++sampled_;
+        for (auto& sb : sandboxes_)
+            sb.access(trigger);
+    }
+    if (accesses_ >= cfg_.epoch_accesses) {
+        end_epoch();
+        return true;
+    }
+    return false;
+}
+
+void
+PartitionController::end_epoch()
+{
+    accesses_ = 0;
+    ++epochs_;
+    for (std::size_t i = 0; i < sandboxes_.size(); ++i)
+        last_rates_[i] = sandboxes_[i].hit_rate();
+    for (auto& sb : sandboxes_)
+        sb.clear_counters();
+
+    ++epochs_at_level_;
+    if (cooldown_ > 0)
+        --cooldown_;
+    // Per-epoch utility; judged only after the store has been resident
+    // long enough to warm (otherwise cold epochs dilute the verdict).
+    double issued_fraction =
+        static_cast<double>(issued_) /
+        static_cast<double>(cfg_.epoch_accesses);
+    double accuracy = issued_ == 0
+                          ? 1.0
+                          : static_cast<double>(useful_) /
+                                static_cast<double>(issued_);
+    issued_ = 0;
+    useful_ = 0;
+
+    // A cold OPTgen reports near-zero hit rates regardless of the
+    // workload; hold the initial allocation until history accumulates.
+    if (sampled_ < cfg_.warmup_samples)
+        return;
+
+    std::uint32_t level_before = level_;
+    // Hit rate of the "no store" configuration is zero by definition.
+    auto rate_at = [&](std::uint32_t level) {
+        return level == 0 ? 0.0 : last_rates_[level - 1];
+    };
+    std::uint32_t max_level =
+        static_cast<std::uint32_t>(cfg_.sizes.size());
+
+    // Grow while the next size up is worth more than the hysteresis...
+    std::uint32_t verdict = level_;
+    while (verdict < max_level &&
+           rate_at(verdict + 1) - rate_at(verdict) > cfg_.hysteresis) {
+        ++verdict;
+    }
+    // ...then shrink while the next size down costs less than it.
+    while (verdict > 0 &&
+           rate_at(verdict) - rate_at(verdict - 1) < cfg_.hysteresis) {
+        --verdict;
+    }
+    // Utility gate (paper Section 4.2's "future work": account for
+    // cache utility, not just metadata hit rate). A store that has
+    // been resident long enough to warm and either (a) prefetches
+    // actively but is rarely consumed, or (b) barely prefetches at
+    // all, does not pay for its LLC ways. Step one rung down and
+    // block regrowth for a cool-down (otherwise the hit-rate rule
+    // rebuilds the same useless store immediately).
+    if (cfg_.gate_min_accuracy > 0 && level_ > 0 &&
+        epochs_at_level_ >= cfg_.gate_min_epochs) {
+        bool inaccurate = issued_fraction >=
+                              cfg_.gate_min_issued_fraction &&
+                          accuracy < cfg_.gate_min_accuracy;
+        bool quiet = issued_fraction < cfg_.gate_min_issued_fraction;
+        if (inaccurate || quiet) {
+            verdict = std::min(verdict, level_ - 1);
+            cooldown_ = cfg_.gate_cooldown_epochs;
+        }
+    }
+    if (cooldown_ > 0 && verdict > level_)
+        verdict = level_; // growth suppressed while cooling down
+
+    if (verdict == level_) {
+        pending_count_ = 0;
+        return;
+    }
+    // Apply a change only after confirm_epochs consecutive agreeing
+    // verdicts (partition stability, Section 4.6).
+    if (pending_count_ > 0 && pending_level_ == verdict) {
+        if (++pending_count_ >= cfg_.confirm_epochs) {
+            level_ = verdict;
+            pending_count_ = 0;
+        }
+    } else {
+        pending_level_ = verdict;
+        pending_count_ = 1;
+        if (cfg_.confirm_epochs <= 1) {
+            level_ = verdict;
+            pending_count_ = 0;
+        }
+    }
+    if (level_ != level_before) {
+        epochs_at_level_ = 0;
+        issued_ = 0;
+        useful_ = 0;
+    }
+}
+
+} // namespace triage::core

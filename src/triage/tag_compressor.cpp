@@ -1,0 +1,56 @@
+#include "triage/tag_compressor.hpp"
+
+#include "util/log.hpp"
+
+namespace triage::core {
+
+TagCompressor::TagCompressor(TagCompressorConfig cfg)
+    : cfg_(cfg), slots_(1u << cfg.id_bits)
+{
+    TRIAGE_ASSERT(cfg.id_bits >= 1 && cfg.id_bits <= 16);
+}
+
+std::uint16_t
+TagCompressor::compress(std::uint64_t tag)
+{
+    auto it = ids_.find(tag);
+    if (it != ids_.end()) {
+        slots_[it->second].lru = ++clock_;
+        return it->second;
+    }
+    // Recycle the LRU id.
+    std::uint16_t victim = 0;
+    for (std::uint16_t i = 0; i < slots_.size(); ++i) {
+        if (!slots_[i].valid) {
+            victim = i;
+            break;
+        }
+        if (slots_[i].lru < slots_[victim].lru)
+            victim = i;
+    }
+    if (slots_[victim].valid) {
+        ids_.erase(slots_[victim].tag);
+        ++recycles_;
+    }
+    slots_[victim] = {tag, ++clock_, true};
+    ids_.emplace(tag, victim);
+    return victim;
+}
+
+std::optional<std::uint16_t>
+TagCompressor::find(std::uint64_t tag) const
+{
+    auto it = ids_.find(tag);
+    if (it == ids_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::uint64_t
+TagCompressor::decompress(std::uint16_t id) const
+{
+    TRIAGE_ASSERT(id < slots_.size());
+    return slots_[id].tag;
+}
+
+} // namespace triage::core

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Compressed-tag lookup table (paper Section 3.2).
+ *
+ * Each metadata entry must fit in 4 bytes, but a block address carries
+ * a tag far wider than 10 bits. Triage interposes a lookup table that
+ * assigns each distinct full tag a 10-bit id; entries store ids and the
+ * table expands them back. The table is finite, so hot tags can evict
+ * cold ones — metadata that still references the recycled id silently
+ * decodes to the *new* tag and yields an inaccurate prefetch, exactly
+ * the failure mode real hardware would have.
+ */
+#ifndef TRIAGE_CORE_TAG_COMPRESSOR_HPP
+#define TRIAGE_CORE_TAG_COMPRESSOR_HPP
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace triage::core {
+
+/** Width of the compressed id and the address split it implies. */
+struct TagCompressorConfig {
+    std::uint32_t id_bits = 10;  ///< 1024 live tags
+    std::uint32_t set_bits = 11; ///< low bits of a block address (Table 1 LLC)
+};
+
+/** Bidirectional full-tag <-> compressed-id table with LRU recycling. */
+class TagCompressor
+{
+  public:
+    explicit TagCompressor(TagCompressorConfig cfg = {});
+
+    /** Split helpers. */
+    std::uint64_t tag_of(sim::Addr block) const { return block >> cfg_.set_bits; }
+    std::uint32_t
+    set_of(sim::Addr block) const
+    {
+        return static_cast<std::uint32_t>(block &
+                                          ((1u << cfg_.set_bits) - 1));
+    }
+    sim::Addr
+    combine(std::uint64_t tag, std::uint32_t set) const
+    {
+        return (tag << cfg_.set_bits) | set;
+    }
+
+    /** Allocating compression: returns the id for @p tag (may recycle). */
+    std::uint16_t compress(std::uint64_t tag);
+
+    /** Non-allocating probe: id only if the tag is currently mapped. */
+    std::optional<std::uint16_t> find(std::uint64_t tag) const;
+
+    /** Expand an id back to whatever full tag currently owns it. */
+    std::uint64_t decompress(std::uint16_t id) const;
+
+    std::uint64_t recycles() const { return recycles_; }
+    std::uint32_t capacity() const { return 1u << cfg_.id_bits; }
+
+  private:
+    struct Slot {
+        std::uint64_t tag = 0;
+        std::uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    TagCompressorConfig cfg_;
+    std::vector<Slot> slots_;                       ///< id -> tag
+    std::unordered_map<std::uint64_t, std::uint16_t> ids_; ///< tag -> id
+    std::uint64_t clock_ = 0;
+    std::uint64_t recycles_ = 0;
+};
+
+} // namespace triage::core
+
+#endif // TRIAGE_CORE_TAG_COMPRESSOR_HPP

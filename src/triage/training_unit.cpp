@@ -1,0 +1,45 @@
+#include "triage/training_unit.hpp"
+
+#include "util/log.hpp"
+
+namespace triage::core {
+
+TrainingUnit::TrainingUnit(std::uint32_t entries)
+    : capacity_(entries), entries_(entries)
+{
+    TRIAGE_ASSERT(entries > 0);
+}
+
+std::optional<sim::Addr>
+TrainingUnit::update(sim::Pc pc, sim::Addr block)
+{
+    Entry* victim = &entries_[0];
+    for (auto& e : entries_) {
+        if (e.valid && e.pc == pc) {
+            sim::Addr prev = e.last;
+            e.last = block;
+            e.lru = ++clock_;
+            if (prev == block)
+                return std::nullopt; // same line: no new correlation
+            return prev;
+        }
+        if (!e.valid)
+            victim = &e;
+        else if (victim->valid && e.lru < victim->lru)
+            victim = &e;
+    }
+    *victim = {pc, block, ++clock_, true};
+    return std::nullopt;
+}
+
+std::optional<sim::Addr>
+TrainingUnit::last_of(sim::Pc pc) const
+{
+    for (const auto& e : entries_) {
+        if (e.valid && e.pc == pc)
+            return e.last;
+    }
+    return std::nullopt;
+}
+
+} // namespace triage::core

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Triage's Training Unit: remembers the most recently accessed address
+ * for each load PC, producing PC-localized correlated pairs (A, B)
+ * (paper Section 3.1, "Training").
+ */
+#ifndef TRIAGE_CORE_TRAINING_UNIT_HPP
+#define TRIAGE_CORE_TRAINING_UNIT_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace triage::core {
+
+/** Small fully-associative PC -> last-address table with LRU. */
+class TrainingUnit
+{
+  public:
+    explicit TrainingUnit(std::uint32_t entries = 128);
+
+    /**
+     * Record that @p pc just accessed @p block.
+     * @return the previous block accessed by this PC, if tracked — the
+     *         "A" of the correlated pair (A, B = block).
+     */
+    std::optional<sim::Addr> update(sim::Pc pc, sim::Addr block);
+
+    /** Peek without updating (tests). */
+    std::optional<sim::Addr> last_of(sim::Pc pc) const;
+
+    std::uint32_t capacity() const { return capacity_; }
+
+  private:
+    struct Entry {
+        sim::Pc pc = 0;
+        sim::Addr last = 0;
+        std::uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    std::uint32_t capacity_;
+    std::vector<Entry> entries_;
+    std::uint64_t clock_ = 0;
+};
+
+} // namespace triage::core
+
+#endif // TRIAGE_CORE_TRAINING_UNIT_HPP

@@ -1,0 +1,216 @@
+#include "triage/triage.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace triage::core {
+
+namespace {
+
+MetadataStoreConfig
+store_config(const TriageConfig& cfg)
+{
+    MetadataStoreConfig sc;
+    sc.capacity_bytes = cfg.unlimited ? 0 : cfg.static_bytes;
+    sc.repl = cfg.repl;
+    sc.compressed_tags = cfg.compressed_tags;
+    return sc;
+}
+
+std::string
+config_name(const TriageConfig& cfg)
+{
+    if (cfg.unlimited)
+        return "triage_unlimited";
+    if (cfg.dynamic)
+        return "triage_dyn";
+    if (cfg.static_bytes % (1024 * 1024) == 0)
+        return "triage_" +
+               std::to_string(cfg.static_bytes / (1024 * 1024)) + "MB";
+    return "triage_" + std::to_string(cfg.static_bytes / 1024) + "KB";
+}
+
+} // namespace
+
+Triage::Triage(TriageConfig cfg)
+    : cfg_(cfg), tu_(cfg.training_unit_entries),
+      store_(store_config(cfg)), partition_(cfg.partition),
+      name_(config_name(cfg))
+{
+    if (cfg_.dynamic && !cfg_.unlimited)
+        store_.resize(partition_.size_bytes());
+}
+
+std::uint64_t
+Triage::current_store_bytes() const
+{
+    return cfg_.unlimited ? 0 : store_.capacity_bytes();
+}
+
+void
+Triage::ensure_capacity(const prefetch::TrainEvent& ev,
+                        prefetch::PrefetchHost& host)
+{
+    if (capacity_requested_ || cfg_.unlimited ||
+        !cfg_.charge_llc_capacity) {
+        capacity_requested_ = true;
+        return;
+    }
+    host.request_metadata_capacity(ev.core, current_store_bytes(), ev.now);
+    capacity_requested_ = true;
+}
+
+std::optional<sim::Addr>
+Triage::lookup_next(sim::Addr trigger, unsigned core,
+                    prefetch::PrefetchHost& host)
+{
+    if (cfg_.unlimited) {
+        auto it = unlimited_map_.find(trigger);
+        if (it == unlimited_map_.end())
+            return std::nullopt;
+        return it->second;
+    }
+    ++stats_.meta_onchip_reads;
+    host.count_metadata_llc_access(core, false);
+    MetaLookup lk = store_.probe(trigger);
+    if (!lk.hit)
+        return std::nullopt;
+    return lk.next;
+}
+
+void
+Triage::train(const prefetch::TrainEvent& ev, prefetch::PrefetchHost& host)
+{
+    ++stats_.train_events;
+    // Triage trains on L2 misses and prefetched hits (paper Figure 4).
+    if (ev.l2_hit && !ev.was_prefetch_hit)
+        return;
+
+    ensure_capacity(ev, host);
+
+    // 1-2: probe the metadata with the incoming address and issue a
+    // prefetch chain of the configured degree.
+    //
+    // Visibility (paper Section 3): the Hawkeye machinery trains
+    // positively only when the metadata yields a prefetch that misses
+    // in the cache. Metadata *misses* stay visible (they are the reuse
+    // OPTgen must learn to size the store); hits that produce no
+    // memory-bound prefetch — redundant or confidence-muted — are
+    // invisible to every trained component.
+    bool visible = true;
+    MetaLookup first_lk;
+    if (cfg_.unlimited) {
+        sim::Addr cur = ev.block;
+        for (std::uint32_t d = 1; d <= cfg_.degree; ++d) {
+            auto next = lookup_next(cur, ev.core, host);
+            if (!next.has_value())
+                break;
+            if (cfg_.track_reuse)
+                ++reuse_counts_[cur];
+            send(ev, host, *next,
+                 ev.now + d * host.llc_latency());
+            cur = *next;
+        }
+    } else {
+        ++stats_.meta_onchip_reads;
+        host.count_metadata_llc_access(ev.core, false);
+        first_lk = store_.probe(ev.block);
+        // Only confident links generate prefetches: the 1-bit counter
+        // exists precisely to mute entries whose successor is in flux.
+        if (first_lk.hit && first_lk.confident) {
+            if (cfg_.track_reuse)
+                ++reuse_counts_[ev.block];
+            prefetch::PfOutcome out =
+                send(ev, host, first_lk.next,
+                     ev.now + host.llc_latency());
+            // The Hawkeye policy is trained positively only when the
+            // metadata produced a prefetch that missed in the cache
+            // (issued to memory); redundant reuse stays invisible.
+            visible = out == prefetch::PfOutcome::IssuedToDram ||
+                      out == prefetch::PfOutcome::DroppedBandwidth;
+            if (cfg_.dynamic && out == prefetch::PfOutcome::IssuedToDram)
+                partition_.note_issued();
+            // Walk the chain for higher degrees; deeper lookups are
+            // pure probes (latency + energy, no policy training).
+            sim::Addr cur = first_lk.next;
+            for (std::uint32_t d = 2; d <= cfg_.degree; ++d) {
+                auto next = lookup_next(cur, ev.core, host);
+                if (!next.has_value())
+                    break;
+                send(ev, host, *next, ev.now + d * host.llc_latency());
+                cur = *next;
+            }
+        }
+        // 4: update replacement state (filtered training).
+        store_.commit_access(ev.block, first_lk, ev.pc, visible);
+    }
+
+    // 3: training unit pairs this access with the PC's previous one.
+    auto prev = tu_.update(ev.pc, ev.block);
+    if (prev.has_value()) {
+        if (cfg_.unlimited) {
+            unlimited_map_[*prev] = ev.block;
+        } else {
+            ++stats_.meta_onchip_writes;
+            host.count_metadata_llc_access(ev.core, true);
+            store_.update(*prev, ev.block, ev.pc);
+        }
+    }
+
+    // 5: periodically recompute the partition (dynamic configuration).
+    // Like every other component of the Hawkeye machinery, the OPTgen
+    // sandboxes never see metadata reuse whose prefetch was redundant
+    // or muted (paper Section 3): a store full of entries that only
+    // re-find already-cached lines must look worthless to the size
+    // controller. Epochs still advance on every access.
+    if (cfg_.dynamic && !cfg_.unlimited) {
+        if (partition_.observe(ev.block, visible)) {
+            std::uint64_t want = partition_.size_bytes();
+            if (want != store_.capacity_bytes()) {
+                store_.resize(want);
+                if (cfg_.charge_llc_capacity)
+                    host.request_metadata_capacity(ev.core, want, ev.now);
+            }
+        }
+    }
+}
+
+void
+Triage::on_prefetch_used(sim::Addr, sim::Cycle)
+{
+    // Consumed-prefetch feedback drives the partition's utility gate.
+    if (cfg_.dynamic && !cfg_.unlimited)
+        partition_.note_useful();
+}
+
+std::unique_ptr<Triage>
+make_triage_static(std::uint64_t bytes, std::uint32_t degree)
+{
+    TriageConfig cfg;
+    cfg.dynamic = false;
+    cfg.static_bytes = bytes;
+    cfg.degree = degree;
+    return std::make_unique<Triage>(cfg);
+}
+
+std::unique_ptr<Triage>
+make_triage_dynamic(std::uint32_t degree)
+{
+    TriageConfig cfg;
+    cfg.dynamic = true;
+    cfg.degree = degree;
+    return std::make_unique<Triage>(cfg);
+}
+
+std::unique_ptr<Triage>
+make_triage_unlimited(std::uint32_t degree)
+{
+    TriageConfig cfg;
+    cfg.unlimited = true;
+    cfg.charge_llc_capacity = false;
+    cfg.degree = degree;
+    return std::make_unique<Triage>(cfg);
+}
+
+} // namespace triage::core

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Bit-manipulation helpers shared by caches, predictors, and address
+ * compressors.
+ */
+#ifndef TRIAGE_UTIL_BITOPS_HPP
+#define TRIAGE_UTIL_BITOPS_HPP
+
+#include <bit>
+#include <cstdint>
+
+namespace triage::util {
+
+/** True iff @p v is a power of two (0 is not). */
+constexpr bool
+is_pow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** log2 of a power of two. */
+constexpr unsigned
+log2_exact(std::uint64_t v)
+{
+    return static_cast<unsigned>(std::countr_zero(v));
+}
+
+/** Ceiling log2 (log2_ceil(1) == 0). */
+constexpr unsigned
+log2_ceil(std::uint64_t v)
+{
+    if (v <= 1)
+        return 0;
+    return 64u - static_cast<unsigned>(std::countl_zero(v - 1));
+}
+
+/** Extract bits [lo, lo+width) of @p v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned lo, unsigned width)
+{
+    if (width >= 64)
+        return v >> lo;
+    return (v >> lo) & ((1ULL << width) - 1);
+}
+
+/**
+ * Mix a 64-bit value into a well-distributed hash (splitmix64 finalizer).
+ * Used for predictor indexing so nearby PCs do not collide systematically.
+ */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Saturating increment of an n-bit counter. */
+template <typename T>
+constexpr T
+sat_inc(T v, T max)
+{
+    return v < max ? static_cast<T>(v + 1) : max;
+}
+
+/** Saturating decrement of a counter (floor 0). */
+template <typename T>
+constexpr T
+sat_dec(T v)
+{
+    return v > 0 ? static_cast<T>(v - 1) : 0;
+}
+
+} // namespace triage::util
+
+#endif // TRIAGE_UTIL_BITOPS_HPP

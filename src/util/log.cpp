@@ -1,0 +1,28 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace triage::util {
+
+void
+panic(const std::string& msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+void
+fatal(const std::string& msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+void
+warn(const std::string& msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+} // namespace triage::util

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Minimal logging / fatal-error helpers, in the spirit of gem5's
+ * logging.hh: fatal() for user errors, panic() for internal invariant
+ * violations.
+ */
+#ifndef TRIAGE_UTIL_LOG_HPP
+#define TRIAGE_UTIL_LOG_HPP
+
+#include <sstream>
+#include <string>
+
+namespace triage::util {
+
+/** Abort the process for an internal invariant violation (a bug in us). */
+[[noreturn]] void panic(const std::string& msg);
+
+/** Exit(1) for a condition that is the caller's fault (bad config). */
+[[noreturn]] void fatal(const std::string& msg);
+
+/** Print a warning to stderr and continue. */
+void warn(const std::string& msg);
+
+/** Build a message from streamable parts. */
+template <typename... Args>
+std::string
+format_msg(Args&&... args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace triage::util
+
+/** Check an invariant; panics with location info when violated. */
+#define TRIAGE_ASSERT(cond, ...)                                           \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::triage::util::panic(::triage::util::format_msg(              \
+                __FILE__, ":", __LINE__, ": assertion failed: ", #cond,    \
+                " " __VA_OPT__(, ) __VA_ARGS__));                          \
+        }                                                                  \
+    } while (0)
+
+#endif // TRIAGE_UTIL_LOG_HPP

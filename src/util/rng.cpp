@@ -1,0 +1,102 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace triage::util {
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream)
+    : state_(0), inc_((stream << 1u) | 1u)
+{
+    next_u32();
+    state_ += seed;
+    next_u32();
+}
+
+std::uint32_t
+Rng::next_u32()
+{
+    std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+std::uint64_t
+Rng::next_u64()
+{
+    return (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+}
+
+std::uint32_t
+Rng::next_below(std::uint32_t bound)
+{
+    // Debiased modulo: reject draws in the short final interval.
+    std::uint32_t threshold = (-bound) % bound;
+    for (;;) {
+        std::uint32_t r = next_u32();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::uint64_t
+Rng::next_range(std::uint64_t lo, std::uint64_t hi)
+{
+    std::uint64_t span = hi - lo + 1;
+    if (span == 0) // full 64-bit range
+        return next_u64();
+    if (span <= 0xffffffffULL)
+        return lo + next_below(static_cast<std::uint32_t>(span));
+    // Compose from two bounded 32-bit draws; slight bias is irrelevant
+    // for workload synthesis at these magnitudes.
+    return lo + (next_u64() % span);
+}
+
+double
+Rng::next_double()
+{
+    return static_cast<double>(next_u32()) * (1.0 / 4294967296.0);
+}
+
+bool
+Rng::chance(double p)
+{
+    return next_double() < p;
+}
+
+std::uint64_t
+Rng::next_zipf(std::uint64_t n, double s)
+{
+    if (n <= 1)
+        return 0;
+    // Rejection-inversion (Hormann & Derflinger 1996). Valid for s != 1;
+    // nudge s at the singularity.
+    if (std::fabs(s - 1.0) < 1e-9)
+        s = 1.0 + 1e-9;
+    const double nd = static_cast<double>(n);
+    auto h = [s](double x) {
+        return std::pow(x, 1.0 - s) / (1.0 - s);
+    };
+    auto h_inv = [s](double x) {
+        return std::pow((1.0 - s) * x, 1.0 / (1.0 - s));
+    };
+    const double hx0 = h(0.5) - 1.0;
+    const double hn = h(nd + 0.5);
+    for (;;) {
+        double u = hx0 + next_double() * (hn - hx0);
+        double x = h_inv(u);
+        double k = std::floor(x + 0.5);
+        if (k < 1.0)
+            k = 1.0;
+        if (k > nd)
+            k = nd;
+        if (k - x <= 0.5 ||
+            u >= h(k + 0.5) - std::pow(k, -s)) {
+            return static_cast<std::uint64_t>(k) - 1;
+        }
+    }
+}
+
+} // namespace triage::util

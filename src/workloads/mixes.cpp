@@ -1,0 +1,40 @@
+#include "workloads/mixes.hpp"
+
+#include "util/rng.hpp"
+#include "workloads/spec.hpp"
+
+namespace triage::workloads {
+
+std::vector<Mix>
+make_mixes(const std::vector<std::string>& pool, unsigned cores,
+           unsigned n_mixes, std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    std::vector<Mix> mixes;
+    mixes.reserve(n_mixes);
+    for (unsigned m = 0; m < n_mixes; ++m) {
+        Mix mix;
+        mix.reserve(cores);
+        for (unsigned c = 0; c < cores; ++c) {
+            mix.push_back(pool[rng.next_below(
+                static_cast<std::uint32_t>(pool.size()))]);
+        }
+        mixes.push_back(std::move(mix));
+    }
+    return mixes;
+}
+
+std::vector<Mix>
+paper_mixes(unsigned cores, unsigned n_mixes, std::uint64_t seed)
+{
+    unsigned irregular_only = n_mixes * 3 / 8; // 30 of 80
+    std::vector<Mix> mixes =
+        make_mixes(irregular_spec(), cores, irregular_only, seed);
+    std::vector<Mix> rest = make_mixes(all_spec(), cores,
+                                       n_mixes - irregular_only,
+                                       seed ^ 0x5bd1e995);
+    mixes.insert(mixes.end(), rest.begin(), rest.end());
+    return mixes;
+}
+
+} // namespace triage::workloads

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Multi-programmed mix construction (paper Section 4.1): each core
+ * runs a benchmark drawn uniformly at random from a pool; 30 of every
+ * 80 mixes draw from irregular programs only, the rest from the full
+ * memory-bound pool.
+ */
+#ifndef TRIAGE_WORKLOADS_MIXES_HPP
+#define TRIAGE_WORKLOADS_MIXES_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace triage::workloads {
+
+/** One mix: the benchmark name per core. */
+using Mix = std::vector<std::string>;
+
+/**
+ * Draw @p n_mixes mixes of @p cores benchmarks each from @p pool,
+ * uniformly at random, deterministically from @p seed.
+ */
+std::vector<Mix> make_mixes(const std::vector<std::string>& pool,
+                            unsigned cores, unsigned n_mixes,
+                            std::uint64_t seed);
+
+/**
+ * The paper's construction: @p n_mixes mixes where the first 3/8 are
+ * irregular-only and the rest mix regular and irregular programs.
+ */
+std::vector<Mix> paper_mixes(unsigned cores, unsigned n_mixes,
+                             std::uint64_t seed);
+
+} // namespace triage::workloads
+
+#endif // TRIAGE_WORKLOADS_MIXES_HPP

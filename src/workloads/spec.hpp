@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Named benchmark analogs.
+ *
+ * Each SPEC2006 / CloudSuite benchmark from the paper's evaluation maps
+ * to a deterministic synthetic workload whose kernels reproduce the
+ * properties the paper's mechanisms depend on (PC-localized temporal
+ * correlation, footprint size vs LLC, regular vs irregular split,
+ * compulsory-miss fraction). DESIGN.md documents the substitution.
+ */
+#ifndef TRIAGE_WORKLOADS_SPEC_HPP
+#define TRIAGE_WORKLOADS_SPEC_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/synthetic.hpp"
+
+namespace triage::workloads {
+
+/**
+ * Build the analog for @p name.
+ * @param scale multiplies the pass length (1.0 = default bench scale).
+ * Fatal if the name is unknown.
+ */
+std::unique_ptr<SyntheticWorkload> make_benchmark(const std::string& name,
+                                                  double scale = 1.0);
+
+/** The paper's irregular SPEC2006 subset (Figure 5 x-axis). */
+const std::vector<std::string>& irregular_spec();
+
+/** The remaining memory-intensive (regular) SPEC2006 set (Figure 8). */
+const std::vector<std::string>& regular_spec();
+
+/** CloudSuite server benchmarks (Figure 14). */
+const std::vector<std::string>& cloudsuite();
+
+/** All SPEC names (irregular + regular), the mix-drawing pool. */
+std::vector<std::string> all_spec();
+
+} // namespace triage::workloads
+
+#endif // TRIAGE_WORKLOADS_SPEC_HPP

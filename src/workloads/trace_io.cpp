@@ -1,0 +1,121 @@
+#include "workloads/trace_io.hpp"
+
+#include <cstdio>
+#include <vector>
+
+#include "util/log.hpp"
+
+namespace triage::workloads {
+
+namespace {
+
+/** On-disk record layout (packed, exactly 20 bytes). */
+#pragma pack(push, 1)
+struct PackedRecord {
+    std::uint64_t pc;
+    std::uint64_t addr;
+    std::uint16_t dep;
+    std::uint8_t nonmem;
+    std::uint8_t flags;
+};
+#pragma pack(pop)
+static_assert(sizeof(PackedRecord) == 20, "packed record layout");
+
+struct FileCloser {
+    void
+    operator()(std::FILE* f) const
+    {
+        if (f != nullptr)
+            std::fclose(f);
+    }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+} // namespace
+
+std::uint64_t
+save_trace(const std::string& path, sim::Workload& wl,
+           std::uint64_t max_records)
+{
+    File f(std::fopen(path.c_str(), "wb"));
+    if (!f) {
+        util::warn("save_trace: cannot open " + path);
+        return 0;
+    }
+    std::uint32_t magic = TRACE_MAGIC;
+    std::uint32_t version = TRACE_VERSION;
+    std::uint64_t count = 0;
+    if (std::fwrite(&magic, sizeof(magic), 1, f.get()) != 1 ||
+        std::fwrite(&version, sizeof(version), 1, f.get()) != 1 ||
+        std::fwrite(&count, sizeof(count), 1, f.get()) != 1) {
+        return 0;
+    }
+    sim::TraceRecord r;
+    std::vector<PackedRecord> buf;
+    buf.reserve(4096);
+    while (count < max_records && wl.next(r)) {
+        buf.push_back({r.pc, r.addr, r.dep_distance, r.nonmem_before,
+                       static_cast<std::uint8_t>(r.is_write ? 1 : 0)});
+        ++count;
+        if (buf.size() == buf.capacity()) {
+            if (std::fwrite(buf.data(), sizeof(PackedRecord),
+                            buf.size(), f.get()) != buf.size())
+                return 0;
+            buf.clear();
+        }
+    }
+    if (!buf.empty() &&
+        std::fwrite(buf.data(), sizeof(PackedRecord), buf.size(),
+                    f.get()) != buf.size()) {
+        return 0;
+    }
+    // Patch the record count in the header.
+    if (std::fseek(f.get(), sizeof(magic) + sizeof(version), SEEK_SET) !=
+            0 ||
+        std::fwrite(&count, sizeof(count), 1, f.get()) != 1) {
+        return 0;
+    }
+    return count;
+}
+
+std::unique_ptr<sim::Workload>
+load_trace(const std::string& path)
+{
+    File f(std::fopen(path.c_str(), "rb"));
+    if (!f) {
+        util::warn("load_trace: cannot open " + path);
+        return nullptr;
+    }
+    std::uint32_t magic = 0;
+    std::uint32_t version = 0;
+    std::uint64_t count = 0;
+    if (std::fread(&magic, sizeof(magic), 1, f.get()) != 1 ||
+        std::fread(&version, sizeof(version), 1, f.get()) != 1 ||
+        std::fread(&count, sizeof(count), 1, f.get()) != 1 ||
+        magic != TRACE_MAGIC || version != TRACE_VERSION) {
+        util::warn("load_trace: bad header in " + path);
+        return nullptr;
+    }
+    std::vector<sim::TraceRecord> records;
+    records.reserve(count);
+    std::vector<PackedRecord> buf(4096);
+    std::uint64_t remaining = count;
+    while (remaining > 0) {
+        std::size_t want = std::min<std::uint64_t>(remaining, buf.size());
+        if (std::fread(buf.data(), sizeof(PackedRecord), want,
+                       f.get()) != want) {
+            util::warn("load_trace: truncated trace " + path);
+            return nullptr;
+        }
+        for (std::size_t i = 0; i < want; ++i) {
+            records.push_back({buf[i].pc, buf[i].addr,
+                               (buf[i].flags & 1) != 0, buf[i].nonmem,
+                               buf[i].dep});
+        }
+        remaining -= want;
+    }
+    return std::make_unique<sim::VectorWorkload>(path,
+                                                 std::move(records));
+}
+
+} // namespace triage::workloads

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Trace file I/O: record a workload's reference stream to a compact
+ * binary file and replay it later (or replay traces produced by an
+ * external tool). This is the interchange point for users who want to
+ * drive the simulator with their own traces instead of the synthetic
+ * analogs.
+ *
+ * Format (little-endian):
+ *   magic   u32  'TRIA' (0x41495254)
+ *   version u32  (currently 1)
+ *   count   u64  number of records
+ *   records count x { pc u64, addr u64, dep u16, nonmem u8, flags u8 }
+ * flags bit 0: is_write.
+ */
+#ifndef TRIAGE_WORKLOADS_TRACE_IO_HPP
+#define TRIAGE_WORKLOADS_TRACE_IO_HPP
+
+#include <memory>
+#include <string>
+
+#include "sim/trace.hpp"
+
+namespace triage::workloads {
+
+inline constexpr std::uint32_t TRACE_MAGIC = 0x41495254; // "TRIA"
+inline constexpr std::uint32_t TRACE_VERSION = 1;
+
+/**
+ * Record up to @p max_records references of @p wl into @p path.
+ * @return the number of records written (0 on I/O failure).
+ */
+std::uint64_t save_trace(const std::string& path, sim::Workload& wl,
+                         std::uint64_t max_records);
+
+/**
+ * Load a trace file as a replayable workload (whole file in memory).
+ * @return null on I/O or format error (a warning is printed).
+ */
+std::unique_ptr<sim::Workload> load_trace(const std::string& path);
+
+} // namespace triage::workloads
+
+#endif // TRIAGE_WORKLOADS_TRACE_IO_HPP

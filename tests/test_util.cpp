@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Unit tests for src/util: RNG determinism and distributions, bit
+ * helpers, logging formatting.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "util/bitops.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace tu = triage::util;
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    tu::Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    tu::Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next_u32() == b.next_u32() ? 1 : 0;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, NextBelowInRange)
+{
+    tu::Rng r(7);
+    for (std::uint32_t bound : {1u, 2u, 3u, 10u, 1000u, 1u << 30}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(r.next_below(bound), bound);
+    }
+}
+
+TEST(Rng, NextBelowOneAlwaysZero)
+{
+    tu::Rng r(9);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(r.next_below(1), 0u);
+}
+
+TEST(Rng, NextRangeInclusive)
+{
+    tu::Rng r(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        auto v = r.next_range(5, 8);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 8u);
+        saw_lo |= v == 5;
+        saw_hi |= v == 8;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    tu::Rng r(13);
+    for (int i = 0; i < 1000; ++i) {
+        double d = r.next_double();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    tu::Rng r(15);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceApproximatesProbability)
+{
+    tu::Rng r(17);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ZipfInRange)
+{
+    tu::Rng r(19);
+    for (int i = 0; i < 2000; ++i)
+        EXPECT_LT(r.next_zipf(100, 1.0), 100u);
+}
+
+TEST(Rng, ZipfSkewsTowardLowRanks)
+{
+    tu::Rng r(21);
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < 20000; ++i)
+        ++counts[r.next_zipf(1000, 1.0)];
+    // Rank 0 must dominate rank 100 by a large factor.
+    EXPECT_GT(counts[0], 20 * std::max(counts[100], 1));
+}
+
+TEST(Rng, ZipfDegenerateN)
+{
+    tu::Rng r(23);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(r.next_zipf(1, 1.2), 0u);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    tu::Rng r(25);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    auto sorted = v;
+    r.shuffle(v);
+    auto shuffled_sorted = v;
+    std::sort(shuffled_sorted.begin(), shuffled_sorted.end());
+    EXPECT_EQ(shuffled_sorted, sorted);
+}
+
+TEST(Bitops, IsPow2)
+{
+    EXPECT_FALSE(tu::is_pow2(0));
+    EXPECT_TRUE(tu::is_pow2(1));
+    EXPECT_TRUE(tu::is_pow2(2));
+    EXPECT_FALSE(tu::is_pow2(3));
+    EXPECT_TRUE(tu::is_pow2(1ULL << 40));
+    EXPECT_FALSE(tu::is_pow2((1ULL << 40) + 1));
+}
+
+TEST(Bitops, Log2Exact)
+{
+    EXPECT_EQ(tu::log2_exact(1), 0u);
+    EXPECT_EQ(tu::log2_exact(2), 1u);
+    EXPECT_EQ(tu::log2_exact(1024), 10u);
+    EXPECT_EQ(tu::log2_exact(1ULL << 63), 63u);
+}
+
+TEST(Bitops, Log2Ceil)
+{
+    EXPECT_EQ(tu::log2_ceil(0), 0u);
+    EXPECT_EQ(tu::log2_ceil(1), 0u);
+    EXPECT_EQ(tu::log2_ceil(2), 1u);
+    EXPECT_EQ(tu::log2_ceil(3), 2u);
+    EXPECT_EQ(tu::log2_ceil(4), 2u);
+    EXPECT_EQ(tu::log2_ceil(5), 3u);
+}
+
+TEST(Bitops, Bits)
+{
+    EXPECT_EQ(tu::bits(0xff00, 8, 8), 0xffu);
+    EXPECT_EQ(tu::bits(0xdeadbeef, 0, 4), 0xfu);
+    EXPECT_EQ(tu::bits(~0ULL, 0, 64), ~0ULL);
+}
+
+TEST(Bitops, Mix64Distributes)
+{
+    // Adjacent inputs must not collide in the low bits.
+    std::vector<std::uint64_t> lows;
+    for (std::uint64_t i = 0; i < 256; ++i)
+        lows.push_back(tu::mix64(i) & 0xff);
+    std::sort(lows.begin(), lows.end());
+    auto unique_count =
+        std::unique(lows.begin(), lows.end()) - lows.begin();
+    EXPECT_GT(unique_count, 140); // near-uniform spread
+}
+
+TEST(Bitops, SaturatingCounters)
+{
+    std::uint8_t c = 6;
+    c = tu::sat_inc<std::uint8_t>(c, 7);
+    EXPECT_EQ(c, 7);
+    c = tu::sat_inc<std::uint8_t>(c, 7);
+    EXPECT_EQ(c, 7);
+    c = 1;
+    c = tu::sat_dec(c);
+    EXPECT_EQ(c, 0);
+    c = tu::sat_dec(c);
+    EXPECT_EQ(c, 0);
+}
+
+TEST(Log, FormatMsgConcatenates)
+{
+    EXPECT_EQ(tu::format_msg("a", 1, ':', 2.5), "a1:2.5");
+}

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * triagesim — the command-line simulator driver.
+ *
+ * Runs any benchmark analog (or an external trace file) under any
+ * prefetcher configuration on 1-N cores and prints a full report:
+ * IPC/speedup, cache behaviour, prefetcher effectiveness, DRAM traffic
+ * by class, and metadata energy.
+ *
+ * Examples:
+ *   triagesim --benchmark=mcf --prefetcher=triage_dyn
+ *   triagesim --mix=mcf,omnetpp,bwaves,sphinx3 --prefetcher=bo+triage_dyn
+ *   triagesim --benchmark=mcf --save-trace=mcf.tri --records=1000000
+ *   triagesim --trace=mcf.tri --prefetcher=misb --no-baseline
+ *   triagesim --list
+ */
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/multicore.hpp"
+#include "util/log.hpp"
+#include "sim/system.hpp"
+#include "stats/experiment.hpp"
+#include "stats/metrics.hpp"
+#include "stats/report.hpp"
+#include "stats/table.hpp"
+#include "workloads/spec.hpp"
+#include "workloads/trace_io.hpp"
+
+using namespace triage;
+
+namespace {
+
+struct Options {
+    std::string benchmark = "mcf";
+    std::vector<std::string> mix;
+    std::string trace_path;
+    std::string save_trace_path;
+    std::string prefetcher = "triage_dyn";
+    std::uint32_t degree = 1;
+    std::uint64_t warmup = 400000;
+    std::uint64_t measure = 1000000;
+    std::uint64_t records = 1000000; ///< for --save-trace
+    double scale = 1.0;
+    std::uint32_t mshrs = 0;
+    bool tlb = false;
+    std::string llc_repl = "lru";
+    bool baseline = true;
+    bool list = false;
+    bool help = false;
+    bool json = false;
+};
+
+void
+usage()
+{
+    std::cout <<
+        "triagesim — Triage prefetcher simulator driver\n\n"
+        "  --benchmark=NAME       synthetic analog to run (default mcf)\n"
+        "  --mix=A,B,C,D          multi-core mix (one benchmark per core)\n"
+        "  --trace=FILE           replay a recorded trace instead\n"
+        "  --save-trace=FILE      record the benchmark to FILE and exit\n"
+        "  --records=N            records to save with --save-trace\n"
+        "  --prefetcher=SPEC      none|bo|sms|markov|next_line|ghb_pcdc|\n"
+        "                         stms|domino|isb|misb|triage_<size>|\n"
+        "                         triage_dyn|triage_unlimited, '+'-joined\n"
+        "                         hybrids (default triage_dyn)\n"
+        "  --degree=N             prefetch degree (default 1)\n"
+        "  --warmup=N --measure=N window sizes in memory references\n"
+        "  --scale=F              workload pass-length scale\n"
+        "  --llc-repl=P           lru|srrip|drrip|ship|hawkeye\n"
+        "  --mshrs=N              finite L2 MSHR file (0 = unlimited)\n"
+        "  --tlb                  model the Table 1 TLBs\n"
+        "  --no-baseline          skip the no-prefetch comparison run\n"
+        "  --json                 emit the report as JSON\n"
+        "  --list                 list available benchmark analogs\n";
+}
+
+bool
+parse(int argc, char** argv, Options& o)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto val = [&](const char* key) -> std::optional<std::string> {
+            std::string k = std::string("--") + key + "=";
+            if (a.rfind(k, 0) == 0)
+                return a.substr(k.size());
+            return std::nullopt;
+        };
+        if (a == "--help" || a == "-h") {
+            o.help = true;
+        } else if (a == "--list") {
+            o.list = true;
+        } else if (a == "--tlb") {
+            o.tlb = true;
+        } else if (a == "--no-baseline") {
+            o.baseline = false;
+        } else if (a == "--json") {
+            o.json = true;
+        } else if (auto v = val("benchmark")) {
+            o.benchmark = *v;
+        } else if (auto v = val("mix")) {
+            o.mix.clear();
+            std::size_t start = 0;
+            while (start <= v->size()) {
+                std::size_t comma = v->find(',', start);
+                if (comma == std::string::npos) {
+                    o.mix.push_back(v->substr(start));
+                    break;
+                }
+                o.mix.push_back(v->substr(start, comma - start));
+                start = comma + 1;
+            }
+        } else if (auto v = val("trace")) {
+            o.trace_path = *v;
+        } else if (auto v = val("save-trace")) {
+            o.save_trace_path = *v;
+        } else if (auto v = val("prefetcher")) {
+            o.prefetcher = *v;
+        } else if (auto v = val("degree")) {
+            o.degree = static_cast<std::uint32_t>(std::stoul(*v));
+        } else if (auto v = val("warmup")) {
+            o.warmup = std::stoull(*v);
+        } else if (auto v = val("measure")) {
+            o.measure = std::stoull(*v);
+        } else if (auto v = val("records")) {
+            o.records = std::stoull(*v);
+        } else if (auto v = val("scale")) {
+            o.scale = std::stod(*v);
+        } else if (auto v = val("mshrs")) {
+            o.mshrs = static_cast<std::uint32_t>(std::stoul(*v));
+        } else if (auto v = val("llc-repl")) {
+            o.llc_repl = *v;
+        } else {
+            std::cerr << "unknown option: " << a << "\n";
+            return false;
+        }
+    }
+    return true;
+}
+
+sim::ReplPolicy
+repl_of(const std::string& s)
+{
+    if (s == "lru")
+        return sim::ReplPolicy::Lru;
+    if (s == "srrip")
+        return sim::ReplPolicy::Srrip;
+    if (s == "drrip")
+        return sim::ReplPolicy::Drrip;
+    if (s == "ship")
+        return sim::ReplPolicy::Ship;
+    if (s == "hawkeye")
+        return sim::ReplPolicy::Hawkeye;
+    util::fatal("unknown LLC replacement policy: " + s);
+}
+
+void
+report(const std::string& label, const sim::RunResult& r,
+       const sim::RunResult* base)
+{
+    stats::banner(std::cout, "Report: " + label);
+    stats::Table t({"core", "IPC", "L1 miss", "L2 miss", "coverage",
+                    "accuracy", "meta ways"});
+    for (std::size_t c = 0; c < r.per_core.size(); ++c) {
+        const auto& s = r.per_core[c];
+        t.row({std::to_string(c), stats::fmt(s.ipc()),
+               std::to_string(s.l1.demand_misses),
+               std::to_string(s.l2.demand_misses),
+               stats::fmt_pct(s.coverage()),
+               stats::fmt_pct(s.accuracy()),
+               stats::fmt(s.avg_metadata_ways, 1)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nDRAM traffic: total "
+              << r.traffic.total() / 1024 << " KB (demand "
+              << r.traffic.of(sim::TrafficClass::DemandRead) / 1024
+              << ", prefetch "
+              << r.traffic.of(sim::TrafficClass::PrefetchRead) / 1024
+              << ", writeback "
+              << r.traffic.of(sim::TrafficClass::Writeback) / 1024
+              << ", metadata "
+              << (r.traffic.of(sim::TrafficClass::MetadataRead) +
+                  r.traffic.of(sim::TrafficClass::MetadataWrite)) /
+                     1024
+              << " KB)\n";
+    if (base != nullptr) {
+        std::cout << "Speedup over no-L2-prefetch: "
+                  << stats::fmt_x(stats::speedup(r, *base))
+                  << "   traffic overhead: "
+                  << stats::fmt_pct(stats::traffic_overhead(r, *base))
+                  << "\n";
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Options o;
+    if (!parse(argc, argv, o)) {
+        usage();
+        return 1;
+    }
+    if (o.help) {
+        usage();
+        return 0;
+    }
+    if (o.list) {
+        std::cout << "irregular SPEC analogs:\n";
+        for (const auto& b : workloads::irregular_spec())
+            std::cout << "  " << b << "\n";
+        std::cout << "regular SPEC analogs:\n";
+        for (const auto& b : workloads::regular_spec())
+            std::cout << "  " << b << "\n";
+        std::cout << "CloudSuite analogs:\n";
+        for (const auto& b : workloads::cloudsuite())
+            std::cout << "  " << b << "\n";
+        return 0;
+    }
+
+    if (!o.save_trace_path.empty()) {
+        auto wl = workloads::make_benchmark(o.benchmark, o.scale);
+        auto n = workloads::save_trace(o.save_trace_path, *wl,
+                                       o.records);
+        std::cout << "wrote " << n << " records of '" << o.benchmark
+                  << "' to " << o.save_trace_path << "\n";
+        return n > 0 ? 0 : 1;
+    }
+
+    sim::MachineConfig cfg;
+    cfg.l2_mshrs = o.mshrs;
+    cfg.model_tlb = o.tlb;
+    cfg.llc_replacement = repl_of(o.llc_repl);
+    cfg.prefetch_degree = o.degree;
+
+    stats::RunScale scale;
+    scale.warmup_records = o.warmup;
+    scale.measure_records = o.measure;
+    scale.workload_scale = o.scale;
+
+    if (!o.mix.empty()) {
+        if (!o.json) {
+            std::cout << "Machine: " << o.mix.size() << " cores\n"
+                      << cfg.describe(
+                             static_cast<unsigned>(o.mix.size()))
+                      << "\n";
+        }
+        std::optional<sim::RunResult> base;
+        if (o.baseline)
+            base = stats::run_mix(cfg, o.mix, "none", scale, o.degree);
+        auto r = stats::run_mix(cfg, o.mix, o.prefetcher, scale,
+                                o.degree);
+        if (o.json)
+            stats::write_json(std::cout, r);
+        else
+            report(o.prefetcher, r, base ? &*base : nullptr);
+        return 0;
+    }
+
+    // Single core: synthetic benchmark or recorded trace.
+    std::unique_ptr<sim::Workload> wl;
+    std::string label;
+    if (!o.trace_path.empty()) {
+        wl = workloads::load_trace(o.trace_path);
+        if (wl == nullptr)
+            return 1;
+        label = o.trace_path;
+    } else {
+        wl = workloads::make_benchmark(o.benchmark, o.scale);
+        label = o.benchmark;
+    }
+    if (!o.json)
+        std::cout << "Machine: 1 core\n" << cfg.describe(1) << "\n";
+
+    std::optional<sim::RunResult> base;
+    if (o.baseline) {
+        sim::SingleCoreSystem sys(cfg);
+        auto wl2 = wl->clone();
+        base = sys.run(*wl2, o.warmup, o.measure);
+    }
+    sim::SingleCoreSystem sys(cfg);
+    sys.set_prefetcher(stats::make_prefetcher(o.prefetcher, o.degree));
+    wl->reset();
+    auto r = sys.run(*wl, o.warmup, o.measure);
+    if (o.json)
+        stats::write_json(std::cout, r);
+    else
+        report(label + " / " + o.prefetcher, r, base ? &*base : nullptr);
+    return 0;
+}
