@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_triage.dir/ablation_triage.cpp.o"
+  "CMakeFiles/ablation_triage.dir/ablation_triage.cpp.o.d"
+  "ablation_triage"
+  "ablation_triage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_triage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

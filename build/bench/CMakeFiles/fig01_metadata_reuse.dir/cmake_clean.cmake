@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_metadata_reuse.dir/fig01_metadata_reuse.cpp.o"
+  "CMakeFiles/fig01_metadata_reuse.dir/fig01_metadata_reuse.cpp.o.d"
+  "fig01_metadata_reuse"
+  "fig01_metadata_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_metadata_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

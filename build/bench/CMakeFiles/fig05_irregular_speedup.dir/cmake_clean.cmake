@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_irregular_speedup.dir/fig05_irregular_speedup.cpp.o"
+  "CMakeFiles/fig05_irregular_speedup.dir/fig05_irregular_speedup.cpp.o.d"
+  "fig05_irregular_speedup"
+  "fig05_irregular_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_irregular_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_coverage_accuracy.dir/fig06_coverage_accuracy.cpp.o"
+  "CMakeFiles/fig06_coverage_accuracy.dir/fig06_coverage_accuracy.cpp.o.d"
+  "fig06_coverage_accuracy"
+  "fig06_coverage_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_coverage_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_regular_spec.dir/fig08_regular_spec.cpp.o"
+  "CMakeFiles/fig08_regular_spec.dir/fig08_regular_spec.cpp.o.d"
+  "fig08_regular_spec"
+  "fig08_regular_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_regular_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

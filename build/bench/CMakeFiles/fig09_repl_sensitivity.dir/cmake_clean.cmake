@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_repl_sensitivity.dir/fig09_repl_sensitivity.cpp.o"
+  "CMakeFiles/fig09_repl_sensitivity.dir/fig09_repl_sensitivity.cpp.o.d"
+  "fig09_repl_sensitivity"
+  "fig09_repl_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_repl_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_hybrid.dir/fig10_hybrid.cpp.o"
+  "CMakeFiles/fig10_hybrid.dir/fig10_hybrid.cpp.o.d"
+  "fig10_hybrid"
+  "fig10_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

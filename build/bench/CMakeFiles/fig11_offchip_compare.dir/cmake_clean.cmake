@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_offchip_compare.dir/fig11_offchip_compare.cpp.o"
+  "CMakeFiles/fig11_offchip_compare.dir/fig11_offchip_compare.cpp.o.d"
+  "fig11_offchip_compare"
+  "fig11_offchip_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_offchip_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig12_design_space.cpp" "bench/CMakeFiles/fig12_design_space.dir/fig12_design_space.cpp.o" "gcc" "bench/CMakeFiles/fig12_design_space.dir/fig12_design_space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/triage_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/triage_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/triage_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/triage/CMakeFiles/triage_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/replacement/CMakeFiles/triage_replacement.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/triage_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/triage_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/triage_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/triage_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

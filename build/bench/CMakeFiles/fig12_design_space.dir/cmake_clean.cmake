@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_design_space.dir/fig12_design_space.cpp.o"
+  "CMakeFiles/fig12_design_space.dir/fig12_design_space.cpp.o.d"
+  "fig12_design_space"
+  "fig12_design_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_design_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

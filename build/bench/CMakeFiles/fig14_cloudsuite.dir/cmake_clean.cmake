@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_cloudsuite.dir/fig14_cloudsuite.cpp.o"
+  "CMakeFiles/fig14_cloudsuite.dir/fig14_cloudsuite.cpp.o.d"
+  "fig14_cloudsuite"
+  "fig14_cloudsuite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_cloudsuite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_dynamic_vs_static.dir/fig15_dynamic_vs_static.cpp.o"
+  "CMakeFiles/fig15_dynamic_vs_static.dir/fig15_dynamic_vs_static.cpp.o.d"
+  "fig15_dynamic_vs_static"
+  "fig15_dynamic_vs_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_dynamic_vs_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_multiprog_irregular.dir/fig16_multiprog_irregular.cpp.o"
+  "CMakeFiles/fig16_multiprog_irregular.dir/fig16_multiprog_irregular.cpp.o.d"
+  "fig16_multiprog_irregular"
+  "fig16_multiprog_irregular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_multiprog_irregular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

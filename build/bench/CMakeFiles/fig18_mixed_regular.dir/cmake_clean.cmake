@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_mixed_regular.dir/fig18_mixed_regular.cpp.o"
+  "CMakeFiles/fig18_mixed_regular.dir/fig18_mixed_regular.cpp.o.d"
+  "fig18_mixed_regular"
+  "fig18_mixed_regular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_mixed_regular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_way_allocation.dir/fig19_way_allocation.cpp.o"
+  "CMakeFiles/fig19_way_allocation.dir/fig19_way_allocation.cpp.o.d"
+  "fig19_way_allocation"
+  "fig19_way_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_way_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

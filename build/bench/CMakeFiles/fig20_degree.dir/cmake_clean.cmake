@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_degree.dir/fig20_degree.cpp.o"
+  "CMakeFiles/fig20_degree.dir/fig20_degree.cpp.o.d"
+  "fig20_degree"
+  "fig20_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

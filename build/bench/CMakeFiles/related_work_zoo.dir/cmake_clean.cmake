@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/related_work_zoo.dir/related_work_zoo.cpp.o"
+  "CMakeFiles/related_work_zoo.dir/related_work_zoo.cpp.o.d"
+  "related_work_zoo"
+  "related_work_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/related_work_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sens_epoch.dir/sens_epoch.cpp.o"
+  "CMakeFiles/sens_epoch.dir/sens_epoch.cpp.o.d"
+  "sens_epoch"
+  "sens_epoch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sens_epoch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sens_fidelity.dir/sens_fidelity.cpp.o"
+  "CMakeFiles/sens_fidelity.dir/sens_fidelity.cpp.o.d"
+  "sens_fidelity"
+  "sens_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sens_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

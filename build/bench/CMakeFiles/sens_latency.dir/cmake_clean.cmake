@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sens_latency.dir/sens_latency.cpp.o"
+  "CMakeFiles/sens_latency.dir/sens_latency.cpp.o.d"
+  "sens_latency"
+  "sens_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sens_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

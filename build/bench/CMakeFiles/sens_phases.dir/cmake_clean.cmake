@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sens_phases.dir/sens_phases.cpp.o"
+  "CMakeFiles/sens_phases.dir/sens_phases.cpp.o.d"
+  "sens_phases"
+  "sens_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sens_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/database_index.dir/database_index.cpp.o"
+  "CMakeFiles/database_index.dir/database_index.cpp.o.d"
+  "database_index"
+  "database_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/database_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triage_cache.dir/cache.cpp.o"
+  "CMakeFiles/triage_cache.dir/cache.cpp.o.d"
+  "CMakeFiles/triage_cache.dir/hierarchy.cpp.o"
+  "CMakeFiles/triage_cache.dir/hierarchy.cpp.o.d"
+  "libtriage_cache.a"
+  "libtriage_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triage_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prefetch/best_offset.cpp" "src/prefetch/CMakeFiles/triage_prefetch.dir/best_offset.cpp.o" "gcc" "src/prefetch/CMakeFiles/triage_prefetch.dir/best_offset.cpp.o.d"
+  "/root/repo/src/prefetch/ghb_pcdc.cpp" "src/prefetch/CMakeFiles/triage_prefetch.dir/ghb_pcdc.cpp.o" "gcc" "src/prefetch/CMakeFiles/triage_prefetch.dir/ghb_pcdc.cpp.o.d"
+  "/root/repo/src/prefetch/ghb_temporal.cpp" "src/prefetch/CMakeFiles/triage_prefetch.dir/ghb_temporal.cpp.o" "gcc" "src/prefetch/CMakeFiles/triage_prefetch.dir/ghb_temporal.cpp.o.d"
+  "/root/repo/src/prefetch/hybrid.cpp" "src/prefetch/CMakeFiles/triage_prefetch.dir/hybrid.cpp.o" "gcc" "src/prefetch/CMakeFiles/triage_prefetch.dir/hybrid.cpp.o.d"
+  "/root/repo/src/prefetch/markov.cpp" "src/prefetch/CMakeFiles/triage_prefetch.dir/markov.cpp.o" "gcc" "src/prefetch/CMakeFiles/triage_prefetch.dir/markov.cpp.o.d"
+  "/root/repo/src/prefetch/misb.cpp" "src/prefetch/CMakeFiles/triage_prefetch.dir/misb.cpp.o" "gcc" "src/prefetch/CMakeFiles/triage_prefetch.dir/misb.cpp.o.d"
+  "/root/repo/src/prefetch/sms.cpp" "src/prefetch/CMakeFiles/triage_prefetch.dir/sms.cpp.o" "gcc" "src/prefetch/CMakeFiles/triage_prefetch.dir/sms.cpp.o.d"
+  "/root/repo/src/prefetch/stride.cpp" "src/prefetch/CMakeFiles/triage_prefetch.dir/stride.cpp.o" "gcc" "src/prefetch/CMakeFiles/triage_prefetch.dir/stride.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/triage_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/triage_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triage_prefetch.dir/best_offset.cpp.o"
+  "CMakeFiles/triage_prefetch.dir/best_offset.cpp.o.d"
+  "CMakeFiles/triage_prefetch.dir/ghb_pcdc.cpp.o"
+  "CMakeFiles/triage_prefetch.dir/ghb_pcdc.cpp.o.d"
+  "CMakeFiles/triage_prefetch.dir/ghb_temporal.cpp.o"
+  "CMakeFiles/triage_prefetch.dir/ghb_temporal.cpp.o.d"
+  "CMakeFiles/triage_prefetch.dir/hybrid.cpp.o"
+  "CMakeFiles/triage_prefetch.dir/hybrid.cpp.o.d"
+  "CMakeFiles/triage_prefetch.dir/markov.cpp.o"
+  "CMakeFiles/triage_prefetch.dir/markov.cpp.o.d"
+  "CMakeFiles/triage_prefetch.dir/misb.cpp.o"
+  "CMakeFiles/triage_prefetch.dir/misb.cpp.o.d"
+  "CMakeFiles/triage_prefetch.dir/sms.cpp.o"
+  "CMakeFiles/triage_prefetch.dir/sms.cpp.o.d"
+  "CMakeFiles/triage_prefetch.dir/stride.cpp.o"
+  "CMakeFiles/triage_prefetch.dir/stride.cpp.o.d"
+  "libtriage_prefetch.a"
+  "libtriage_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triage_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

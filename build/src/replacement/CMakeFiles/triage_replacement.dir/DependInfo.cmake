@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/replacement/belady.cpp" "src/replacement/CMakeFiles/triage_replacement.dir/belady.cpp.o" "gcc" "src/replacement/CMakeFiles/triage_replacement.dir/belady.cpp.o.d"
+  "/root/repo/src/replacement/drrip.cpp" "src/replacement/CMakeFiles/triage_replacement.dir/drrip.cpp.o" "gcc" "src/replacement/CMakeFiles/triage_replacement.dir/drrip.cpp.o.d"
+  "/root/repo/src/replacement/hawkeye.cpp" "src/replacement/CMakeFiles/triage_replacement.dir/hawkeye.cpp.o" "gcc" "src/replacement/CMakeFiles/triage_replacement.dir/hawkeye.cpp.o.d"
+  "/root/repo/src/replacement/lru.cpp" "src/replacement/CMakeFiles/triage_replacement.dir/lru.cpp.o" "gcc" "src/replacement/CMakeFiles/triage_replacement.dir/lru.cpp.o.d"
+  "/root/repo/src/replacement/optgen.cpp" "src/replacement/CMakeFiles/triage_replacement.dir/optgen.cpp.o" "gcc" "src/replacement/CMakeFiles/triage_replacement.dir/optgen.cpp.o.d"
+  "/root/repo/src/replacement/ship.cpp" "src/replacement/CMakeFiles/triage_replacement.dir/ship.cpp.o" "gcc" "src/replacement/CMakeFiles/triage_replacement.dir/ship.cpp.o.d"
+  "/root/repo/src/replacement/srrip.cpp" "src/replacement/CMakeFiles/triage_replacement.dir/srrip.cpp.o" "gcc" "src/replacement/CMakeFiles/triage_replacement.dir/srrip.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/triage_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triage_replacement.dir/belady.cpp.o"
+  "CMakeFiles/triage_replacement.dir/belady.cpp.o.d"
+  "CMakeFiles/triage_replacement.dir/drrip.cpp.o"
+  "CMakeFiles/triage_replacement.dir/drrip.cpp.o.d"
+  "CMakeFiles/triage_replacement.dir/hawkeye.cpp.o"
+  "CMakeFiles/triage_replacement.dir/hawkeye.cpp.o.d"
+  "CMakeFiles/triage_replacement.dir/lru.cpp.o"
+  "CMakeFiles/triage_replacement.dir/lru.cpp.o.d"
+  "CMakeFiles/triage_replacement.dir/optgen.cpp.o"
+  "CMakeFiles/triage_replacement.dir/optgen.cpp.o.d"
+  "CMakeFiles/triage_replacement.dir/ship.cpp.o"
+  "CMakeFiles/triage_replacement.dir/ship.cpp.o.d"
+  "CMakeFiles/triage_replacement.dir/srrip.cpp.o"
+  "CMakeFiles/triage_replacement.dir/srrip.cpp.o.d"
+  "libtriage_replacement.a"
+  "libtriage_replacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triage_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cpu.cpp" "src/sim/CMakeFiles/triage_engine.dir/cpu.cpp.o" "gcc" "src/sim/CMakeFiles/triage_engine.dir/cpu.cpp.o.d"
+  "/root/repo/src/sim/multicore.cpp" "src/sim/CMakeFiles/triage_engine.dir/multicore.cpp.o" "gcc" "src/sim/CMakeFiles/triage_engine.dir/multicore.cpp.o.d"
+  "/root/repo/src/sim/system.cpp" "src/sim/CMakeFiles/triage_engine.dir/system.cpp.o" "gcc" "src/sim/CMakeFiles/triage_engine.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/triage_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/triage_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/replacement/CMakeFiles/triage_replacement.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/triage_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/triage_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

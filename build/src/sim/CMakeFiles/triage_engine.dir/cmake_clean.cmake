@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triage_engine.dir/cpu.cpp.o"
+  "CMakeFiles/triage_engine.dir/cpu.cpp.o.d"
+  "CMakeFiles/triage_engine.dir/multicore.cpp.o"
+  "CMakeFiles/triage_engine.dir/multicore.cpp.o.d"
+  "CMakeFiles/triage_engine.dir/system.cpp.o"
+  "CMakeFiles/triage_engine.dir/system.cpp.o.d"
+  "libtriage_engine.a"
+  "libtriage_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triage_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtriage_engine.a"
+)

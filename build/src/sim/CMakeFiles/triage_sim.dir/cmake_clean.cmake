@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triage_sim.dir/config.cpp.o"
+  "CMakeFiles/triage_sim.dir/config.cpp.o.d"
+  "CMakeFiles/triage_sim.dir/dram.cpp.o"
+  "CMakeFiles/triage_sim.dir/dram.cpp.o.d"
+  "CMakeFiles/triage_sim.dir/tlb.cpp.o"
+  "CMakeFiles/triage_sim.dir/tlb.cpp.o.d"
+  "libtriage_sim.a"
+  "libtriage_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triage_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

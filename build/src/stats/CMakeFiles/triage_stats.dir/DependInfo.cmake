@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/csv.cpp" "src/stats/CMakeFiles/triage_stats.dir/csv.cpp.o" "gcc" "src/stats/CMakeFiles/triage_stats.dir/csv.cpp.o.d"
+  "/root/repo/src/stats/experiment.cpp" "src/stats/CMakeFiles/triage_stats.dir/experiment.cpp.o" "gcc" "src/stats/CMakeFiles/triage_stats.dir/experiment.cpp.o.d"
+  "/root/repo/src/stats/metrics.cpp" "src/stats/CMakeFiles/triage_stats.dir/metrics.cpp.o" "gcc" "src/stats/CMakeFiles/triage_stats.dir/metrics.cpp.o.d"
+  "/root/repo/src/stats/report.cpp" "src/stats/CMakeFiles/triage_stats.dir/report.cpp.o" "gcc" "src/stats/CMakeFiles/triage_stats.dir/report.cpp.o.d"
+  "/root/repo/src/stats/table.cpp" "src/stats/CMakeFiles/triage_stats.dir/table.cpp.o" "gcc" "src/stats/CMakeFiles/triage_stats.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/triage_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/triage_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/triage_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/triage_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/triage_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/triage/CMakeFiles/triage_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/triage_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/replacement/CMakeFiles/triage_replacement.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

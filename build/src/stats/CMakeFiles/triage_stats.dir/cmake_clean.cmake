@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triage_stats.dir/csv.cpp.o"
+  "CMakeFiles/triage_stats.dir/csv.cpp.o.d"
+  "CMakeFiles/triage_stats.dir/experiment.cpp.o"
+  "CMakeFiles/triage_stats.dir/experiment.cpp.o.d"
+  "CMakeFiles/triage_stats.dir/metrics.cpp.o"
+  "CMakeFiles/triage_stats.dir/metrics.cpp.o.d"
+  "CMakeFiles/triage_stats.dir/report.cpp.o"
+  "CMakeFiles/triage_stats.dir/report.cpp.o.d"
+  "CMakeFiles/triage_stats.dir/table.cpp.o"
+  "CMakeFiles/triage_stats.dir/table.cpp.o.d"
+  "libtriage_stats.a"
+  "libtriage_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triage_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/triage/meta_repl.cpp" "src/triage/CMakeFiles/triage_core.dir/meta_repl.cpp.o" "gcc" "src/triage/CMakeFiles/triage_core.dir/meta_repl.cpp.o.d"
+  "/root/repo/src/triage/metadata_store.cpp" "src/triage/CMakeFiles/triage_core.dir/metadata_store.cpp.o" "gcc" "src/triage/CMakeFiles/triage_core.dir/metadata_store.cpp.o.d"
+  "/root/repo/src/triage/partition.cpp" "src/triage/CMakeFiles/triage_core.dir/partition.cpp.o" "gcc" "src/triage/CMakeFiles/triage_core.dir/partition.cpp.o.d"
+  "/root/repo/src/triage/tag_compressor.cpp" "src/triage/CMakeFiles/triage_core.dir/tag_compressor.cpp.o" "gcc" "src/triage/CMakeFiles/triage_core.dir/tag_compressor.cpp.o.d"
+  "/root/repo/src/triage/training_unit.cpp" "src/triage/CMakeFiles/triage_core.dir/training_unit.cpp.o" "gcc" "src/triage/CMakeFiles/triage_core.dir/training_unit.cpp.o.d"
+  "/root/repo/src/triage/triage.cpp" "src/triage/CMakeFiles/triage_core.dir/triage.cpp.o" "gcc" "src/triage/CMakeFiles/triage_core.dir/triage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/triage_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/triage_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/triage_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/replacement/CMakeFiles/triage_replacement.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triage_core.dir/meta_repl.cpp.o"
+  "CMakeFiles/triage_core.dir/meta_repl.cpp.o.d"
+  "CMakeFiles/triage_core.dir/metadata_store.cpp.o"
+  "CMakeFiles/triage_core.dir/metadata_store.cpp.o.d"
+  "CMakeFiles/triage_core.dir/partition.cpp.o"
+  "CMakeFiles/triage_core.dir/partition.cpp.o.d"
+  "CMakeFiles/triage_core.dir/tag_compressor.cpp.o"
+  "CMakeFiles/triage_core.dir/tag_compressor.cpp.o.d"
+  "CMakeFiles/triage_core.dir/training_unit.cpp.o"
+  "CMakeFiles/triage_core.dir/training_unit.cpp.o.d"
+  "CMakeFiles/triage_core.dir/triage.cpp.o"
+  "CMakeFiles/triage_core.dir/triage.cpp.o.d"
+  "libtriage_core.a"
+  "libtriage_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triage_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

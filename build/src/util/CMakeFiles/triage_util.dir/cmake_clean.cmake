@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triage_util.dir/log.cpp.o"
+  "CMakeFiles/triage_util.dir/log.cpp.o.d"
+  "CMakeFiles/triage_util.dir/rng.cpp.o"
+  "CMakeFiles/triage_util.dir/rng.cpp.o.d"
+  "libtriage_util.a"
+  "libtriage_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triage_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

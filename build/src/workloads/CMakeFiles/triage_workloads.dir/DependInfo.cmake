@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/kernels.cpp" "src/workloads/CMakeFiles/triage_workloads.dir/kernels.cpp.o" "gcc" "src/workloads/CMakeFiles/triage_workloads.dir/kernels.cpp.o.d"
+  "/root/repo/src/workloads/mixes.cpp" "src/workloads/CMakeFiles/triage_workloads.dir/mixes.cpp.o" "gcc" "src/workloads/CMakeFiles/triage_workloads.dir/mixes.cpp.o.d"
+  "/root/repo/src/workloads/phased.cpp" "src/workloads/CMakeFiles/triage_workloads.dir/phased.cpp.o" "gcc" "src/workloads/CMakeFiles/triage_workloads.dir/phased.cpp.o.d"
+  "/root/repo/src/workloads/spec.cpp" "src/workloads/CMakeFiles/triage_workloads.dir/spec.cpp.o" "gcc" "src/workloads/CMakeFiles/triage_workloads.dir/spec.cpp.o.d"
+  "/root/repo/src/workloads/synthetic.cpp" "src/workloads/CMakeFiles/triage_workloads.dir/synthetic.cpp.o" "gcc" "src/workloads/CMakeFiles/triage_workloads.dir/synthetic.cpp.o.d"
+  "/root/repo/src/workloads/trace_io.cpp" "src/workloads/CMakeFiles/triage_workloads.dir/trace_io.cpp.o" "gcc" "src/workloads/CMakeFiles/triage_workloads.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/triage_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/triage_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

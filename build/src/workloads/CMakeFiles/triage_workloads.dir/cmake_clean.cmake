@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triage_workloads.dir/kernels.cpp.o"
+  "CMakeFiles/triage_workloads.dir/kernels.cpp.o.d"
+  "CMakeFiles/triage_workloads.dir/mixes.cpp.o"
+  "CMakeFiles/triage_workloads.dir/mixes.cpp.o.d"
+  "CMakeFiles/triage_workloads.dir/phased.cpp.o"
+  "CMakeFiles/triage_workloads.dir/phased.cpp.o.d"
+  "CMakeFiles/triage_workloads.dir/spec.cpp.o"
+  "CMakeFiles/triage_workloads.dir/spec.cpp.o.d"
+  "CMakeFiles/triage_workloads.dir/synthetic.cpp.o"
+  "CMakeFiles/triage_workloads.dir/synthetic.cpp.o.d"
+  "CMakeFiles/triage_workloads.dir/trace_io.cpp.o"
+  "CMakeFiles/triage_workloads.dir/trace_io.cpp.o.d"
+  "libtriage_workloads.a"
+  "libtriage_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triage_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_misb.dir/test_misb.cpp.o"
+  "CMakeFiles/test_misb.dir/test_misb.cpp.o.d"
+  "test_misb"
+  "test_misb.pdb"
+  "test_misb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_misb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_details.dir/test_model_details.cpp.o"
+  "CMakeFiles/test_model_details.dir/test_model_details.cpp.o.d"
+  "test_model_details"
+  "test_model_details.pdb"
+  "test_model_details[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_details.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prefetcher_internals.dir/test_prefetcher_internals.cpp.o"
+  "CMakeFiles/test_prefetcher_internals.dir/test_prefetcher_internals.cpp.o.d"
+  "test_prefetcher_internals"
+  "test_prefetcher_internals.pdb"
+  "test_prefetcher_internals[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prefetcher_internals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

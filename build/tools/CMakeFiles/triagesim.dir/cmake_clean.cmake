@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triagesim.dir/triagesim.cpp.o"
+  "CMakeFiles/triagesim.dir/triagesim.cpp.o.d"
+  "triagesim"
+  "triagesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triagesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
