@@ -1,5 +1,6 @@
 #include "cache/cache.hpp"
 
+#include "obs/registry.hpp"
 #include "util/bitops.hpp"
 #include "util/log.hpp"
 
@@ -196,6 +197,28 @@ SetAssocCache::valid_lines() const
     for (const auto& l : lines_)
         n += l.valid ? 1 : 0;
     return n;
+}
+
+void
+SetAssocCache::register_stats(obs::Registry& reg,
+                              const std::string& prefix) const
+{
+    obs::Scope s(reg, prefix);
+    s.bind_counter("demand_hits", &stats_.demand_hits);
+    s.bind_counter("demand_misses", &stats_.demand_misses);
+    s.bind_counter("pf_probe_hits", &stats_.pf_probe_hits);
+    s.bind_counter("pf_probe_misses", &stats_.pf_probe_misses);
+    s.bind_counter("prefetch_hits", &stats_.prefetch_hits);
+    s.bind_counter("late_prefetch_hits", &stats_.late_prefetch_hits);
+    s.bind_counter("evictions", &stats_.evictions);
+    s.bind_counter("dirty_evictions", &stats_.dirty_evictions);
+    s.bind_counter("unused_prefetch_evictions",
+                   &stats_.unused_prefetch_evictions);
+    const CacheStats* st = &stats_;
+    s.add_formula("demand_miss_rate", [st] {
+        const double acc = static_cast<double>(st->demand_accesses());
+        return acc > 0.0 ? static_cast<double>(st->demand_misses) / acc : 0.0;
+    });
 }
 
 } // namespace triage::cache

@@ -20,6 +20,10 @@ namespace triage::prefetch {
 class Prefetcher;
 } // namespace triage::prefetch
 
+namespace triage::obs {
+class Registry;
+} // namespace triage::obs
+
 namespace triage::cache {
 
 /** One cache line's bookkeeping state. */
@@ -131,6 +135,10 @@ class SetAssocCache
     std::uint32_t assoc() const { return assoc_; }
     std::uint32_t num_sets() const { return sets_; }
     const CacheStats& stats() const { return stats_; }
+
+    /** Bind hit/miss/eviction counters into @p reg under @p prefix. */
+    void register_stats(obs::Registry& reg,
+                        const std::string& prefix) const;
     void clear_stats() { stats_ = {}; }
     const std::string& name() const { return name_; }
 

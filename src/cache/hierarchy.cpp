@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/event_trace.hpp"
+#include "obs/registry.hpp"
+
 #include "replacement/drrip.hpp"
 #include "replacement/hawkeye.hpp"
 #include "replacement/lru.hpp"
@@ -99,6 +102,9 @@ MemorySystem::credit_prefetch(const LookupResult& r)
     ++r.pf_owner->stats().useful;
     if (r.late_prefetch)
         ++r.pf_owner->stats().late;
+    if (trace_ != nullptr)
+        trace_->emit(obs::EventKind::PrefetchUseful, r.line->block,
+                     r.late_prefetch ? 1 : 0);
 }
 
 sim::Cycle
@@ -125,6 +131,9 @@ MemorySystem::access(unsigned core, sim::Pc pc, sim::Addr byte_addr,
 {
     PerCore& pcs = cores_[core];
     sim::Addr block = sim::block_of(byte_addr);
+
+    if (trace_ != nullptr)
+        trace_->set_context(now, core);
 
     // Address translation (optional Table 1 TLBs): latency only.
     if (pcs.tlb != nullptr)
@@ -250,10 +259,31 @@ MemorySystem::issue_prefetch(unsigned core, sim::Addr block,
                              sim::Cycle when, prefetch::Prefetcher* owner)
 {
     PerCore& pcs = cores_[core];
-    if (pcs.l2->peek(block) != nullptr)
+    if (trace_ != nullptr)
+        trace_->set_context(when, core);
+    if (pcs.l2->peek(block) != nullptr) {
+        if (trace_ != nullptr)
+            trace_->emit(obs::EventKind::PrefetchRedundant, block);
         return prefetch::PfOutcome::RedundantL2;
+    }
     prefetch::PfOutcome outcome = prefetch::PfOutcome::RedundantL2;
     fetch_into_l2(core, 0, block, when, true, owner, &outcome);
+    if (trace_ != nullptr) {
+        switch (outcome) {
+          case prefetch::PfOutcome::IssuedToDram:
+            trace_->emit(obs::EventKind::PrefetchIssued, block, 0);
+            break;
+          case prefetch::PfOutcome::FilledFromLlc:
+            trace_->emit(obs::EventKind::PrefetchIssued, block, 1);
+            break;
+          case prefetch::PfOutcome::DroppedBandwidth:
+            trace_->emit(obs::EventKind::PrefetchDropped, block);
+            break;
+          default:
+            trace_->emit(obs::EventKind::PrefetchRedundant, block);
+            break;
+        }
+    }
     return outcome;
 }
 
@@ -382,6 +412,52 @@ MemorySystem::clear_stats(sim::Cycle now)
     llc_->clear_stats();
     dram_.clear_traffic();
     stats_epoch_start_ = now;
+}
+
+void
+MemorySystem::register_stats(obs::Registry& reg) const
+{
+    for (unsigned c = 0; c < n_cores_; ++c) {
+        const PerCore& pcs = cores_[c];
+        const std::string base = "core" + std::to_string(c);
+        pcs.l1->register_stats(reg, base + ".l1");
+        pcs.l2->register_stats(reg, base + ".l2");
+        if (pcs.tlb)
+            pcs.tlb->register_stats(reg, base + ".tlb");
+        if (pcs.stride)
+            pcs.stride->register_stats(reg, base + ".stride");
+        if (pcs.l2pf)
+            pcs.l2pf->register_stats(reg, base + ".pf");
+        obs::Scope s(reg, base + ".meta");
+        s.bind_counter("onchip_accesses", &pcs.energy.onchip_accesses);
+        s.bind_counter("offchip_accesses", &pcs.energy.offchip_accesses);
+        s.bind_counter("capacity_bytes", &pcs.meta_bytes);
+        const PerCore* pp = &pcs;
+        s.add_formula("ways_now", [pp] { return pp->ways_now; });
+        s.add_formula("energy_units",
+                      [pp] { return pp->energy.units(); });
+    }
+    llc_->register_stats(reg, "llc");
+    dram_.register_stats(reg, "dram");
+    const SetAssocCache* llc = llc_.get();
+    reg.add_formula("llc.metadata_ways", [llc] {
+        return static_cast<double>(llc->assoc() - llc->data_ways());
+    });
+    reg.add_formula("llc.data_ways", [llc] {
+        return static_cast<double>(llc->data_ways());
+    });
+}
+
+void
+MemorySystem::set_trace(obs::EventTrace* trace)
+{
+    trace_ = trace;
+    for (auto& c : cores_) {
+        if (c.l2pf)
+            c.l2pf->set_trace(trace);
+        if (c.stride)
+            c.stride->set_trace(trace);
+    }
 }
 
 } // namespace triage::cache

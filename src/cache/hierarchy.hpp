@@ -26,6 +26,11 @@
 #include "sim/tlb.hpp"
 #include "sim/types.hpp"
 
+namespace triage::obs {
+class EventTrace;
+class Registry;
+} // namespace triage::obs
+
 namespace triage::cache {
 
 /** Per-core on-/off-chip metadata access counters (energy model). */
@@ -104,6 +109,18 @@ class MemorySystem final : public prefetch::PrefetchHost
     /** Reset all statistics (cache contents stay warm). */
     void clear_stats(sim::Cycle now);
 
+    /**
+     * Bind the whole hierarchy's counters into @p reg:
+     * "core<i>.l1"/"l2"/"tlb"/"pf", "llc", "dram", plus per-core
+     * metadata energy and way-allocation formulas.
+     */
+    void register_stats(obs::Registry& reg) const;
+
+    /** Attach (or detach, with null) the event trace; propagated to
+     *  per-core prefetchers. */
+    void set_trace(obs::EventTrace* trace);
+    obs::EventTrace* trace() { return trace_; }
+
   private:
     struct PerCore {
         std::unique_ptr<SetAssocCache> l1;
@@ -144,6 +161,7 @@ class MemorySystem final : public prefetch::PrefetchHost
     std::unique_ptr<SetAssocCache> llc_;
     sim::Dram dram_;
     sim::Cycle stats_epoch_start_ = 0;
+    obs::EventTrace* trace_ = nullptr;
 };
 
 } // namespace triage::cache

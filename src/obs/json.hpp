@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Minimal JSON parser for validating the simulator's own emissions
+ * (tests and tools/check_stats_json). Parses the full JSON grammar
+ * into a small value tree; not a performance-oriented parser and not
+ * meant for untrusted megabyte inputs.
+ */
+#ifndef TRIAGE_OBS_JSON_HPP
+#define TRIAGE_OBS_JSON_HPP
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace triage::obs::json {
+
+/** A parsed JSON value. */
+class Value
+{
+  public:
+    enum class Type : unsigned char {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<Value> array;
+    std::map<std::string, Value> object;
+
+    bool is_null() const { return type == Type::Null; }
+    bool is_bool() const { return type == Type::Bool; }
+    bool is_number() const { return type == Type::Number; }
+    bool is_string() const { return type == Type::String; }
+    bool is_array() const { return type == Type::Array; }
+    bool is_object() const { return type == Type::Object; }
+
+    /** Object member lookup; null when absent or not an object. */
+    const Value* get(const std::string& key) const;
+
+    /** Dotted-path lookup ("cores" inside nested objects). */
+    const Value* find_path(const std::string& dotted) const;
+};
+
+/**
+ * Parse @p text as one JSON document (trailing whitespace allowed).
+ * @return nullopt on any syntax error; when @p error is non-null it
+ *         receives a short description with a byte offset.
+ */
+std::optional<Value> parse(std::string_view text,
+                           std::string* error = nullptr);
+
+} // namespace triage::obs::json
+
+#endif // TRIAGE_OBS_JSON_HPP

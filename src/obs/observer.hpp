@@ -1,0 +1,28 @@
+/**
+ * @file
+ * The observability bundle a run harness attaches to a system: one
+ * stats registry, one epoch sampler and one event trace. Systems that
+ * have an Observability attached (re)register their components into
+ * the registry at run start, wire the trace pointer through the
+ * hierarchy, and drive the sampler from their run loop; with nothing
+ * attached every hook is a null-pointer test.
+ */
+#ifndef TRIAGE_OBS_OBSERVER_HPP
+#define TRIAGE_OBS_OBSERVER_HPP
+
+#include "obs/event_trace.hpp"
+#include "obs/registry.hpp"
+#include "obs/sampler.hpp"
+
+namespace triage::obs {
+
+/** Registry + sampler + trace, attached to a system as one unit. */
+struct Observability {
+    Registry registry;
+    EpochSampler sampler;
+    EventTrace trace;
+};
+
+} // namespace triage::obs
+
+#endif // TRIAGE_OBS_OBSERVER_HPP

@@ -1,0 +1,317 @@
+#include "obs/registry.hpp"
+
+#include <bit>
+#include <cmath>
+#include <ostream>
+
+#include "util/log.hpp"
+
+namespace triage::obs {
+
+// ---------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------
+
+void
+Histogram::sample(std::uint64_t v, std::uint64_t weight)
+{
+    if (weight == 0)
+        return;
+    buckets_[std::bit_width(v)] += weight;
+    if (count_ == 0 || v < min_)
+        min_ = v;
+    if (v > max_)
+        max_ = v;
+    count_ += weight;
+    sum_ += v * weight;
+}
+
+double
+Histogram::mean() const
+{
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) /
+                             static_cast<double>(count_);
+}
+
+std::uint64_t
+Histogram::percentile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    // Rank of the q-th sample, 1-based, rounded up (q=0 -> first).
+    auto rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    if (rank == 0)
+        rank = 1;
+    std::uint64_t seen = 0;
+    for (unsigned b = 0; b < BUCKETS; ++b) {
+        seen += buckets_[b];
+        if (seen >= rank) {
+            // Upper edge of bucket b, clamped into the observed range.
+            std::uint64_t edge =
+                b == 0 ? 0 : (b >= 64 ? max_ : (1ULL << b) - 1);
+            return std::min(std::max(edge, min()), max_);
+        }
+    }
+    return max_;
+}
+
+void
+Histogram::reset()
+{
+    *this = Histogram{};
+}
+
+// ---------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------
+
+Registry::Stat&
+Registry::insert(const std::string& name, const std::string& desc,
+                 StatKind kind)
+{
+    TRIAGE_ASSERT(!name.empty(), "stat name must be non-empty");
+    auto [it, fresh] = stats_.try_emplace(name);
+    TRIAGE_ASSERT(fresh, "duplicate stat registration: ", name);
+    it->second.kind = kind;
+    it->second.desc = desc;
+    return it->second;
+}
+
+const Registry::Stat&
+Registry::find(const std::string& name) const
+{
+    auto it = stats_.find(name);
+    TRIAGE_ASSERT(it != stats_.end(), "unknown stat: ", name);
+    return it->second;
+}
+
+void
+Registry::bind_counter(const std::string& name, const std::uint64_t* src,
+                       const std::string& desc)
+{
+    TRIAGE_ASSERT(src != nullptr);
+    insert(name, desc, StatKind::Counter).bound_counter = src;
+}
+
+void
+Registry::bind_value(const std::string& name, const double* src,
+                     const std::string& desc)
+{
+    TRIAGE_ASSERT(src != nullptr);
+    insert(name, desc, StatKind::Value).bound_value = src;
+}
+
+void
+Registry::add_formula(const std::string& name, std::function<double()> fn,
+                      const std::string& desc)
+{
+    TRIAGE_ASSERT(fn != nullptr);
+    insert(name, desc, StatKind::Formula).formula = std::move(fn);
+}
+
+Counter&
+Registry::counter(const std::string& name, const std::string& desc)
+{
+    Stat& s = insert(name, desc, StatKind::Counter);
+    s.owned = std::make_unique<Counter>();
+    return *s.owned;
+}
+
+Histogram&
+Registry::histogram(const std::string& name, const std::string& desc)
+{
+    Stat& s = insert(name, desc, StatKind::Histogram);
+    s.hist = std::make_unique<Histogram>();
+    return *s.hist;
+}
+
+bool
+Registry::contains(const std::string& name) const
+{
+    return stats_.find(name) != stats_.end();
+}
+
+double
+Registry::read(const std::string& name) const
+{
+    const Stat& s = find(name);
+    switch (s.kind) {
+      case StatKind::Counter:
+        return static_cast<double>(s.bound_counter != nullptr
+                                       ? *s.bound_counter
+                                       : s.owned->value());
+      case StatKind::Value:
+        return *s.bound_value;
+      case StatKind::Formula:
+        return s.formula();
+      case StatKind::Histogram:
+        return s.hist->mean();
+    }
+    util::panic("unreachable stat kind");
+}
+
+StatKind
+Registry::kind(const std::string& name) const
+{
+    return find(name).kind;
+}
+
+const std::string&
+Registry::description(const std::string& name) const
+{
+    return find(name).desc;
+}
+
+const Histogram*
+Registry::find_histogram(const std::string& name) const
+{
+    auto it = stats_.find(name);
+    if (it == stats_.end() || it->second.kind != StatKind::Histogram)
+        return nullptr;
+    return it->second.hist.get();
+}
+
+std::vector<std::string>
+Registry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(stats_.size());
+    for (const auto& [name, stat] : stats_)
+        out.push_back(name);
+    return out;
+}
+
+void
+Registry::reset()
+{
+    for (auto& [name, stat] : stats_) {
+        if (stat.owned != nullptr)
+            stat.owned->reset();
+        if (stat.hist != nullptr)
+            stat.hist->reset();
+    }
+}
+
+void
+Registry::clear()
+{
+    stats_.clear();
+}
+
+namespace {
+
+/** JSON numbers cannot carry inf/nan; degrade them to 0. */
+double
+finite(double v)
+{
+    return std::isfinite(v) ? v : 0.0;
+}
+
+void
+write_number(std::ostream& os, double v)
+{
+    auto prec = os.precision(10);
+    os << finite(v);
+    os.precision(prec);
+}
+
+std::vector<std::string>
+split_segments(const std::string& name)
+{
+    std::vector<std::string> segs;
+    std::size_t start = 0;
+    while (true) {
+        std::size_t dot = name.find('.', start);
+        if (dot == std::string::npos) {
+            segs.push_back(name.substr(start));
+            return segs;
+        }
+        segs.push_back(name.substr(start, dot - start));
+        start = dot + 1;
+    }
+}
+
+void
+pad(std::ostream& os, int depth)
+{
+    for (int i = 0; i < depth; ++i)
+        os << "  ";
+}
+
+} // namespace
+
+void
+Registry::write_json(std::ostream& os, int indent) const
+{
+    // Sorted map order groups siblings; emit nested objects by tracking
+    // the shared prefix depth between consecutive names.
+    std::vector<std::string> open; // currently open path segments
+    os << "{";
+    bool first = true;
+    for (const auto& [name, stat] : stats_) {
+        auto segs = split_segments(name);
+        // Close objects no longer shared with this name's path.
+        std::size_t shared = 0;
+        while (shared < open.size() && shared + 1 < segs.size() &&
+               open[shared] == segs[shared])
+            ++shared;
+        for (std::size_t d = open.size(); d > shared; --d) {
+            os << "\n";
+            pad(os, indent + static_cast<int>(d));
+            os << "}";
+        }
+        open.resize(shared);
+        if (!first)
+            os << ",";
+        first = false;
+        // Open any new intermediate objects.
+        for (std::size_t d = shared; d + 1 < segs.size(); ++d) {
+            os << "\n";
+            pad(os, indent + static_cast<int>(d) + 1);
+            os << "\"" << segs[d] << "\": {";
+            open.push_back(segs[d]);
+        }
+        os << "\n";
+        pad(os, indent + static_cast<int>(segs.size()));
+        os << "\"" << segs.back() << "\": ";
+        switch (stat.kind) {
+          case StatKind::Counter:
+            os << (stat.bound_counter != nullptr ? *stat.bound_counter
+                                                 : stat.owned->value());
+            break;
+          case StatKind::Value:
+            write_number(os, *stat.bound_value);
+            break;
+          case StatKind::Formula:
+            write_number(os, stat.formula());
+            break;
+          case StatKind::Histogram: {
+            const Histogram& h = *stat.hist;
+            os << "{\"count\": " << h.count() << ", \"sum\": " << h.sum()
+               << ", \"min\": " << h.min() << ", \"max\": " << h.max()
+               << ", \"mean\": ";
+            write_number(os, h.mean());
+            os << ", \"p50\": " << h.percentile(0.50)
+               << ", \"p90\": " << h.percentile(0.90)
+               << ", \"p99\": " << h.percentile(0.99) << "}";
+            break;
+          }
+        }
+    }
+    for (std::size_t d = open.size(); d > 0; --d) {
+        os << "\n";
+        pad(os, indent + static_cast<int>(d));
+        os << "}";
+    }
+    os << "\n";
+    pad(os, indent);
+    os << "}";
+}
+
+} // namespace triage::obs

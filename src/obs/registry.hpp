@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Hierarchical statistics registry (gem5-style).
+ *
+ * Components register named stats under dot-separated hierarchical
+ * names ("core0.l2.demand_misses"). Four stat kinds:
+ *
+ *  - bound counters/values: non-owning views of counters a component
+ *    already keeps in its own stats struct (registration costs nothing
+ *    on the simulation hot path — the registry reads the live field at
+ *    dump time);
+ *  - owned counters: registry-native scalars for components without a
+ *    legacy stats struct;
+ *  - formulas: lazily evaluated derived metrics (hit rates, IPC);
+ *  - histograms: log2-bucketed distributions with percentile queries.
+ *
+ * The registry serializes itself as nested JSON keyed by the name
+ * segments, which is what `triagesim --stats-json` emits.
+ */
+#ifndef TRIAGE_OBS_REGISTRY_HPP
+#define TRIAGE_OBS_REGISTRY_HPP
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace triage::obs {
+
+/** Discriminates Registry entries. */
+enum class StatKind : std::uint8_t {
+    Counter,   ///< monotonic integer (bound or owned)
+    Value,     ///< bound floating-point gauge
+    Formula,   ///< derived metric, evaluated on read
+    Histogram, ///< owned distribution
+};
+
+/** Registry-owned scalar counter. */
+class Counter
+{
+  public:
+    Counter& operator++()
+    {
+        ++v_;
+        return *this;
+    }
+    void add(std::uint64_t n) { v_ += n; }
+    std::uint64_t value() const { return v_; }
+    void reset() { v_ = 0; }
+
+  private:
+    std::uint64_t v_ = 0;
+};
+
+/**
+ * Log2-bucketed histogram of unsigned samples.
+ *
+ * Bucket b holds samples whose bit width is b (i.e. in [2^(b-1), 2^b)),
+ * so percentile queries resolve to within a factor of two — plenty for
+ * latency/occupancy distributions — with 65 fixed buckets and no
+ * per-sample allocation.
+ */
+class Histogram
+{
+  public:
+    void sample(std::uint64_t v, std::uint64_t weight = 1);
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+    std::uint64_t max() const { return max_; }
+    double mean() const;
+
+    /**
+     * Approximate value at quantile @p q in [0, 1]: the upper edge of
+     * the bucket containing the q-th weighted sample (0 when empty).
+     */
+    std::uint64_t percentile(double q) const;
+
+    void reset();
+
+  private:
+    static constexpr unsigned BUCKETS = 65;
+    std::uint64_t buckets_[BUCKETS] = {};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+/** The hierarchical registry. */
+class Registry
+{
+  public:
+    /** Bind a live counter field; @p src must outlive the registry use. */
+    void bind_counter(const std::string& name, const std::uint64_t* src,
+                      const std::string& desc = "");
+    /** Bind a live double field. */
+    void bind_value(const std::string& name, const double* src,
+                    const std::string& desc = "");
+    /** Register a derived metric evaluated at read/dump time. */
+    void add_formula(const std::string& name, std::function<double()> fn,
+                     const std::string& desc = "");
+    /** Create (and own) a scalar counter. */
+    Counter& counter(const std::string& name, const std::string& desc = "");
+    /** Create (and own) a histogram. */
+    Histogram& histogram(const std::string& name,
+                         const std::string& desc = "");
+
+    bool contains(const std::string& name) const;
+    std::size_t size() const { return stats_.size(); }
+
+    /**
+     * Numeric view of any stat: counters and values read their source,
+     * formulas evaluate, histograms report their mean. Panics on an
+     * unknown name.
+     */
+    double read(const std::string& name) const;
+
+    StatKind kind(const std::string& name) const;
+    const std::string& description(const std::string& name) const;
+    const Histogram* find_histogram(const std::string& name) const;
+
+    /** All registered names in sorted (hierarchical) order. */
+    std::vector<std::string> names() const;
+
+    /** Zero owned counters and histograms (bound stats belong to their
+     *  components, which have their own clear_stats paths). */
+    void reset();
+
+    /** Drop every registration (used when a system re-registers). */
+    void clear();
+
+    /**
+     * Serialize as nested JSON: name segments become object keys, so
+     * "core0.l2.demand_misses" lands at {"core0":{"l2":{...}}}.
+     * Histograms expand to {count, sum, min, max, mean, p50, p90, p99}.
+     */
+    void write_json(std::ostream& os, int indent = 0) const;
+
+  private:
+    struct Stat {
+        StatKind kind = StatKind::Counter;
+        std::string desc;
+        const std::uint64_t* bound_counter = nullptr;
+        const double* bound_value = nullptr;
+        std::function<double()> formula;
+        std::unique_ptr<Counter> owned;
+        std::unique_ptr<Histogram> hist;
+    };
+
+    Stat& insert(const std::string& name, const std::string& desc,
+                 StatKind kind);
+    const Stat& find(const std::string& name) const;
+
+    // std::map keeps names sorted, which both groups siblings for the
+    // nested JSON writer and makes dumps deterministic.
+    std::map<std::string, Stat> stats_;
+};
+
+/** Convenience prefix helper: Scope(reg, "core0").name("ipc") etc. */
+class Scope
+{
+  public:
+    Scope(Registry& reg, std::string prefix)
+        : reg_(reg), prefix_(std::move(prefix))
+    {
+    }
+
+    std::string
+    name(const std::string& leaf) const
+    {
+        return prefix_.empty() ? leaf : prefix_ + "." + leaf;
+    }
+
+    Registry& registry() const { return reg_; }
+
+    void
+    bind_counter(const std::string& leaf, const std::uint64_t* src,
+                 const std::string& desc = "") const
+    {
+        reg_.bind_counter(name(leaf), src, desc);
+    }
+    void
+    bind_value(const std::string& leaf, const double* src,
+               const std::string& desc = "") const
+    {
+        reg_.bind_value(name(leaf), src, desc);
+    }
+    void
+    add_formula(const std::string& leaf, std::function<double()> fn,
+                const std::string& desc = "") const
+    {
+        reg_.add_formula(name(leaf), std::move(fn), desc);
+    }
+
+  private:
+    Registry& reg_;
+    std::string prefix_;
+};
+
+} // namespace triage::obs
+
+#endif // TRIAGE_OBS_REGISTRY_HPP

@@ -60,4 +60,26 @@ Hybrid::clear_stats()
         c->clear_stats();
 }
 
+void
+Hybrid::register_stats(obs::Registry& reg, const std::string& prefix) const
+{
+    for (const auto& c : children_)
+        c->register_stats(reg, prefix + "." + c->name());
+}
+
+void
+Hybrid::register_probes(obs::EpochSampler& sampler,
+                        const std::string& prefix) const
+{
+    for (const auto& c : children_)
+        c->register_probes(sampler, prefix + "." + c->name());
+}
+
+void
+Hybrid::set_trace(obs::EventTrace* trace)
+{
+    for (auto& c : children_)
+        c->set_trace(trace);
+}
+
 } // namespace triage::prefetch

@@ -30,6 +30,13 @@ class Hybrid final : public Prefetcher
     PrefetcherStats snapshot() const override;
     void clear_stats() override;
 
+    /** Children register under "<prefix>.<child name>". */
+    void register_stats(obs::Registry& reg,
+                        const std::string& prefix) const override;
+    void register_probes(obs::EpochSampler& sampler,
+                         const std::string& prefix) const override;
+    void set_trace(obs::EventTrace* trace) override;
+
     Prefetcher& child(std::size_t i) { return *children_[i]; }
     std::size_t num_children() const { return children_.size(); }
 

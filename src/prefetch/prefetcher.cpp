@@ -1,0 +1,43 @@
+#include "prefetch/prefetcher.hpp"
+
+#include "obs/registry.hpp"
+#include "obs/sampler.hpp"
+
+namespace triage::prefetch {
+
+void
+Prefetcher::register_stats(obs::Registry& reg,
+                           const std::string& prefix) const
+{
+    obs::Scope s(reg, prefix);
+    s.bind_counter("train_events", &stats_.train_events);
+    s.bind_counter("candidates", &stats_.candidates);
+    s.bind_counter("redundant", &stats_.redundant);
+    s.bind_counter("filled_from_llc", &stats_.filled_from_llc);
+    s.bind_counter("issued_to_dram", &stats_.issued_to_dram);
+    s.bind_counter("dropped", &stats_.dropped);
+    s.bind_counter("useful", &stats_.useful);
+    s.bind_counter("late", &stats_.late);
+    s.bind_counter("meta_onchip_reads", &stats_.meta_onchip_reads);
+    s.bind_counter("meta_onchip_writes", &stats_.meta_onchip_writes);
+    s.bind_counter("meta_offchip_reads", &stats_.meta_offchip_reads);
+    s.bind_counter("meta_offchip_writes", &stats_.meta_offchip_writes);
+    const PrefetcherStats* st = &stats_;
+    s.add_formula("issued", [st] {
+        return static_cast<double>(st->issued());
+    });
+    s.add_formula("accuracy", [st] { return st->accuracy(); });
+}
+
+void
+Prefetcher::register_probes(obs::EpochSampler& sampler,
+                            const std::string& prefix) const
+{
+    const PrefetcherStats* st = &stats_;
+    sampler.add_rate(
+        prefix + ".accuracy",
+        [st] { return static_cast<double>(st->useful); },
+        [st] { return static_cast<double>(st->issued()); });
+}
+
+} // namespace triage::prefetch

@@ -18,6 +18,12 @@
 
 #include "sim/types.hpp"
 
+namespace triage::obs {
+class Registry;
+class EpochSampler;
+class EventTrace;
+} // namespace triage::obs
+
 namespace triage::prefetch {
 
 /** What happened to an issued prefetch candidate. */
@@ -151,6 +157,26 @@ class Prefetcher
     /** Stats snapshot; composites (hybrids) aggregate their children. */
     virtual PrefetcherStats snapshot() const { return stats_; }
     virtual void clear_stats() { stats_ = {}; }
+
+    // --- Observability ---------------------------------------------------
+
+    /**
+     * Bind this prefetcher's counters (and any internal structures —
+     * Triage adds its metadata store and partition controller) into
+     * @p reg under dot-prefix @p prefix.
+     */
+    virtual void register_stats(obs::Registry& reg,
+                                const std::string& prefix) const;
+
+    /**
+     * Contribute per-epoch time-series probes under @p prefix (default:
+     * accuracy; Triage adds metadata hit rate and store size).
+     */
+    virtual void register_probes(obs::EpochSampler& sampler,
+                                 const std::string& prefix) const;
+
+    /** Attach (null: detach) a structured event trace. */
+    virtual void set_trace(obs::EventTrace* trace) { (void)trace; }
 
     PrefetcherStats& stats() { return stats_; }
     const PrefetcherStats& stats() const { return stats_; }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/registry.hpp"
+
 #include "util/bitops.hpp"
 #include "util/log.hpp"
 
@@ -162,6 +164,31 @@ Dram::queue_delay(Addr block, Cycle now) const
         return 0;
     return static_cast<Cycle>(pending *
                               static_cast<double>(cycles_per_transfer_));
+}
+
+void
+Dram::register_stats(obs::Registry& reg, const std::string& prefix) const
+{
+    obs::Scope s(reg, prefix);
+    s.bind_counter("demand_read_bytes",
+                   &traffic_.bytes[static_cast<unsigned>(
+                       TrafficClass::DemandRead)]);
+    s.bind_counter("prefetch_read_bytes",
+                   &traffic_.bytes[static_cast<unsigned>(
+                       TrafficClass::PrefetchRead)]);
+    s.bind_counter("writeback_bytes",
+                   &traffic_.bytes[static_cast<unsigned>(
+                       TrafficClass::Writeback)]);
+    s.bind_counter("metadata_read_bytes",
+                   &traffic_.bytes[static_cast<unsigned>(
+                       TrafficClass::MetadataRead)]);
+    s.bind_counter("metadata_write_bytes",
+                   &traffic_.bytes[static_cast<unsigned>(
+                       TrafficClass::MetadataWrite)]);
+    s.bind_counter("dropped_prefetches", &dropped_prefetches_);
+    const DramTraffic* t = &traffic_;
+    s.add_formula("total_bytes",
+                  [t] { return static_cast<double>(t->total()); });
 }
 
 } // namespace triage::sim

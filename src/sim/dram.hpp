@@ -26,10 +26,15 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "sim/config.hpp"
 #include "sim/types.hpp"
+
+namespace triage::obs {
+class Registry;
+} // namespace triage::obs
 
 namespace triage::sim {
 
@@ -103,6 +108,9 @@ class Dram
 
     /** Recent demand utilization of @p chan in [0, 1) (diagnostics). */
     double demand_utilization(unsigned chan) const;
+
+    /** Bind per-class byte counters into @p reg under @p prefix. */
+    void register_stats(obs::Registry& reg, const std::string& prefix) const;
 
   private:
     struct Channel {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/obs_wiring.hpp"
+
 #include "util/log.hpp"
 
 namespace triage::sim {
@@ -73,6 +75,30 @@ MultiCoreSystem::run(std::uint64_t warmup_records,
         start_cycle[c] = cores_[c]->now();
     }
 
+    if (obs_ != nullptr) {
+        std::vector<CoreModel*> core_ptrs;
+        for (auto& c : cores_)
+            core_ptrs.push_back(c.get());
+        attach_observability(*obs_, mem_, core_ptrs);
+    }
+    const bool sampling = obs_ != nullptr && obs_->sampler.enabled();
+    std::uint64_t next_epoch = 0;
+    if (sampling) {
+        obs_->sampler.begin(0);
+        next_epoch = obs_->sampler.epoch_len();
+    }
+    // Epoch progress: the slowest core's measured records, so each
+    // closed epoch covers at least [begin, end) records on every core.
+    auto progress = [&] {
+        std::uint64_t p = measure_records;
+        for (unsigned c = 0; c < n_cores_; ++c) {
+            std::uint64_t r =
+                cores_[c]->stats().mem_records - base[c].mem_records;
+            p = std::min(p, r);
+        }
+        return p;
+    };
+
     // Phase 2: run until every core finishes its measurement window.
     unsigned remaining = n_cores_;
     while (remaining > 0) {
@@ -90,7 +116,16 @@ MultiCoreSystem::run(std::uint64_t warmup_records,
                 --remaining;
             }
         }
+        if (sampling) {
+            std::uint64_t p = progress();
+            while (next_epoch <= p) {
+                obs_->sampler.sample(next_epoch);
+                next_epoch += obs_->sampler.epoch_len();
+            }
+        }
     }
+    if (sampling)
+        obs_->sampler.finalize(measure_records);
 
     RunResult res;
     res.per_core.resize(n_cores_);

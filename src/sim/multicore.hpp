@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "cache/hierarchy.hpp"
+#include "obs/observer.hpp"
 #include "sim/cpu.hpp"
 #include "sim/run_stats.hpp"
 #include "sim/trace.hpp"
@@ -43,6 +44,14 @@ class MultiCoreSystem
     cache::MemorySystem& memory() { return mem_; }
     unsigned num_cores() const { return n_cores_; }
 
+    /**
+     * Attach an observability bundle. Epoch progress is the minimum
+     * measured-record count across cores, so every core has executed
+     * at least [begin, end) records when an epoch closes. Null
+     * detaches.
+     */
+    void set_observability(obs::Observability* o) { obs_ = o; }
+
   private:
     /** Advance @p core to @p target, restarting its workload at EOF. */
     void advance(unsigned core, Cycle target);
@@ -52,6 +61,7 @@ class MultiCoreSystem
     cache::MemorySystem mem_;
     std::vector<std::unique_ptr<Workload>> workloads_;
     std::vector<std::unique_ptr<CoreModel>> cores_;
+    obs::Observability* obs_ = nullptr;
 };
 
 } // namespace triage::sim

@@ -1,5 +1,9 @@
 #include "sim/system.hpp"
 
+#include <algorithm>
+
+#include "sim/obs_wiring.hpp"
+
 namespace triage::sim {
 
 SingleCoreSystem::SingleCoreSystem(const MachineConfig& cfg)
@@ -24,7 +28,24 @@ SingleCoreSystem::run(Workload& wl, std::uint64_t warmup_records,
     CoreStats before = core_.stats();
     Cycle start = core_.now();
 
-    core_.run_records(measure_records);
+    if (obs_ != nullptr)
+        attach_observability(*obs_, mem_, {&core_});
+
+    if (obs_ != nullptr && obs_->sampler.enabled()) {
+        // Epoch-chunked measurement: close a sampler epoch every
+        // epoch_len measured records.
+        obs_->sampler.begin(0);
+        const std::uint64_t n = obs_->sampler.epoch_len();
+        std::uint64_t done = 0;
+        while (done < measure_records) {
+            std::uint64_t chunk = std::min(n, measure_records - done);
+            core_.run_records(chunk);
+            done += chunk;
+            obs_->sampler.sample(done);
+        }
+    } else {
+        core_.run_records(measure_records);
+    }
     Cycle end = core_.drain();
 
     RunResult res;

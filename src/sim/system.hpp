@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "cache/hierarchy.hpp"
+#include "obs/observer.hpp"
 #include "sim/cpu.hpp"
 #include "sim/run_stats.hpp"
 #include "sim/trace.hpp"
@@ -34,10 +35,19 @@ class SingleCoreSystem
     cache::MemorySystem& memory() { return mem_; }
     CoreModel& core() { return core_; }
 
+    /**
+     * Attach an observability bundle (registry + epoch sampler + event
+     * trace). Wiring happens at measurement start inside run(); the
+     * sampler closes an epoch every sampler.epoch_len() measured
+     * records. Null detaches.
+     */
+    void set_observability(obs::Observability* o) { obs_ = o; }
+
   private:
     MachineConfig cfg_;
     cache::MemorySystem mem_;
     CoreModel core_;
+    obs::Observability* obs_ = nullptr;
 };
 
 } // namespace triage::sim

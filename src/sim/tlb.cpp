@@ -1,5 +1,7 @@
 #include "sim/tlb.hpp"
 
+#include "obs/registry.hpp"
+
 #include "util/bitops.hpp"
 #include "util/log.hpp"
 
@@ -68,6 +70,15 @@ Tlb::access(Addr byte_addr)
     install(l2_, l2_ways_, page, clock_);
     install(l1_, static_cast<std::uint32_t>(l1_.size()), page, clock_);
     return l2_latency_ + walk_latency_;
+}
+
+void
+Tlb::register_stats(obs::Registry& reg, const std::string& prefix) const
+{
+    obs::Scope s(reg, prefix);
+    s.bind_counter("accesses", &stats_.accesses);
+    s.bind_counter("l1_misses", &stats_.l1_misses);
+    s.bind_counter("walks", &stats_.walks);
 }
 
 } // namespace triage::sim

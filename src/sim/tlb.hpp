@@ -9,9 +9,14 @@
 #define TRIAGE_SIM_TLB_HPP
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "sim/types.hpp"
+
+namespace triage::obs {
+class Registry;
+} // namespace triage::obs
 
 namespace triage::sim {
 
@@ -41,6 +46,9 @@ class Tlb
 
     const TlbStats& stats() const { return stats_; }
     void clear_stats() { stats_ = {}; }
+
+    /** Bind access/miss/walk counters into @p reg under @p prefix. */
+    void register_stats(obs::Registry& reg, const std::string& prefix) const;
 
   private:
     static constexpr unsigned PAGE_SHIFT = 12;

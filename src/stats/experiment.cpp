@@ -169,9 +169,10 @@ RunScale::mixes_from_args(int argc, char** argv, unsigned def)
 sim::RunResult
 run_single(const sim::MachineConfig& cfg, const std::string& benchmark,
            const std::string& pf_spec, const RunScale& scale,
-           std::uint32_t degree)
+           std::uint32_t degree, obs::Observability* obs)
 {
     sim::SingleCoreSystem sys(cfg);
+    sys.set_observability(obs);
     sys.set_prefetcher(make_prefetcher(pf_spec, degree));
     auto wl = workloads::make_benchmark(benchmark, scale.workload_scale);
     return sys.run(*wl, scale.warmup_records, scale.measure_records);
@@ -180,10 +181,11 @@ run_single(const sim::MachineConfig& cfg, const std::string& benchmark,
 sim::RunResult
 run_mix(const sim::MachineConfig& cfg, const workloads::Mix& mix,
         const std::string& pf_spec, const RunScale& scale,
-        std::uint32_t degree)
+        std::uint32_t degree, obs::Observability* obs)
 {
     auto cores = static_cast<unsigned>(mix.size());
     sim::MultiCoreSystem sys(cfg, cores);
+    sys.set_observability(obs);
     for (unsigned c = 0; c < cores; ++c) {
         sys.set_prefetcher(c, make_prefetcher(pf_spec, degree));
         auto wl =

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/observer.hpp"
 #include "prefetch/prefetcher.hpp"
 #include "sim/config.hpp"
 #include "sim/run_stats.hpp"
@@ -47,13 +48,15 @@ sim::RunResult run_single(const sim::MachineConfig& cfg,
                           const std::string& benchmark,
                           const std::string& pf_spec,
                           const RunScale& scale,
-                          std::uint32_t degree = 1);
+                          std::uint32_t degree = 1,
+                          obs::Observability* obs = nullptr);
 
 /** Multi-core run of @p mix (benchmark name per core). */
 sim::RunResult run_mix(const sim::MachineConfig& cfg,
                        const workloads::Mix& mix,
                        const std::string& pf_spec, const RunScale& scale,
-                       std::uint32_t degree = 1);
+                       std::uint32_t degree = 1,
+                       obs::Observability* obs = nullptr);
 
 /** Per-core average metadata ways of the last run_mix call (Fig 19). */
 const std::vector<double>& last_mix_metadata_ways();

@@ -1,6 +1,7 @@
 #include "stats/metrics.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "util/log.hpp"
 
@@ -11,10 +12,19 @@ geomean(const std::vector<double>& values)
 {
     if (values.empty())
         return 1.0;
+    // Non-positive or non-finite entries (a hung baseline's 0 IPC, a
+    // 0/0 ratio) would poison every other value via log(); skip them.
     double log_sum = 0;
-    for (double v : values)
+    std::size_t n = 0;
+    for (double v : values) {
+        if (!std::isfinite(v) || v <= 0.0)
+            continue;
         log_sum += std::log(v);
-    return std::exp(log_sum / static_cast<double>(values.size()));
+        ++n;
+    }
+    if (n == 0)
+        return 1.0;
+    return std::exp(log_sum / static_cast<double>(n));
 }
 
 double
@@ -23,9 +33,14 @@ speedup(const sim::RunResult& with_pf, const sim::RunResult& baseline)
     TRIAGE_ASSERT(with_pf.per_core.size() == baseline.per_core.size());
     std::vector<double> ratios;
     ratios.reserve(with_pf.per_core.size());
-    for (std::size_t c = 0; c < with_pf.per_core.size(); ++c)
-        ratios.push_back(with_pf.per_core[c].ipc() /
-                         baseline.per_core[c].ipc());
+    for (std::size_t c = 0; c < with_pf.per_core.size(); ++c) {
+        double base_ipc = baseline.per_core[c].ipc();
+        // A zero-IPC baseline core has no meaningful ratio; geomean()
+        // skips the non-finite placeholder rather than returning inf.
+        ratios.push_back(base_ipc == 0.0
+                             ? std::numeric_limits<double>::infinity()
+                             : with_pf.per_core[c].ipc() / base_ipc);
+    }
     return geomean(ratios);
 }
 
@@ -64,6 +79,8 @@ miss_reduction(const sim::RunResult& with_pf,
 double
 avg_coverage(const sim::RunResult& r)
 {
+    if (r.per_core.empty())
+        return 0.0;
     double sum = 0;
     for (const auto& c : r.per_core)
         sum += c.coverage();
@@ -73,6 +90,8 @@ avg_coverage(const sim::RunResult& r)
 double
 avg_accuracy(const sim::RunResult& r)
 {
+    if (r.per_core.empty())
+        return 0.0;
     double sum = 0;
     for (const auto& c : r.per_core)
         sum += c.accuracy();

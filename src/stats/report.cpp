@@ -3,6 +3,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/observer.hpp"
+
 namespace triage::stats {
 
 namespace {
@@ -63,6 +65,27 @@ to_json(const sim::RunResult& r)
     std::ostringstream os;
     write_json(os, r);
     return os.str();
+}
+
+
+void
+write_stats_json(std::ostream& os, const sim::RunResult& r,
+                 const obs::Observability* obs)
+{
+    os << "{\n\"run\": ";
+    write_json(os, r);
+    if (obs != nullptr) {
+        os << ",\n\"epochs\": ";
+        obs->sampler.write_json(os, 1);
+        os << ",\n\"stats\": ";
+        obs->registry.write_json(os, 1);
+        os << ",\n\"trace\": {\"enabled\": "
+           << (obs->trace.enabled() ? "true" : "false")
+           << ", \"total\": " << obs->trace.total()
+           << ", \"buffered\": " << obs->trace.size()
+           << ", \"dropped\": " << obs->trace.dropped() << "}";
+    }
+    os << "\n}\n";
 }
 
 } // namespace triage::stats

@@ -12,6 +12,10 @@
 
 #include "sim/run_stats.hpp"
 
+namespace triage::obs {
+struct Observability;
+} // namespace triage::obs
+
 namespace triage::stats {
 
 /**
@@ -31,6 +35,16 @@ void write_json(std::ostream& os, const sim::RunResult& r);
 
 /** Convenience: JSON to a string. */
 std::string to_json(const sim::RunResult& r);
+
+/**
+ * Full structured report for --stats-json: the RunResult under "run",
+ * plus — when @p obs is non-null — the epoch time series under
+ * "epochs" (one object per closed epoch, keys = probe names), the
+ * hierarchical stats registry dump under "stats", and ring-buffer
+ * accounting for the event trace under "trace".
+ */
+void write_stats_json(std::ostream& os, const sim::RunResult& r,
+                      const obs::Observability* obs);
 
 } // namespace triage::stats
 

@@ -1,5 +1,7 @@
 #include "triage/metadata_store.hpp"
 
+#include "obs/event_trace.hpp"
+
 #include "util/bitops.hpp"
 #include "util/log.hpp"
 
@@ -96,6 +98,8 @@ MetadataStore::probe(sim::Addr trigger)
                                         e->next_set)
                   : e->full_next;
     ++stats_.hits;
+    if (trace_ != nullptr)
+        trace_->emit(obs::EventKind::MetaHit, trigger, lk.next);
     return lk;
 }
 
@@ -162,6 +166,8 @@ MetadataStore::update(sim::Addr trigger, sim::Addr next, sim::Pc pc)
         TRIAGE_ASSERT(target < cfg_.line_entries);
         repl_->on_invalidate(set, target);
         ++stats_.evictions;
+        if (trace_ != nullptr)
+            trace_->emit(obs::EventKind::MetaEvict, set, target);
     }
     Entry& n = row[target];
     n.full_trigger = trigger;
@@ -175,6 +181,8 @@ MetadataStore::update(sim::Addr trigger, sim::Addr next, sim::Pc pc)
     }
     repl_->on_insert(set, target, trigger, pc);
     ++stats_.inserts;
+    if (trace_ != nullptr)
+        trace_->emit(obs::EventKind::MetaInsert, trigger, next);
 }
 
 void
@@ -182,6 +190,11 @@ MetadataStore::resize(std::uint64_t bytes)
 {
     if (bytes == capacity_bytes_)
         return;
+    if (trace_ != nullptr)
+        trace_->emit(obs::EventKind::MetaResize, bytes, capacity_bytes_);
+    TRIAGE_LOG_DEBUG("metadata store: resize ", capacity_bytes_ >> 10,
+                     " KB -> ", bytes >> 10, " KB (", valid_entries(),
+                     " live entries)");
     std::vector<Entry> survivors;
     survivors.reserve(valid_entries());
     for (const auto& e : entries_) {

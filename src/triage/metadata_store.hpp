@@ -21,6 +21,10 @@
 #include "triage/meta_repl.hpp"
 #include "triage/tag_compressor.hpp"
 
+namespace triage::obs {
+class EventTrace;
+} // namespace triage::obs
+
 namespace triage::core {
 
 /** Store construction parameters. */
@@ -105,6 +109,9 @@ class MetadataStore
     const TagCompressor& compressor() const { return compressor_; }
     MetaRepl* repl() { return repl_.get(); }
 
+    /** Attach (or detach, with null) the event trace. */
+    void set_trace(obs::EventTrace* trace) { trace_ = trace; }
+
   private:
     struct Entry {
         std::uint16_t trigger_ctag = 0;
@@ -129,6 +136,7 @@ class MetadataStore
     std::unique_ptr<MetaRepl> repl_;
     TagCompressor compressor_;
     MetadataStoreStats stats_;
+    obs::EventTrace* trace_ = nullptr;
 };
 
 } // namespace triage::core

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/event_trace.hpp"
+
 #include "util/bitops.hpp"
 #include "util/log.hpp"
 
@@ -54,6 +56,8 @@ PartitionController::end_epoch()
         last_rates_[i] = sandboxes_[i].hit_rate();
     for (auto& sb : sandboxes_)
         sb.clear_counters();
+    if (trace_ != nullptr)
+        trace_->emit(obs::EventKind::PartitionEpoch, level_, size_bytes());
 
     ++epochs_at_level_;
     if (cooldown_ > 0)
@@ -93,6 +97,10 @@ PartitionController::end_epoch()
     while (verdict > 0 &&
            rate_at(verdict) - rate_at(verdict - 1) < cfg_.hysteresis) {
         --verdict;
+    }
+    if (trace_ != nullptr) {
+        trace_->emit(obs::EventKind::OptgenVerdict, verdict,
+                     static_cast<std::uint64_t>(rate_at(verdict) * 1e6));
     }
     // Utility gate (paper Section 4.2's "future work": account for
     // cache utility, not just metadata hit rate). A store that has
@@ -135,6 +143,11 @@ PartitionController::end_epoch()
         }
     }
     if (level_ != level_before) {
+        if (trace_ != nullptr)
+            trace_->emit(obs::EventKind::PartitionDecision, level_,
+                         level_before);
+        TRIAGE_LOG_INFO("partition: level ", level_before, " -> ", level_,
+                        " (", size_bytes() >> 10, " KB)");
         epochs_at_level_ = 0;
         issued_ = 0;
         useful_ = 0;

@@ -19,6 +19,10 @@
 #include "replacement/optgen.hpp"
 #include "sim/types.hpp"
 
+namespace triage::obs {
+class EventTrace;
+} // namespace triage::obs
+
 namespace triage::core {
 
 /** Controller knobs. */
@@ -104,6 +108,9 @@ class PartitionController
 
     std::uint64_t epochs() const { return epochs_; }
 
+    /** Attach (or detach, with null) the event trace. */
+    void set_trace(obs::EventTrace* trace) { trace_ = trace; }
+
   private:
     void end_epoch();
 
@@ -120,6 +127,7 @@ class PartitionController
     std::uint64_t issued_ = 0; ///< memory-bound prefetches since change
     std::uint32_t epochs_at_level_ = 0;
     std::uint32_t cooldown_ = 0;
+    obs::EventTrace* trace_ = nullptr;
 };
 
 } // namespace triage::core

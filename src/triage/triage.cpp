@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#include "obs/event_trace.hpp"
+#include "obs/registry.hpp"
+#include "obs/sampler.hpp"
+
 #include "util/log.hpp"
 
 namespace triage::core {
@@ -182,6 +186,79 @@ Triage::on_prefetch_used(sim::Addr, sim::Cycle)
     // Consumed-prefetch feedback drives the partition's utility gate.
     if (cfg_.dynamic && !cfg_.unlimited)
         partition_.note_useful();
+}
+
+
+void
+Triage::register_stats(obs::Registry& reg, const std::string& prefix) const
+{
+    Prefetcher::register_stats(reg, prefix);
+
+    obs::Scope st(reg, prefix + ".store");
+    const MetadataStoreStats* ms = &store_.stats();
+    st.bind_counter("lookups", &ms->lookups);
+    st.bind_counter("hits", &ms->hits);
+    st.bind_counter("updates", &ms->updates);
+    st.bind_counter("inserts", &ms->inserts);
+    st.bind_counter("evictions", &ms->evictions);
+    st.bind_counter("confidence_flips", &ms->confidence_flips);
+    st.bind_counter("tag_alias_drops", &ms->tag_alias_drops);
+    st.add_formula("hit_rate", [ms] {
+        return ms->lookups == 0
+                   ? 0.0
+                   : static_cast<double>(ms->hits) /
+                         static_cast<double>(ms->lookups);
+    });
+    const MetadataStore* store = &store_;
+    st.add_formula("capacity_bytes", [store] {
+        return static_cast<double>(store->capacity_bytes());
+    });
+    st.add_formula("valid_entries", [store] {
+        return static_cast<double>(store->valid_entries());
+    });
+
+    if (cfg_.dynamic && !cfg_.unlimited) {
+        obs::Scope pt(reg, prefix + ".partition");
+        const PartitionController* pc = &partition_;
+        pt.add_formula("level", [pc] {
+            return static_cast<double>(pc->level());
+        });
+        pt.add_formula("size_bytes", [pc] {
+            return static_cast<double>(pc->size_bytes());
+        });
+        pt.add_formula("epochs", [pc] {
+            return static_cast<double>(pc->epochs());
+        });
+    }
+}
+
+void
+Triage::register_probes(obs::EpochSampler& sampler,
+                        const std::string& prefix) const
+{
+    Prefetcher::register_probes(sampler, prefix);
+    const MetadataStoreStats* ms = &store_.stats();
+    sampler.add_rate(
+        prefix + ".meta_hit_rate",
+        [ms] { return static_cast<double>(ms->hits); },
+        [ms] { return static_cast<double>(ms->lookups); });
+    const MetadataStore* store = &store_;
+    sampler.add_level(prefix + ".store_bytes", [store] {
+        return static_cast<double>(store->capacity_bytes());
+    });
+    if (cfg_.dynamic && !cfg_.unlimited) {
+        const PartitionController* pc = &partition_;
+        sampler.add_level(prefix + ".partition_level", [pc] {
+            return static_cast<double>(pc->level());
+        });
+    }
+}
+
+void
+Triage::set_trace(obs::EventTrace* trace)
+{
+    store_.set_trace(trace);
+    partition_.set_trace(trace);
 }
 
 std::unique_ptr<Triage>

@@ -70,6 +70,14 @@ class Triage final : public prefetch::Prefetcher
     void on_prefetch_used(sim::Addr block, sim::Cycle now) override;
     const std::string& name() const override { return name_; }
 
+    /** Base prefetcher counters plus store / partition sub-scopes. */
+    void register_stats(obs::Registry& reg,
+                        const std::string& prefix) const override;
+    /** Adds per-epoch metadata hit rate and store-size probes. */
+    void register_probes(obs::EpochSampler& sampler,
+                         const std::string& prefix) const override;
+    void set_trace(obs::EventTrace* trace) override;
+
     const MetadataStore& store() const { return store_; }
     const PartitionController* partition() const
     {

@@ -2,8 +2,80 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace triage::util {
+
+namespace {
+
+LogLevel
+parse_level_env()
+{
+    const char* env = std::getenv("TRIAGE_LOG_LEVEL");
+    if (env == nullptr)
+        return LogLevel::Warn;
+    if (std::strcmp(env, "debug") == 0 || std::strcmp(env, "0") == 0)
+        return LogLevel::Debug;
+    if (std::strcmp(env, "info") == 0 || std::strcmp(env, "1") == 0)
+        return LogLevel::Info;
+    if (std::strcmp(env, "warn") == 0 || std::strcmp(env, "2") == 0)
+        return LogLevel::Warn;
+    if (std::strcmp(env, "silent") == 0 || std::strcmp(env, "none") == 0 ||
+        std::strcmp(env, "3") == 0)
+        return LogLevel::Silent;
+    std::fprintf(stderr,
+                 "warn: unknown TRIAGE_LOG_LEVEL '%s' "
+                 "(want debug|info|warn|silent); using warn\n",
+                 env);
+    return LogLevel::Warn;
+}
+
+LogLevel&
+level_ref()
+{
+    static LogLevel level = parse_level_env();
+    return level;
+}
+
+const char*
+prefix_of(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Silent: break;
+    }
+    return "log";
+}
+
+} // namespace
+
+LogLevel
+log_level()
+{
+    return level_ref();
+}
+
+void
+set_log_level(LogLevel level)
+{
+    level_ref() = level;
+}
+
+bool
+log_enabled(LogLevel level)
+{
+    return level >= level_ref() && level != LogLevel::Silent;
+}
+
+void
+log(LogLevel level, const std::string& msg)
+{
+    if (!log_enabled(level))
+        return;
+    std::fprintf(stderr, "%s: %s\n", prefix_of(level), msg.c_str());
+}
 
 void
 panic(const std::string& msg)
@@ -20,9 +92,21 @@ fatal(const std::string& msg)
 }
 
 void
+debug(const std::string& msg)
+{
+    log(LogLevel::Debug, msg);
+}
+
+void
+info(const std::string& msg)
+{
+    log(LogLevel::Info, msg);
+}
+
+void
 warn(const std::string& msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    log(LogLevel::Warn, msg);
 }
 
 } // namespace triage::util

@@ -1,8 +1,11 @@
 /**
  * @file
- * Minimal logging / fatal-error helpers, in the spirit of gem5's
- * logging.hh: fatal() for user errors, panic() for internal invariant
- * violations.
+ * Logging / fatal-error helpers, in the spirit of gem5's logging.hh:
+ * fatal() for user errors, panic() for internal invariant violations,
+ * and a leveled debug/info/warn channel gated by the TRIAGE_LOG_LEVEL
+ * environment variable ("debug", "info", "warn" or "silent"; default
+ * "warn"). The TRIAGE_LOG_* macros skip message formatting entirely
+ * when the level is disabled.
  */
 #ifndef TRIAGE_UTIL_LOG_HPP
 #define TRIAGE_UTIL_LOG_HPP
@@ -12,13 +15,40 @@
 
 namespace triage::util {
 
+/** Severity of a log message (ascending). */
+enum class LogLevel : int {
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Silent = 3, ///< threshold only; not a message level
+};
+
+/**
+ * Active threshold, parsed once from TRIAGE_LOG_LEVEL. Messages below
+ * it are suppressed.
+ */
+LogLevel log_level();
+
+/** Override the threshold programmatically (tests). */
+void set_log_level(LogLevel level);
+
+/** Would a message at @p level be printed? */
+bool log_enabled(LogLevel level);
+
+/** Print @p msg to stderr with a level prefix if enabled. */
+void log(LogLevel level, const std::string& msg);
+
 /** Abort the process for an internal invariant violation (a bug in us). */
 [[noreturn]] void panic(const std::string& msg);
 
 /** Exit(1) for a condition that is the caller's fault (bad config). */
 [[noreturn]] void fatal(const std::string& msg);
 
-/** Print a warning to stderr and continue. */
+/** Leveled convenience wrappers. */
+void debug(const std::string& msg);
+void info(const std::string& msg);
+/** Print a warning to stderr and continue (suppressed only by
+ *  TRIAGE_LOG_LEVEL=silent). */
 void warn(const std::string& msg);
 
 /** Build a message from streamable parts. */
@@ -32,6 +62,22 @@ format_msg(Args&&... args)
 }
 
 } // namespace triage::util
+
+/** Leveled logging that formats only when the level is enabled. */
+#define TRIAGE_LOG(level, ...)                                             \
+    do {                                                                   \
+        if (::triage::util::log_enabled(level)) {                          \
+            ::triage::util::log(level,                                     \
+                                ::triage::util::format_msg(__VA_ARGS__));  \
+        }                                                                  \
+    } while (0)
+
+#define TRIAGE_LOG_DEBUG(...)                                              \
+    TRIAGE_LOG(::triage::util::LogLevel::Debug, __VA_ARGS__)
+#define TRIAGE_LOG_INFO(...)                                               \
+    TRIAGE_LOG(::triage::util::LogLevel::Info, __VA_ARGS__)
+#define TRIAGE_LOG_WARN(...)                                               \
+    TRIAGE_LOG(::triage::util::LogLevel::Warn, __VA_ARGS__)
 
 /** Check an invariant; panics with location info when violated. */
 #define TRIAGE_ASSERT(cond, ...)                                           \

@@ -1,0 +1,434 @@
+/**
+ * @file
+ * Tests for the observability subsystem: stats registry, epoch
+ * sampler, event trace, the JSON parser, and the end-to-end wiring
+ * into the single-core harness (registry dump consistent with the
+ * RunResult, epochs produced at the requested cadence).
+ */
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "obs/event_trace.hpp"
+#include "obs/json.hpp"
+#include "obs/observer.hpp"
+#include "obs/registry.hpp"
+#include "obs/sampler.hpp"
+#include "sim/system.hpp"
+#include "stats/experiment.hpp"
+#include "stats/report.hpp"
+#include "workloads/spec.hpp"
+
+namespace triage {
+namespace {
+
+using obs::json::Value;
+
+// --- Registry -----------------------------------------------------------
+
+TEST(Registry, BoundCounterReadsLiveField)
+{
+    obs::Registry reg;
+    std::uint64_t hits = 0;
+    reg.bind_counter("l2.hits", &hits);
+    EXPECT_EQ(reg.read("l2.hits"), 0.0);
+    hits = 41;
+    EXPECT_EQ(reg.read("l2.hits"), 41.0);
+    EXPECT_EQ(reg.kind("l2.hits"), obs::StatKind::Counter);
+}
+
+TEST(Registry, OwnedCounterAndReset)
+{
+    obs::Registry reg;
+    obs::Counter& c = reg.counter("events", "number of events");
+    ++c;
+    c.add(9);
+    EXPECT_EQ(reg.read("events"), 10.0);
+    EXPECT_EQ(reg.description("events"), "number of events");
+    reg.reset();
+    EXPECT_EQ(reg.read("events"), 0.0);
+}
+
+TEST(Registry, ResetLeavesBoundCountersAlone)
+{
+    obs::Registry reg;
+    std::uint64_t live = 7;
+    reg.bind_counter("bound", &live);
+    reg.counter("owned").add(5);
+    reg.reset();
+    EXPECT_EQ(reg.read("bound"), 7.0);
+    EXPECT_EQ(reg.read("owned"), 0.0);
+}
+
+TEST(Registry, FormulaEvaluatesOnRead)
+{
+    obs::Registry reg;
+    double x = 2.0;
+    reg.add_formula("twice", [&x] { return 2.0 * x; });
+    EXPECT_EQ(reg.read("twice"), 4.0);
+    x = 10.0;
+    EXPECT_EQ(reg.read("twice"), 20.0);
+}
+
+TEST(Registry, BoundValueGauge)
+{
+    obs::Registry reg;
+    double g = 0.5;
+    reg.bind_value("gauge", &g);
+    EXPECT_EQ(reg.read("gauge"), 0.5);
+    g = -3.25;
+    EXPECT_EQ(reg.read("gauge"), -3.25);
+}
+
+TEST(Registry, NamesSortedAndContains)
+{
+    obs::Registry reg;
+    std::uint64_t v = 0;
+    reg.bind_counter("b.y", &v);
+    reg.bind_counter("a.z", &v);
+    reg.bind_counter("a.x", &v);
+    auto names = reg.names();
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "a.x");
+    EXPECT_EQ(names[1], "a.z");
+    EXPECT_EQ(names[2], "b.y");
+    EXPECT_TRUE(reg.contains("a.x"));
+    EXPECT_FALSE(reg.contains("a.y"));
+    reg.clear();
+    EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(Registry, HistogramStatsAndPercentiles)
+{
+    obs::Registry reg;
+    obs::Histogram& h = reg.histogram("lat");
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        h.sample(v);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_EQ(h.sum(), 5050u);
+    EXPECT_EQ(h.min(), 1u);
+    EXPECT_EQ(h.max(), 100u);
+    EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+    // Log2 buckets: percentile is exact to within a factor of two.
+    std::uint64_t p50 = h.percentile(0.5);
+    EXPECT_GE(p50, 32u);
+    EXPECT_LE(p50, 128u);
+    EXPECT_GE(h.percentile(1.0), 64u);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+}
+
+TEST(Registry, JsonDumpRoundTripsThroughParser)
+{
+    obs::Registry reg;
+    std::uint64_t misses = 123;
+    reg.bind_counter("core0.l2.demand_misses", &misses);
+    reg.add_formula("core0.ipc", [] { return 1.5; });
+    reg.counter("llc.evictions").add(7);
+    reg.histogram("core0.lat").sample(8);
+
+    std::ostringstream os;
+    reg.write_json(os);
+    std::string err;
+    auto v = obs::json::parse(os.str(), &err);
+    ASSERT_TRUE(v.has_value()) << err << "\n" << os.str();
+
+    const Value* m = v->find_path("core0.l2.demand_misses");
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->number, 123.0);
+    const Value* ipc = v->find_path("core0.ipc");
+    ASSERT_NE(ipc, nullptr);
+    EXPECT_DOUBLE_EQ(ipc->number, 1.5);
+    const Value* ev = v->find_path("llc.evictions");
+    ASSERT_NE(ev, nullptr);
+    EXPECT_EQ(ev->number, 7.0);
+    const Value* lat = v->find_path("core0.lat");
+    ASSERT_NE(lat, nullptr);
+    ASSERT_TRUE(lat->is_object());
+    EXPECT_EQ(lat->find_path("count")->number, 1.0);
+    EXPECT_EQ(lat->find_path("mean")->number, 8.0);
+}
+
+TEST(Registry, NonFiniteFormulaSerializesAsZero)
+{
+    obs::Registry reg;
+    reg.add_formula("bad", [] { return std::nan(""); });
+    std::ostringstream os;
+    reg.write_json(os);
+    auto v = obs::json::parse(os.str());
+    ASSERT_TRUE(v.has_value()) << os.str();
+    EXPECT_EQ(v->find_path("bad")->number, 0.0);
+}
+
+// --- Epoch sampler ------------------------------------------------------
+
+TEST(EpochSampler, DeltaAndRateProbes)
+{
+    obs::EpochSampler s;
+    s.configure(100);
+    double instr = 0.0;
+    double cycles = 0.0;
+    s.add_delta("instr", [&] { return instr; });
+    s.add_rate("ipc", [&] { return instr; }, [&] { return cycles; });
+    s.add_level("level", [&] { return cycles; });
+
+    instr = 1000;
+    cycles = 500;
+    s.begin(0); // baselines captured here
+    instr = 1600;
+    cycles = 900;
+    s.sample(100);
+    instr = 1700;
+    cycles = 1400;
+    s.sample(200);
+
+    ASSERT_EQ(s.epochs().size(), 2u);
+    const auto& e0 = s.epochs()[0];
+    EXPECT_EQ(e0.begin, 0u);
+    EXPECT_EQ(e0.end, 100u);
+    EXPECT_DOUBLE_EQ(e0.values[0], 600.0);       // delta instr
+    EXPECT_DOUBLE_EQ(e0.values[1], 600.0 / 400); // rate
+    EXPECT_DOUBLE_EQ(e0.values[2], 900.0);       // level
+    const auto& e1 = s.epochs()[1];
+    EXPECT_DOUBLE_EQ(e1.values[0], 100.0);
+    EXPECT_DOUBLE_EQ(e1.values[1], 100.0 / 500);
+}
+
+TEST(EpochSampler, RateWithStalledDenominatorIsZero)
+{
+    obs::EpochSampler s;
+    s.configure(10);
+    double num = 0.0;
+    s.add_rate("r", [&] { return num; }, [] { return 1.0; });
+    s.begin(0);
+    num = 5.0;
+    s.sample(10);
+    ASSERT_EQ(s.epochs().size(), 1u);
+    EXPECT_EQ(s.epochs()[0].values[0], 0.0);
+}
+
+TEST(EpochSampler, FinalizeClosesPartialEpochOnce)
+{
+    obs::EpochSampler s;
+    s.configure(100);
+    s.add_level("x", [] { return 1.0; });
+    s.begin(0);
+    s.sample(100);
+    s.finalize(130);
+    ASSERT_EQ(s.epochs().size(), 2u);
+    EXPECT_EQ(s.epochs()[1].begin, 100u);
+    EXPECT_EQ(s.epochs()[1].end, 130u);
+    // Nothing pending: finalize is a no-op.
+    s.finalize(130);
+    EXPECT_EQ(s.epochs().size(), 2u);
+}
+
+TEST(EpochSampler, JsonRoundTrip)
+{
+    obs::EpochSampler s;
+    s.configure(50);
+    double v = 0.0;
+    s.add_delta("core0.misses", [&] { return v; });
+    s.begin(0);
+    v = 10;
+    s.sample(50);
+    v = 30;
+    s.sample(100);
+
+    std::ostringstream os;
+    s.write_json(os);
+    std::string err;
+    auto parsed = obs::json::parse(os.str(), &err);
+    ASSERT_TRUE(parsed.has_value()) << err << "\n" << os.str();
+    ASSERT_TRUE(parsed->is_array());
+    ASSERT_EQ(parsed->array.size(), 2u);
+    EXPECT_EQ(parsed->array[0].get("begin")->number, 0.0);
+    EXPECT_EQ(parsed->array[0].get("end")->number, 50.0);
+    EXPECT_EQ(parsed->array[0].get("core0.misses")->number, 10.0);
+    EXPECT_EQ(parsed->array[1].get("core0.misses")->number, 20.0);
+}
+
+TEST(EpochSampler, DisabledCostsNothingAndResetDropsEpochs)
+{
+    obs::EpochSampler s;
+    EXPECT_FALSE(s.enabled());
+    s.finalize(100); // no begin(): must not crash or record
+    EXPECT_TRUE(s.epochs().empty());
+    s.configure(10);
+    s.add_level("x", [] { return 2.0; });
+    s.begin(0);
+    s.sample(10);
+    EXPECT_EQ(s.epochs().size(), 1u);
+    s.reset();
+    EXPECT_TRUE(s.epochs().empty());
+}
+
+// --- Event trace --------------------------------------------------------
+
+TEST(EventTrace, DisabledEmitIsANoOp)
+{
+    obs::EventTrace t;
+    t.emit(obs::EventKind::PrefetchIssued, 1, 2);
+    EXPECT_EQ(t.total(), 0u);
+    EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(EventTrace, RecordsContextAndWrapsRing)
+{
+    obs::EventTrace t;
+    t.enable(4);
+    t.set_context(100, 2);
+    for (std::uint64_t i = 0; i < 6; ++i)
+        t.emit(obs::EventKind::MetaInsert, i, i + 1);
+    EXPECT_EQ(t.total(), 6u);
+    EXPECT_EQ(t.size(), 4u);
+    EXPECT_EQ(t.dropped(), 2u);
+    // Oldest-first: events 2..5 survive.
+    EXPECT_EQ(t.at(0).a0, 2u);
+    EXPECT_EQ(t.at(3).a0, 5u);
+    EXPECT_EQ(t.at(0).cycle, 100u);
+    EXPECT_EQ(t.at(0).core, 2u);
+}
+
+TEST(EventTrace, JsonlSinkParsesLineByLine)
+{
+    obs::EventTrace t;
+    t.enable(16);
+    t.set_context(7, 1);
+    t.emit(obs::EventKind::PartitionDecision, 3, 2);
+    std::ostringstream os;
+    t.write_jsonl(os);
+    std::string line = os.str();
+    ASSERT_FALSE(line.empty());
+    auto v = obs::json::parse(line);
+    ASSERT_TRUE(v.has_value()) << line;
+    EXPECT_EQ(v->get("cycle")->number, 7.0);
+    EXPECT_EQ(v->get("core")->number, 1.0);
+    EXPECT_EQ(v->get("kind")->str, "partition_decision");
+    EXPECT_EQ(v->get("a0")->number, 3.0);
+    EXPECT_EQ(v->get("a1")->number, 2.0);
+}
+
+TEST(EventTrace, BinarySinkHeaderAndSize)
+{
+    obs::EventTrace t;
+    t.enable(16);
+    t.emit(obs::EventKind::MetaHit, 10, 20);
+    t.emit(obs::EventKind::MetaEvict, 1, 2);
+    std::ostringstream os;
+    t.write_binary(os);
+    const std::string b = os.str();
+    ASSERT_GE(b.size(), 16u);
+    EXPECT_EQ(b.substr(0, 4), "TRGT");
+    // 16-byte header + 26 bytes per record.
+    EXPECT_EQ(b.size(), 16u + 2u * 26u);
+}
+
+TEST(EventTrace, KindNamesAreStable)
+{
+    EXPECT_STREQ(obs::kind_name(obs::EventKind::PrefetchIssued),
+                 "prefetch_issued");
+    EXPECT_STREQ(obs::kind_name(obs::EventKind::OptgenVerdict),
+                 "optgen_verdict");
+}
+
+// --- JSON parser --------------------------------------------------------
+
+TEST(Json, ParsesScalarsAndNesting)
+{
+    auto v = obs::json::parse(
+        R"({"a": {"b": [1, 2.5, -3e2]}, "s": "x\ny", "t": true, "n": null})");
+    ASSERT_TRUE(v.has_value());
+    const Value* arr = v->find_path("a.b");
+    ASSERT_NE(arr, nullptr);
+    ASSERT_EQ(arr->array.size(), 3u);
+    EXPECT_EQ(arr->array[2].number, -300.0);
+    EXPECT_EQ(v->get("s")->str, "x\ny");
+    EXPECT_TRUE(v->get("t")->boolean);
+    EXPECT_TRUE(v->get("n")->is_null());
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    std::string err;
+    EXPECT_FALSE(obs::json::parse("{", &err).has_value());
+    EXPECT_FALSE(err.empty());
+    EXPECT_FALSE(obs::json::parse("{\"a\": }", &err).has_value());
+    EXPECT_FALSE(obs::json::parse("[1, 2,]", &err).has_value());
+    EXPECT_FALSE(obs::json::parse("1 2", &err).has_value());
+}
+
+// --- End-to-end wiring --------------------------------------------------
+
+TEST(ObservabilityIntegration, SingleCoreRunProducesEpochsAndStats)
+{
+    sim::MachineConfig cfg;
+    sim::SingleCoreSystem sys(cfg);
+    obs::Observability o;
+    o.sampler.configure(5000);
+    o.trace.enable(1 << 12);
+    sys.set_observability(&o);
+    sys.set_prefetcher(stats::make_prefetcher("triage_dyn", 1));
+    auto wl = workloads::make_benchmark("mcf", 1.0);
+    sim::RunResult r = sys.run(*wl, 10000, 20000);
+
+    // Epochs: 20000 records at 5000/epoch = 4 closed epochs.
+    ASSERT_EQ(o.sampler.epochs().size(), 4u);
+    EXPECT_EQ(o.sampler.epochs().back().end, 20000u);
+
+    // The registry's view agrees with the RunResult where both exist.
+    EXPECT_DOUBLE_EQ(o.registry.read("core0.l2.demand_misses"),
+                     static_cast<double>(r.core0().l2.demand_misses));
+    EXPECT_DOUBLE_EQ(o.registry.read("llc.demand_misses"),
+                     static_cast<double>(r.llc.demand_misses));
+    EXPECT_NEAR(o.registry.read("core0.ipc"), r.core0().ipc(), 0.05);
+    EXPECT_GT(o.registry.read("core0.ipc"), 0.0);
+
+    // Triage registered its store scope and the trace saw events.
+    EXPECT_TRUE(o.registry.contains("core0.pf.store.hit_rate"));
+    EXPECT_GT(o.trace.total(), 0u);
+
+    // Full structured report parses and carries the epoch probes.
+    std::ostringstream os;
+    stats::write_stats_json(os, r, &o);
+    std::string err;
+    auto v = obs::json::parse(os.str(), &err);
+    ASSERT_TRUE(v.has_value()) << err;
+    const Value* epochs = v->get("epochs");
+    ASSERT_NE(epochs, nullptr);
+    ASSERT_TRUE(epochs->is_array());
+    ASSERT_EQ(epochs->array.size(), 4u);
+    for (const char* key : {"core0.ipc", "core0.coverage",
+                            "core0.pf.accuracy", "core0.pf.meta_hit_rate",
+                            "core0.meta_ways"}) {
+        EXPECT_NE(epochs->array[0].get(key), nullptr)
+            << "missing epoch probe " << key;
+    }
+    EXPECT_NE(v->find_path("stats.core0.l1.demand_misses"), nullptr);
+    EXPECT_NE(v->find_path("run.cores"), nullptr);
+    EXPECT_NE(v->find_path("trace.total"), nullptr);
+}
+
+TEST(ObservabilityIntegration, ReRunReattachesWithoutDuplicates)
+{
+    sim::MachineConfig cfg;
+    sim::SingleCoreSystem sys(cfg);
+    obs::Observability o;
+    o.sampler.configure(5000);
+    sys.set_observability(&o);
+    sys.set_prefetcher(stats::make_prefetcher("bo", 1));
+    auto wl = workloads::make_benchmark("lbm", 1.0);
+    sys.run(*wl, 2000, 10000);
+    std::size_t n_stats = o.registry.size();
+    EXPECT_EQ(o.sampler.epochs().size(), 2u);
+    wl->reset();
+    sys.run(*wl, 2000, 10000); // re-registration must not assert
+    EXPECT_EQ(o.registry.size(), n_stats);
+    EXPECT_EQ(o.sampler.epochs().size(), 2u); // series restarted
+}
+
+} // namespace
+} // namespace triage

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "prefetch/hybrid.hpp"
@@ -100,6 +101,46 @@ TEST(Metrics, CoverageAndAccuracyFromRunStats)
 // ---------------------------------------------------------------------
 // Table / formatting
 // ---------------------------------------------------------------------
+
+TEST(Metrics, GeomeanSkipsZeroNegativeAndNaN)
+{
+    // Regression: log(0) / log(-1) / log(nan) used to poison the whole
+    // geomean with -inf or NaN; degenerate entries are now skipped.
+    EXPECT_NEAR(stats::geomean({0.0, 4.0}), 4.0, 1e-12);
+    EXPECT_NEAR(stats::geomean({-2.0, 1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(stats::geomean({std::nan(""), 9.0}), 9.0, 1e-12);
+    double inf = std::numeric_limits<double>::infinity();
+    EXPECT_NEAR(stats::geomean({inf, 9.0}), 9.0, 1e-12);
+    // All entries degenerate: neutral element, not NaN.
+    EXPECT_DOUBLE_EQ(stats::geomean({0.0, -1.0}), 1.0);
+    EXPECT_TRUE(std::isfinite(stats::geomean({0.0})));
+}
+
+TEST(Metrics, SpeedupWithZeroIpcBaselineStaysFinite)
+{
+    // A core whose baseline window recorded no cycles (zero IPC) must
+    // not turn the aggregate speedup into inf or NaN.
+    auto base = result_with({0.0, 1.0}, 100);
+    auto pf = result_with({1.2, 1.2}, 100);
+    double sp = stats::speedup(pf, base);
+    EXPECT_TRUE(std::isfinite(sp));
+    EXPECT_NEAR(sp, 1.2, 1e-9);
+}
+
+TEST(Metrics, AveragesOfEmptyRunResultAreZero)
+{
+    sim::RunResult empty;
+    EXPECT_DOUBLE_EQ(stats::avg_coverage(empty), 0.0);
+    EXPECT_DOUBLE_EQ(stats::avg_accuracy(empty), 0.0);
+}
+
+TEST(Metrics, CoverageWithNoMissesAndNoPrefetchesIsZero)
+{
+    sim::RunStats s;
+    EXPECT_DOUBLE_EQ(s.coverage(), 0.0);
+    EXPECT_DOUBLE_EQ(s.accuracy(), 0.0);
+    EXPECT_DOUBLE_EQ(s.ipc(), 0.0); // zero cycles must not divide
+}
 
 TEST(Table, AlignsColumns)
 {

@@ -191,3 +191,20 @@ TEST(Log, FormatMsgConcatenates)
 {
     EXPECT_EQ(tu::format_msg("a", 1, ':', 2.5), "a1:2.5");
 }
+
+TEST(Log, ThresholdGatesLevels)
+{
+    const tu::LogLevel saved = tu::log_level();
+    tu::set_log_level(tu::LogLevel::Warn);
+    EXPECT_FALSE(tu::log_enabled(tu::LogLevel::Debug));
+    EXPECT_FALSE(tu::log_enabled(tu::LogLevel::Info));
+    EXPECT_TRUE(tu::log_enabled(tu::LogLevel::Warn));
+
+    tu::set_log_level(tu::LogLevel::Debug);
+    EXPECT_TRUE(tu::log_enabled(tu::LogLevel::Debug));
+    EXPECT_TRUE(tu::log_enabled(tu::LogLevel::Info));
+
+    tu::set_log_level(tu::LogLevel::Silent);
+    EXPECT_FALSE(tu::log_enabled(tu::LogLevel::Warn));
+    tu::set_log_level(saved);
+}

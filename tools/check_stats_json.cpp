@@ -1,0 +1,193 @@
+/**
+ * @file
+ * check_stats_json — validate a triagesim --stats-json report.
+ *
+ * Exits non-zero (with a message per failure) unless the file is valid
+ * JSON with the expected structure:
+ *
+ *   - "run.cores" is a non-empty array whose entries carry the summary
+ *     metrics (ipc, coverage, accuracy, meta_ways);
+ *   - with --require-epochs: "epochs" is a non-empty array of closed
+ *     epochs with monotonically advancing [begin, end) intervals and
+ *     finite values, each carrying the per-epoch IPC / coverage /
+ *     accuracy / metadata-hit-rate / way-allocation probes;
+ *   - with --require-stats: "stats" is a non-empty object (the
+ *     hierarchical registry dump) containing a few load-bearing paths;
+ *   - each --require-key=PATH names a dotted path that must exist.
+ *
+ * Used by the ctest smoke test (tests/CMakeLists.txt) to pin the
+ * structured-output contract.
+ */
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+using triage::obs::json::Value;
+
+namespace {
+
+int g_failures = 0;
+
+void
+fail(const std::string& msg)
+{
+    std::cerr << "FAIL: " << msg << "\n";
+    ++g_failures;
+}
+
+/** Per-epoch probe keys the acceptance contract requires for core 0. */
+const char* const EPOCH_KEYS[] = {
+    "core0.ipc",
+    "core0.coverage",
+    "core0.pf.accuracy",
+    "core0.pf.meta_hit_rate",
+    "core0.meta_ways",
+};
+
+void
+check_run(const Value& root)
+{
+    const Value* cores = root.find_path("run.cores");
+    if (cores == nullptr || !cores->is_array() || cores->array.empty()) {
+        fail("run.cores missing or empty");
+        return;
+    }
+    for (std::size_t c = 0; c < cores->array.size(); ++c) {
+        const Value& core = cores->array[c];
+        for (const char* key :
+             {"ipc", "coverage", "accuracy", "meta_ways", "cycles"}) {
+            const Value* v = core.get(key);
+            if (v == nullptr || !v->is_number() ||
+                !std::isfinite(v->number)) {
+                fail("run.cores[" + std::to_string(c) + "]." + key +
+                     " missing or not a finite number");
+            }
+        }
+    }
+    const Value* ipc = cores->array[0].get("ipc");
+    if (ipc != nullptr && ipc->is_number() && ipc->number <= 0.0)
+        fail("run.cores[0].ipc is not positive");
+}
+
+void
+check_epochs(const Value& root)
+{
+    const Value* epochs = root.get("epochs");
+    if (epochs == nullptr || !epochs->is_array()) {
+        fail("epochs missing or not an array");
+        return;
+    }
+    if (epochs->array.empty()) {
+        fail("epochs array is empty");
+        return;
+    }
+    double prev_end = -1.0;
+    for (std::size_t i = 0; i < epochs->array.size(); ++i) {
+        const Value& e = epochs->array[i];
+        const std::string tag = "epochs[" + std::to_string(i) + "]";
+        const Value* begin = e.get("begin");
+        const Value* end = e.get("end");
+        if (begin == nullptr || end == nullptr || !begin->is_number() ||
+            !end->is_number()) {
+            fail(tag + " lacks numeric begin/end");
+            continue;
+        }
+        if (end->number <= begin->number)
+            fail(tag + " has end <= begin");
+        if (prev_end >= 0.0 && begin->number != prev_end)
+            fail(tag + " does not start where the previous epoch ended");
+        prev_end = end->number;
+        for (const char* key : EPOCH_KEYS) {
+            const Value* v = e.get(key);
+            if (v == nullptr || !v->is_number() ||
+                !std::isfinite(v->number)) {
+                fail(tag + " lacks finite probe '" + key + "'");
+            }
+        }
+    }
+}
+
+void
+check_stats(const Value& root)
+{
+    const Value* st = root.get("stats");
+    if (st == nullptr || !st->is_object() || st->object.empty()) {
+        fail("stats missing or empty");
+        return;
+    }
+    for (const char* path :
+         {"stats.llc.demand_misses", "stats.dram.total_bytes",
+          "stats.core0.ipc", "stats.llc.metadata_ways"}) {
+        const Value* v = root.find_path(path);
+        if (v == nullptr || !v->is_number())
+            fail(std::string(path) + " missing or not a number");
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string path;
+    bool require_epochs = false;
+    bool require_stats = false;
+    std::vector<std::string> require_keys;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--require-epochs") {
+            require_epochs = true;
+        } else if (a == "--require-stats") {
+            require_stats = true;
+        } else if (a.rfind("--require-key=", 0) == 0) {
+            require_keys.push_back(a.substr(std::strlen("--require-key=")));
+        } else if (!a.empty() && a[0] != '-') {
+            path = a;
+        } else {
+            std::cerr << "usage: check_stats_json FILE [--require-epochs]"
+                         " [--require-stats] [--require-key=PATH]...\n";
+            return 2;
+        }
+    }
+    if (path.empty()) {
+        std::cerr << "check_stats_json: no input file\n";
+        return 2;
+    }
+
+    std::ifstream f(path);
+    if (!f) {
+        std::cerr << "check_stats_json: cannot read " << path << "\n";
+        return 2;
+    }
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    std::string err;
+    auto root = triage::obs::json::parse(buf.str(), &err);
+    if (!root.has_value()) {
+        std::cerr << "check_stats_json: " << path << ": " << err << "\n";
+        return 1;
+    }
+
+    check_run(*root);
+    if (require_epochs)
+        check_epochs(*root);
+    if (require_stats)
+        check_stats(*root);
+    for (const auto& key : require_keys) {
+        if (root->find_path(key) == nullptr)
+            fail("required key '" + key + "' missing");
+    }
+
+    if (g_failures > 0) {
+        std::cerr << path << ": " << g_failures << " check(s) failed\n";
+        return 1;
+    }
+    std::cout << path << ": OK\n";
+    return 0;
+}

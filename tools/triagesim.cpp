@@ -15,10 +15,13 @@
  *   triagesim --list
  */
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
 #include <vector>
+
+#include "obs/observer.hpp"
 
 #include "sim/multicore.hpp"
 #include "util/log.hpp"
@@ -52,6 +55,11 @@ struct Options {
     bool list = false;
     bool help = false;
     bool json = false;
+    bool records_set = false;
+    // Observability.
+    std::string stats_json_path;
+    std::string trace_events_path;
+    std::uint64_t epoch = 0;
 };
 
 void
@@ -76,6 +84,12 @@ usage()
         "  --tlb                  model the Table 1 TLBs\n"
         "  --no-baseline          skip the no-prefetch comparison run\n"
         "  --json                 emit the report as JSON\n"
+        "  --stats-json=FILE      write the full stats registry, epoch\n"
+        "                         series and run summary as JSON\n"
+        "  --trace-events=FILE    write the structured event trace\n"
+        "                         (.jsonl = JSON lines, else binary)\n"
+        "  --epoch=N              sample the epoch series every N\n"
+        "                         measured records (0 = off)\n"
         "  --list                 list available benchmark analogs\n";
 }
 
@@ -128,6 +142,13 @@ parse(int argc, char** argv, Options& o)
             o.measure = std::stoull(*v);
         } else if (auto v = val("records")) {
             o.records = std::stoull(*v);
+            o.records_set = true;
+        } else if (auto v = val("stats-json")) {
+            o.stats_json_path = *v;
+        } else if (auto v = val("trace-events")) {
+            o.trace_events_path = *v;
+        } else if (auto v = val("epoch")) {
+            o.epoch = std::stoull(*v);
         } else if (auto v = val("scale")) {
             o.scale = std::stod(*v);
         } else if (auto v = val("mshrs")) {
@@ -197,6 +218,54 @@ report(const std::string& label, const sim::RunResult& r,
     }
 }
 
+/** Does any option ask for the observability subsystem? */
+bool
+wants_observability(const Options& o)
+{
+    return !o.stats_json_path.empty() || !o.trace_events_path.empty() ||
+           o.epoch > 0;
+}
+
+/** Write --stats-json / --trace-events outputs after a run. */
+int
+emit_observability(const Options& o, const sim::RunResult& r,
+                   const obs::Observability& obs)
+{
+    if (!o.stats_json_path.empty()) {
+        std::ofstream f(o.stats_json_path);
+        if (!f) {
+            std::cerr << "cannot write " << o.stats_json_path << "\n";
+            return 1;
+        }
+        stats::write_stats_json(f, r, &obs);
+        if (!o.json)
+            std::cout << "stats json: " << o.stats_json_path << "\n";
+    }
+    if (!o.trace_events_path.empty()) {
+        bool jsonl =
+            o.trace_events_path.size() >= 6 &&
+            o.trace_events_path.substr(o.trace_events_path.size() - 6) ==
+                ".jsonl";
+        std::ofstream f(o.trace_events_path,
+                        jsonl ? std::ios::out
+                              : std::ios::out | std::ios::binary);
+        if (!f) {
+            std::cerr << "cannot write " << o.trace_events_path << "\n";
+            return 1;
+        }
+        if (jsonl)
+            obs.trace.write_jsonl(f);
+        else
+            obs.trace.write_binary(f);
+        if (!o.json) {
+            std::cout << "trace events: " << o.trace_events_path << " ("
+                      << obs.trace.size() << " buffered of "
+                      << obs.trace.total() << " emitted)\n";
+        }
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -211,6 +280,10 @@ main(int argc, char** argv)
         usage();
         return 0;
     }
+    // Convenience: --records=N without --save-trace sets the
+    // measurement window (the observability smoke-test invocation).
+    if (o.records_set && o.save_trace_path.empty())
+        o.measure = o.records;
     if (o.list) {
         std::cout << "irregular SPEC analogs:\n";
         for (const auto& b : workloads::irregular_spec())
@@ -254,13 +327,17 @@ main(int argc, char** argv)
         std::optional<sim::RunResult> base;
         if (o.baseline)
             base = stats::run_mix(cfg, o.mix, "none", scale, o.degree);
-        auto r = stats::run_mix(cfg, o.mix, o.prefetcher, scale,
-                                o.degree);
+        obs::Observability obs;
+        obs.sampler.configure(o.epoch);
+        if (!o.trace_events_path.empty())
+            obs.trace.enable();
+        auto r = stats::run_mix(cfg, o.mix, o.prefetcher, scale, o.degree,
+                                wants_observability(o) ? &obs : nullptr);
         if (o.json)
             stats::write_json(std::cout, r);
         else
             report(o.prefetcher, r, base ? &*base : nullptr);
-        return 0;
+        return emit_observability(o, r, obs);
     }
 
     // Single core: synthetic benchmark or recorded trace.
@@ -285,6 +362,12 @@ main(int argc, char** argv)
         base = sys.run(*wl2, o.warmup, o.measure);
     }
     sim::SingleCoreSystem sys(cfg);
+    obs::Observability obs;
+    obs.sampler.configure(o.epoch);
+    if (!o.trace_events_path.empty())
+        obs.trace.enable();
+    if (wants_observability(o))
+        sys.set_observability(&obs);
     sys.set_prefetcher(stats::make_prefetcher(o.prefetcher, o.degree));
     wl->reset();
     auto r = sys.run(*wl, o.warmup, o.measure);
@@ -292,5 +375,5 @@ main(int argc, char** argv)
         stats::write_json(std::cout, r);
     else
         report(label + " / " + o.prefetcher, r, base ? &*base : nullptr);
-    return 0;
+    return emit_observability(o, r, obs);
 }
