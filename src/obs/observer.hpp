@@ -21,6 +21,20 @@ struct Observability {
     Registry registry;
     EpochSampler sampler;
     EventTrace trace;
+
+    /**
+     * Detach the bundle from the system it was wired into: snapshot
+     * every bound/formula stat and drop the sampler's live probes, so
+     * dumping after the system is destroyed reads stored values rather
+     * than dangling pointers. The systems call this at the end of
+     * run(); recorded epochs and trace events are unaffected.
+     */
+    void
+    freeze()
+    {
+        registry.freeze();
+        sampler.freeze();
+    }
 };
 
 } // namespace triage::obs

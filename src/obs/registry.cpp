@@ -71,11 +71,33 @@ Histogram::reset()
 // Registry
 // ---------------------------------------------------------------------
 
+namespace {
+
+/** Is @p outer a strict dot-prefix of @p inner ("a.b" of "a.b.c")? */
+bool
+nests_under(const std::string& outer, const std::string& inner)
+{
+    return inner.size() > outer.size() && inner[outer.size()] == '.' &&
+           inner.compare(0, outer.size(), outer) == 0;
+}
+
+} // namespace
+
 Registry::Stat&
 Registry::insert(const std::string& name, const std::string& desc,
                  StatKind kind)
 {
     TRIAGE_ASSERT(!name.empty(), "stat name must be non-empty");
+    // A name that is both a leaf and a dot-prefix of another ("a.b"
+    // next to "a.b.c") would make write_json emit the same key twice —
+    // once as a number, once as an object. Fail at registration time
+    // instead of corrupting the dump.
+    for (const auto& entry : stats_) {
+        TRIAGE_ASSERT(!nests_under(entry.first, name) &&
+                          !nests_under(name, entry.first),
+                      "stat name nests under / over an existing one: '",
+                      name, "' vs '", entry.first, "'");
+    }
     auto [it, fresh] = stats_.try_emplace(name);
     TRIAGE_ASSERT(fresh, "duplicate stat registration: ", name);
     it->second.kind = kind;
@@ -195,6 +217,35 @@ Registry::reset()
             stat.owned->reset();
         if (stat.hist != nullptr)
             stat.hist->reset();
+    }
+}
+
+void
+Registry::freeze()
+{
+    for (auto& [name, s] : stats_) {
+        switch (s.kind) {
+          case StatKind::Counter:
+            if (s.bound_counter != nullptr &&
+                s.bound_counter != &s.frozen_counter) {
+                s.frozen_counter = *s.bound_counter;
+                s.bound_counter = &s.frozen_counter;
+            }
+            break;
+          case StatKind::Value:
+            if (s.bound_value != &s.frozen_value) {
+                s.frozen_value = *s.bound_value;
+                s.bound_value = &s.frozen_value;
+            }
+            break;
+          case StatKind::Formula: {
+            const double v = s.formula();
+            s.formula = [v] { return v; };
+            break;
+          }
+          case StatKind::Histogram:
+            break;
+        }
     }
 }
 

@@ -131,6 +131,14 @@ class Registry
      *  components, which have their own clear_stats paths). */
     void reset();
 
+    /**
+     * Snapshot every bound counter/value and formula into storage the
+     * registry owns, so reads and dumps stay valid after the components
+     * the stats were bound to are destroyed. Owned counters and
+     * histograms are untouched. Idempotent.
+     */
+    void freeze();
+
     /** Drop every registration (used when a system re-registers). */
     void clear();
 
@@ -150,6 +158,10 @@ class Registry
         std::function<double()> formula;
         std::unique_ptr<Counter> owned;
         std::unique_ptr<Histogram> hist;
+        // freeze() targets: bound pointers are repointed here (map
+        // nodes are pointer-stable, so these addresses never move).
+        std::uint64_t frozen_counter = 0;
+        double frozen_value = 0;
     };
 
     Stat& insert(const std::string& name, const std::string& desc,

@@ -1,5 +1,6 @@
 #include "obs/sampler.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <ostream>
 
@@ -45,6 +46,12 @@ void
 EpochSampler::clear_probes()
 {
     names_.clear();
+    probes_.clear();
+}
+
+void
+EpochSampler::freeze()
+{
     probes_.clear();
 }
 
@@ -133,7 +140,10 @@ EpochSampler::write_json(std::ostream& os, int indent) const
             os << ",";
         pad(1);
         os << "{\"begin\": " << e.begin << ", \"end\": " << e.end;
-        for (std::size_t p = 0; p < names_.size(); ++p) {
+        // A frozen sampler keeps names_ but no probes; epochs recorded
+        // before older registrations may also be shorter than names_.
+        const std::size_t n = std::min(names_.size(), e.values.size());
+        for (std::size_t p = 0; p < n; ++p) {
             double v = e.values[p];
             os << ", \"" << names_[p]
                << "\": " << (std::isfinite(v) ? v : 0.0);

@@ -54,6 +54,14 @@ class EpochSampler
 
     void clear_probes();
 
+    /**
+     * Drop the probe callbacks — which capture pointers into the
+     * system — while keeping probe names and recorded epochs, so the
+     * series stays serializable after the system dies. Re-attach
+     * (clear_probes + add_*) before sampling again.
+     */
+    void freeze();
+
     /** Start sampling at progress point @p at (captures baselines). */
     void begin(std::uint64_t at);
 

@@ -151,6 +151,13 @@ MultiCoreSystem::run(std::uint64_t warmup_records,
     res.llc = mem_.llc().stats();
     res.traffic = mem_.dram().traffic();
     res.span = max_end - min_start;
+
+    // The registry's bound stats and formulas point into this system,
+    // and none of them change once the run is over — snapshot them now
+    // so harnesses (e.g. triagesim --mix, whose system is local to
+    // stats::run_mix) can dump the registry after the system dies.
+    if (obs_ != nullptr)
+        obs_->freeze();
     return res;
 }
 

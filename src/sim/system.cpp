@@ -65,6 +65,13 @@ SingleCoreSystem::run(Workload& wl, std::uint64_t warmup_records,
     res.llc = mem_.llc().stats();
     res.traffic = mem_.dram().traffic();
     res.span = end - start;
+
+    // The registry's bound stats and formulas point into this system,
+    // and none of them change once the run is over — snapshot them now
+    // so harnesses (e.g. stats::run_single callers emitting
+    // --stats-json) can dump the registry after the system dies.
+    if (obs_ != nullptr)
+        obs_->freeze();
     return res;
 }
 

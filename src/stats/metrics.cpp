@@ -13,7 +13,8 @@ geomean(const std::vector<double>& values)
     if (values.empty())
         return 1.0;
     // Non-positive or non-finite entries (a hung baseline's 0 IPC, a
-    // 0/0 ratio) would poison every other value via log(); skip them.
+    // 0/0 ratio) would poison every other value via log(); skip them,
+    // but never silently — a dropped entry changes the mean's meaning.
     double log_sum = 0;
     std::size_t n = 0;
     for (double v : values) {
@@ -21,6 +22,11 @@ geomean(const std::vector<double>& values)
             continue;
         log_sum += std::log(v);
         ++n;
+    }
+    if (n < values.size()) {
+        TRIAGE_LOG_WARN("geomean: skipped ", values.size() - n,
+                        " non-positive/non-finite of ", values.size(),
+                        " entries");
     }
     if (n == 0)
         return 1.0;
@@ -35,11 +41,28 @@ speedup(const sim::RunResult& with_pf, const sim::RunResult& baseline)
     ratios.reserve(with_pf.per_core.size());
     for (std::size_t c = 0; c < with_pf.per_core.size(); ++c) {
         double base_ipc = baseline.per_core[c].ipc();
-        // A zero-IPC baseline core has no meaningful ratio; geomean()
-        // skips the non-finite placeholder rather than returning inf.
-        ratios.push_back(base_ipc == 0.0
-                             ? std::numeric_limits<double>::infinity()
-                             : with_pf.per_core[c].ipc() / base_ipc);
+        double pf_ipc = with_pf.per_core[c].ipc();
+        if (base_ipc == 0.0) {
+            // No meaningful ratio; geomean() skips the non-finite
+            // placeholder rather than returning inf.
+            util::warn(util::format_msg(
+                "speedup: core ", c,
+                " baseline IPC is zero; core excluded from geomean"));
+            ratios.push_back(std::numeric_limits<double>::infinity());
+        } else if (pf_ipc == 0.0) {
+            // A core that retired nothing WITH prefetching enabled is
+            // almost certainly a broken/hung prefetcher run, not a
+            // slow one. The zero ratio is excluded from the geomean
+            // (log(0) would poison it), so shout: the reported speedup
+            // overstates reality.
+            util::warn(util::format_msg(
+                "speedup: core ", c,
+                " IPC is zero with prefetching enabled (hung run?); "
+                "core excluded from geomean — result overstated"));
+            ratios.push_back(0.0);
+        } else {
+            ratios.push_back(pf_ipc / base_ipc);
+        }
     }
     return geomean(ratios);
 }

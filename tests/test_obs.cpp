@@ -82,6 +82,55 @@ TEST(Registry, BoundValueGauge)
     EXPECT_EQ(reg.read("gauge"), -3.25);
 }
 
+TEST(Registry, FreezeSnapshotsBoundStatsAndFormulas)
+{
+    obs::Registry reg;
+    {
+        // Sources live in an inner scope and are dead by read time —
+        // the exact shape of the --mix use-after-free (review): bound
+        // stats pointing into a system local to stats::run_mix.
+        std::uint64_t hits = 41;
+        double gauge = 0.25;
+        reg.bind_counter("l2.hits", &hits);
+        reg.bind_value("gauge", &gauge);
+        reg.add_formula("twice",
+                        [&hits] { return 2.0 * static_cast<double>(hits); });
+        reg.freeze();
+        // Post-freeze source changes must be invisible.
+        hits = 1000;
+        gauge = 9.0;
+        EXPECT_DOUBLE_EQ(reg.read("l2.hits"), 41.0);
+    }
+    EXPECT_DOUBLE_EQ(reg.read("l2.hits"), 41.0);
+    EXPECT_DOUBLE_EQ(reg.read("gauge"), 0.25);
+    EXPECT_DOUBLE_EQ(reg.read("twice"), 82.0);
+    reg.freeze(); // idempotent
+    EXPECT_DOUBLE_EQ(reg.read("l2.hits"), 41.0);
+    EXPECT_DOUBLE_EQ(reg.read("gauge"), 0.25);
+
+    // The frozen registry still serializes.
+    std::ostringstream os;
+    reg.write_json(os);
+    std::string err;
+    auto v = obs::json::parse(os.str(), &err);
+    ASSERT_TRUE(v.has_value()) << err;
+    EXPECT_EQ(v->find_path("l2.hits")->number, 41.0);
+}
+
+TEST(RegistryDeathTest, RejectsNameNestingUnderExistingLeaf)
+{
+    // "a.b" as both a leaf and an object prefix would emit a duplicate
+    // JSON key; registration must fail fast instead.
+    obs::Registry reg;
+    std::uint64_t v = 0;
+    reg.bind_counter("a.b", &v);
+    EXPECT_DEATH(reg.counter("a.b.c"), "nests");
+    EXPECT_DEATH(reg.bind_counter("a", &v), "nests");
+    // Siblings and shared interior prefixes stay legal.
+    reg.bind_counter("a.bc", &v);
+    reg.bind_counter("a.b2.c", &v);
+}
+
 TEST(Registry, NamesSortedAndContains)
 {
     obs::Registry reg;
@@ -410,6 +459,38 @@ TEST(ObservabilityIntegration, SingleCoreRunProducesEpochsAndStats)
     EXPECT_NE(v->find_path("stats.core0.l1.demand_misses"), nullptr);
     EXPECT_NE(v->find_path("run.cores"), nullptr);
     EXPECT_NE(v->find_path("trace.total"), nullptr);
+}
+
+TEST(ObservabilityIntegration, MixRegistryOutlivesTheSystem)
+{
+    // Regression (review): stats::run_mix's MultiCoreSystem is a local
+    // variable, and the registry's bound stats and formulas pointed
+    // into it — `triagesim --mix --stats-json` dumped dangling
+    // pointers after run_mix returned. run() now freezes the bundle,
+    // so reads and dumps must work on the run's snapshot afterwards.
+    sim::MachineConfig cfg;
+    stats::RunScale scale;
+    scale.warmup_records = 2000;
+    scale.measure_records = 8000;
+    obs::Observability o;
+    o.sampler.configure(4000);
+    sim::RunResult r = stats::run_mix(cfg, {"mcf", "lbm"}, "triage_dyn",
+                                      scale, 1, &o);
+
+    EXPECT_DOUBLE_EQ(o.registry.read("core0.l2.demand_misses"),
+                     static_cast<double>(r.per_core[0].l2.demand_misses));
+    EXPECT_DOUBLE_EQ(o.registry.read("core1.l2.demand_misses"),
+                     static_cast<double>(r.per_core[1].l2.demand_misses));
+    EXPECT_GT(o.registry.read("core0.ipc"), 0.0);
+    EXPECT_GT(o.registry.read("core1.ipc"), 0.0);
+    EXPECT_EQ(o.sampler.epochs().size(), 2u);
+
+    std::ostringstream os;
+    stats::write_stats_json(os, r, &o);
+    std::string err;
+    auto v = obs::json::parse(os.str(), &err);
+    ASSERT_TRUE(v.has_value()) << err;
+    EXPECT_NE(v->find_path("stats.core1.l2.demand_misses"), nullptr);
 }
 
 TEST(ObservabilityIntegration, ReRunReattachesWithoutDuplicates)

@@ -127,6 +127,22 @@ TEST(Metrics, SpeedupWithZeroIpcBaselineStaysFinite)
     EXPECT_NEAR(sp, 1.2, 1e-9);
 }
 
+TEST(Metrics, SpeedupWithZeroIpcUnderPrefetchStaysFinite)
+{
+    // Regression (review): a core that retires nothing WITH the
+    // prefetcher enabled (hung run) contributes ratio 0, which the
+    // geomean excludes — the result must stay finite and equal the
+    // geomean of the healthy cores (a warning flags the exclusion).
+    auto base = result_with({1.0, 1.0}, 100);
+    auto pf = result_with({0.0, 2.0}, 100);
+    double sp = stats::speedup(pf, base);
+    EXPECT_TRUE(std::isfinite(sp));
+    EXPECT_NEAR(sp, 2.0, 1e-9);
+    // All cores hung: neutral element, still finite.
+    auto pf0 = result_with({0.0, 0.0}, 100);
+    EXPECT_DOUBLE_EQ(stats::speedup(pf0, base), 1.0);
+}
+
 TEST(Metrics, AveragesOfEmptyRunResultAreZero)
 {
     sim::RunResult empty;

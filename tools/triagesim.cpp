@@ -56,6 +56,7 @@ struct Options {
     bool help = false;
     bool json = false;
     bool records_set = false;
+    bool measure_set = false;
     // Observability.
     std::string stats_json_path;
     std::string trace_events_path;
@@ -71,7 +72,9 @@ usage()
         "  --mix=A,B,C,D          multi-core mix (one benchmark per core)\n"
         "  --trace=FILE           replay a recorded trace instead\n"
         "  --save-trace=FILE      record the benchmark to FILE and exit\n"
-        "  --records=N            records to save with --save-trace\n"
+        "  --records=N            records to save with --save-trace;\n"
+        "                         without --save-trace, an alias for\n"
+        "                         --measure (explicit --measure wins)\n"
         "  --prefetcher=SPEC      none|bo|sms|markov|next_line|ghb_pcdc|\n"
         "                         stms|domino|isb|misb|triage_<size>|\n"
         "                         triage_dyn|triage_unlimited, '+'-joined\n"
@@ -140,6 +143,7 @@ parse(int argc, char** argv, Options& o)
             o.warmup = std::stoull(*v);
         } else if (auto v = val("measure")) {
             o.measure = std::stoull(*v);
+            o.measure_set = true;
         } else if (auto v = val("records")) {
             o.records = std::stoull(*v);
             o.records_set = true;
@@ -282,7 +286,8 @@ main(int argc, char** argv)
     }
     // Convenience: --records=N without --save-trace sets the
     // measurement window (the observability smoke-test invocation).
-    if (o.records_set && o.save_trace_path.empty())
+    // An explicit --measure always wins over the alias.
+    if (o.records_set && !o.measure_set && o.save_trace_path.empty())
         o.measure = o.records;
     if (o.list) {
         std::cout << "irregular SPEC analogs:\n";
