@@ -14,7 +14,6 @@
 #include <memory>
 
 #include "common.hpp"
-#include "sim/system.hpp"
 #include "triage/triage.hpp"
 
 using namespace triage;
@@ -22,20 +21,26 @@ using namespace triage::bench;
 
 namespace {
 
+/** Factory for a Triage variant the spec grammar cannot name. */
+std::function<std::unique_ptr<prefetch::Prefetcher>(unsigned)>
+triage_factory(const core::TriageConfig& tcfg)
+{
+    return [tcfg](unsigned) {
+        return std::make_unique<core::Triage>(tcfg);
+    };
+}
+
 /** Geomean speedup of a custom Triage config over the bench list. */
 double
-custom_geomean(SingleCoreLab& lab, const sim::MachineConfig& cfg,
+custom_geomean(SingleCoreLab& lab,
                const std::vector<std::string>& benches,
+               const std::string& variant,
                const core::TriageConfig& tcfg)
 {
     std::vector<double> v;
     for (const auto& b : benches) {
-        sim::SingleCoreSystem sys(cfg);
-        sys.set_prefetcher(std::make_unique<core::Triage>(tcfg));
-        auto wl = workloads::make_benchmark(b,
-                                            lab.scale().workload_scale);
-        auto r = sys.run(*wl, lab.scale().warmup_records,
-                         lab.scale().measure_records);
+        const auto& r = lab.run_custom(b, variant,
+                                       triage_factory(tcfg));
         v.push_back(stats::speedup(r, lab.run(b, "none")));
     }
     return stats::geomean(v);
@@ -50,7 +55,8 @@ main(int argc, char** argv)
                   "Ablation: Triage design choices (irregular SPEC "
                   "geomean)");
     sim::MachineConfig cfg;
-    SingleCoreLab lab(cfg, single_core_scale(argc, argv));
+    SingleCoreLab lab(cfg, single_core_scale(argc, argv),
+                      jobs_from_args(argc, argv));
     const auto& benches = workloads::irregular_spec();
 
     struct Variant {
@@ -68,6 +74,25 @@ main(int argc, char** argv)
         {"  unlimited metadata (Perfect)", "triage_unlimited"},
     };
 
+    // The future-work utility gate (paper Section 4.2): judge LLC ways
+    // by consumed prefetches.
+    core::TriageConfig gated;
+    gated.dynamic = true;
+    gated.partition.gate_min_accuracy = 0.25;
+    const std::string gate_tag = "triage_dyn+gate25";
+
+    // Declare the whole sweep up front so a parallel lab can fan out.
+    {
+        std::vector<std::string> pfs;
+        for (const auto& v : variants)
+            pfs.emplace_back(v.spec);
+        lab.declare_sweep(benches, pfs);
+        lab.declare_sweep({"bzip2"}, {"triage_dyn"});
+        for (const auto& b : benches)
+            lab.declare_custom(b, gate_tag, triage_factory(gated));
+        lab.declare_custom("bzip2", gate_tag, triage_factory(gated));
+    }
+
     stats::Table t({"variant", "speedup", "coverage", "accuracy"});
     for (const auto& v : variants) {
         double sp = lab.geomean_speedup(benches, v.spec);
@@ -84,20 +109,15 @@ main(int argc, char** argv)
     }
     t.print(std::cout);
 
-    // The future-work utility gate (paper Section 4.2): judge LLC ways
-    // by consumed prefetches. Reported on the irregular set and on the
+    // Utility-gated results, reported on the irregular set and on the
     // bzip2 analog whose metadata reuse is a false positive.
     {
-        core::TriageConfig gated;
-        gated.dynamic = true;
-        gated.partition.gate_min_accuracy = 0.25;
         stats::banner(std::cout,
                       "Future-work extension: utility-gated dynamic "
                       "partitioning");
         stats::Table g({"config", "irregular geomean", "bzip2"});
-        double irr =
-            custom_geomean(lab, cfg, benches, gated);
-        double bz = custom_geomean(lab, cfg, {"bzip2"}, gated);
+        double irr = custom_geomean(lab, benches, gate_tag, gated);
+        double bz = custom_geomean(lab, {"bzip2"}, gate_tag, gated);
         g.row({"triage_dyn + utility gate", stats::fmt_x(irr),
                stats::fmt_x(bz)});
         g.row({"triage_dyn (paper rule)",

@@ -19,10 +19,12 @@ main(int argc, char** argv)
                   "Figure 6: Prefetcher coverage and accuracy "
                   "(irregular SPEC)");
     sim::MachineConfig cfg;
-    SingleCoreLab lab(cfg, single_core_scale(argc, argv));
+    SingleCoreLab lab(cfg, single_core_scale(argc, argv),
+                      jobs_from_args(argc, argv));
 
     const std::vector<std::string> pfs = {
         "bo", "sms", "triage_512KB", "triage_1MB", "triage_dyn"};
+    lab.declare_sweep(workloads::irregular_spec(), pfs);
 
     for (const char* metric : {"coverage", "accuracy"}) {
         stats::Table t({"benchmark", "bo", "sms", "triage_512KB",

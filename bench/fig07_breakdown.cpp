@@ -27,10 +27,13 @@ main(int argc, char** argv)
     sim::MachineConfig cfg1mb = cfg2mb;
     cfg1mb.llc.size_bytes = 1024 * 1024;
 
-    SingleCoreLab lab2(cfg2mb, scale);
-    SingleCoreLab lab1(cfg1mb, scale);
+    unsigned jobs = jobs_from_args(argc, argv);
+    SingleCoreLab lab2(cfg2mb, scale, jobs);
+    SingleCoreLab lab1(cfg1mb, scale, jobs);
 
     const auto& benches = workloads::irregular_spec();
+    lab2.declare_sweep(benches, {"triage_1MB_free", "triage_1MB"});
+    lab1.declare_sweep(benches, {});
     stats::Table t({"benchmark", "2MB LLC - 1MB Triage (optimistic)",
                     "1MB LLC - NoL2PF", "1MB LLC - 1MB Triage"});
     std::vector<double> opt, small_nopf, partitioned;

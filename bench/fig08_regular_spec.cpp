@@ -22,14 +22,15 @@ main(int argc, char** argv)
     stats::RunScale scale = single_core_scale(argc, argv);
     // The regular set is large; trim per-benchmark windows so the whole
     // sweep stays laptop-scale (override with --measure=).
-    if (scale.measure_records == stats::RunScale{}.measure_records) {
+    if (!scale.measure_set) {
         scale.warmup_records = 250000;
         scale.measure_records = 500000;
     }
-    SingleCoreLab lab(cfg, scale);
+    SingleCoreLab lab(cfg, scale, jobs_from_args(argc, argv));
 
     const std::vector<std::string> pfs = {
         "bo", "sms", "triage_512KB", "triage_1MB", "triage_dyn"};
+    lab.declare_sweep(workloads::regular_spec(), pfs);
     stats::Table t({"benchmark", "bo", "sms", "triage_512KB",
                     "triage_1MB", "triage_dyn"});
     for (const auto& b : workloads::regular_spec()) {

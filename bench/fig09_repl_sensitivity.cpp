@@ -21,8 +21,17 @@ main(int argc, char** argv)
                   "Figure 9: Metadata store size x replacement policy "
                   "(no LLC capacity loss)");
     sim::MachineConfig cfg;
-    SingleCoreLab lab(cfg, single_core_scale(argc, argv));
+    SingleCoreLab lab(cfg, single_core_scale(argc, argv),
+                      jobs_from_args(argc, argv));
     const auto& benches = workloads::irregular_spec();
+
+    std::vector<std::string> sweep_pfs = {"triage_unlimited"};
+    for (int kb : {128, 256, 512, 1024}) {
+        sweep_pfs.push_back("triage_" + std::to_string(kb) +
+                            "KB_lru_free");
+        sweep_pfs.push_back("triage_" + std::to_string(kb) + "KB_free");
+    }
+    lab.declare_sweep(benches, sweep_pfs);
 
     stats::Table t({"store size", "LRU", "Hawkeye", "Perfect"});
     double perfect =

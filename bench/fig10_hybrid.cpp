@@ -19,11 +19,13 @@ main(int argc, char** argv)
                   "Figure 10: Triage in a hybrid prefetcher "
                   "(irregular SPEC, single core)");
     sim::MachineConfig cfg;
-    SingleCoreLab lab(cfg, single_core_scale(argc, argv));
+    SingleCoreLab lab(cfg, single_core_scale(argc, argv),
+                      jobs_from_args(argc, argv));
     const auto& benches = workloads::irregular_spec();
 
     const std::vector<std::string> pfs = {"bo", "triage_dyn",
                                           "bo+triage_dyn"};
+    lab.declare_sweep(benches, pfs);
     stats::Table t({"benchmark", "bo", "triage_dyn", "bo+triage_dyn"});
     for (const auto& b : benches) {
         std::vector<std::string> row{b};

@@ -21,11 +21,13 @@ main(int argc, char** argv)
                   "Figure 11: Comparison with off-chip temporal "
                   "prefetchers (irregular SPEC)");
     sim::MachineConfig cfg;
-    SingleCoreLab lab(cfg, single_core_scale(argc, argv));
+    SingleCoreLab lab(cfg, single_core_scale(argc, argv),
+                      jobs_from_args(argc, argv));
     const auto& benches = workloads::irregular_spec();
 
     const std::vector<std::string> pfs = {"stms", "domino", "misb",
                                           "triage_dyn"};
+    lab.declare_sweep(benches, pfs);
 
     stats::banner(std::cout, "Speedup over no L2 prefetch");
     stats::Table sp({"benchmark", "stms*", "domino*", "misb",

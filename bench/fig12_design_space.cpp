@@ -21,8 +21,11 @@ main(int argc, char** argv)
                   "Figure 12: Design space of temporal prefetchers "
                   "(irregular SPEC aggregate)");
     sim::MachineConfig cfg;
-    SingleCoreLab lab(cfg, single_core_scale(argc, argv));
+    SingleCoreLab lab(cfg, single_core_scale(argc, argv),
+                      jobs_from_args(argc, argv));
     const auto& benches = workloads::irregular_spec();
+    lab.declare_sweep(benches,
+                      {"bo", "stms", "domino", "misb", "triage_dyn"});
 
     stats::Table t({"prefetcher", "speedup (%)",
                     "traffic overhead (%)", "metadata location"});

@@ -21,8 +21,10 @@ main(int argc, char** argv)
     stats::banner(std::cout,
                   "Figure 13: Metadata energy, MISB relative to Triage");
     sim::MachineConfig cfg;
-    SingleCoreLab lab(cfg, single_core_scale(argc, argv));
+    SingleCoreLab lab(cfg, single_core_scale(argc, argv),
+                      jobs_from_args(argc, argv));
     const auto& benches = workloads::irregular_spec();
+    lab.declare_sweep(benches, {"triage_dyn", "misb"});
 
     stats::Table t({"benchmark", "triage LLC accesses",
                     "misb DRAM accesses", "ratio @10u", "ratio @25u",

@@ -21,6 +21,7 @@ main(int argc, char** argv)
                   "Figure 14: CloudSuite server workloads (4-core)");
     sim::MachineConfig cfg;
     stats::RunScale scale = multi_core_scale(argc, argv);
+    MixLab lab(cfg, scale, jobs_from_args(argc, argv));
 
     const std::vector<std::string> pfs = {
         "sms",          "bo",         "triage_1MB", "triage_dyn",
@@ -29,22 +30,25 @@ main(int argc, char** argv)
         "SMS", "BO", "Triage-Static", "Triage-Dynamic", "BO+SMS",
         "BO+Triage-Static", "BO+Triage-Dynamic"};
 
+    // CloudSuite samples are 4-core runs of one application; we run
+    // four instances with disjoint address spaces.
+    std::vector<workloads::Mix> mixes;
+    for (const auto& b : workloads::cloudsuite())
+        mixes.emplace_back(4, b);
+    lab.declare_sweep(mixes, pfs);
+
     std::vector<std::string> header{"benchmark"};
     header.insert(header.end(), heads.begin(), heads.end());
     stats::Table sp(header);
     stats::Table mr(header);
 
     std::vector<std::vector<double>> all(pfs.size());
-    for (const auto& b : workloads::cloudsuite()) {
-        // CloudSuite samples are 4-core runs of one application; we run
-        // four instances with disjoint address spaces.
-        workloads::Mix mix(4, b);
-        std::cerr << "  [mix] 4x " << b << "\n";
-        auto base = stats::run_mix(cfg, mix, "none", scale);
-        std::vector<std::string> sp_row{b};
-        std::vector<std::string> mr_row{b};
+    for (const auto& mix : mixes) {
+        const auto& base = lab.run(mix, "none");
+        std::vector<std::string> sp_row{mix[0]};
+        std::vector<std::string> mr_row{mix[0]};
         for (std::size_t i = 0; i < pfs.size(); ++i) {
-            auto r = stats::run_mix(cfg, mix, pfs[i], scale);
+            const auto& r = lab.run(mix, pfs[i]);
             double s = stats::speedup(r, base);
             all[i].push_back(s);
             sp_row.push_back(stats::fmt_x(s));

@@ -27,19 +27,17 @@ main(int argc, char** argv)
 
     auto mixes =
         workloads::make_mixes(workloads::irregular_spec(), 4, n_mixes, 99);
+    MixLab lab(cfg, scale, jobs_from_args(argc, argv));
+    lab.declare_sweep(mixes, {"triage_dyn", "triage_1MB"});
 
     struct Row {
         double dyn;
         double stat;
     };
     std::vector<Row> rows;
-    for (unsigned m = 0; m < mixes.size(); ++m) {
-        std::cerr << "  [mix " << m + 1 << "/" << mixes.size() << "]\n";
-        auto base = stats::run_mix(cfg, mixes[m], "none", scale);
-        auto dyn = stats::run_mix(cfg, mixes[m], "triage_dyn", scale);
-        auto stat = stats::run_mix(cfg, mixes[m], "triage_1MB", scale);
-        rows.push_back({stats::speedup(dyn, base),
-                        stats::speedup(stat, base)});
+    for (const auto& mix : mixes) {
+        rows.push_back({lab.speedup(mix, "triage_dyn"),
+                        lab.speedup(mix, "triage_1MB")});
     }
     // Present sorted by dynamic speedup, like the paper's S-curve.
     std::sort(rows.begin(), rows.end(),

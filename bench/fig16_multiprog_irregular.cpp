@@ -25,22 +25,16 @@ main(int argc, char** argv)
 
     auto mixes = workloads::make_mixes(workloads::irregular_spec(), 4,
                                        n_mixes, 1234);
+    MixLab lab(cfg, scale, jobs_from_args(argc, argv));
+    lab.declare_sweep(mixes, {"bo", "triage_dyn", "bo+triage_dyn"});
     struct Row {
         double bo, dyn, hybrid;
     };
     std::vector<Row> rows;
-    for (unsigned m = 0; m < mixes.size(); ++m) {
-        std::cerr << "  [mix " << m + 1 << "/" << mixes.size() << "]\n";
-        auto base = stats::run_mix(cfg, mixes[m], "none", scale);
-        rows.push_back(
-            {stats::speedup(stats::run_mix(cfg, mixes[m], "bo", scale),
-                            base),
-             stats::speedup(
-                 stats::run_mix(cfg, mixes[m], "triage_dyn", scale),
-                 base),
-             stats::speedup(stats::run_mix(cfg, mixes[m],
-                                           "bo+triage_dyn", scale),
-                            base)});
+    for (const auto& mix : mixes) {
+        rows.push_back({lab.speedup(mix, "bo"),
+                        lab.speedup(mix, "triage_dyn"),
+                        lab.speedup(mix, "bo+triage_dyn")});
     }
     std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
         return a.hybrid > b.hybrid;

@@ -23,26 +23,30 @@ main(int argc, char** argv)
                   "(irregular mixes, shared 32 GB/s DRAM)");
     sim::MachineConfig cfg;
     stats::RunScale scale = multi_core_scale(argc, argv);
+    MixLab lab(cfg, scale, jobs_from_args(argc, argv));
 
-    stats::Table t({"cores", "MISB", "Triage-Dynamic", "winner"});
-    std::vector<double> misb_by_cores, triage_by_cores;
-    for (unsigned cores : {2u, 4u, 8u, 16u}) {
+    // Declare every core-count group up front so a parallel lab can
+    // overlap the small 2-core mixes with the big 16-core ones.
+    const unsigned core_counts[] = {2, 4, 8, 16};
+    std::vector<std::vector<workloads::Mix>> groups;
+    for (unsigned cores : core_counts) {
         unsigned def_mixes = cores >= 8 ? 4 : 6;
         unsigned n_mixes =
             stats::RunScale::mixes_from_args(argc, argv, def_mixes);
-        auto mixes = workloads::make_mixes(workloads::irregular_spec(),
-                                           cores, n_mixes,
-                                           4321 + cores);
+        groups.push_back(
+            workloads::make_mixes(workloads::irregular_spec(), cores,
+                                  n_mixes, 4321 + cores));
+        lab.declare_sweep(groups.back(), {"misb", "triage_dyn"});
+    }
+
+    stats::Table t({"cores", "MISB", "Triage-Dynamic", "winner"});
+    std::vector<double> misb_by_cores, triage_by_cores;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        unsigned cores = core_counts[g];
         std::vector<double> misb_v, triage_v;
-        for (unsigned m = 0; m < mixes.size(); ++m) {
-            std::cerr << "  [" << cores << "-core mix " << m + 1 << "/"
-                      << mixes.size() << "]\n";
-            auto base = stats::run_mix(cfg, mixes[m], "none", scale);
-            misb_v.push_back(stats::speedup(
-                stats::run_mix(cfg, mixes[m], "misb", scale), base));
-            triage_v.push_back(stats::speedup(
-                stats::run_mix(cfg, mixes[m], "triage_dyn", scale),
-                base));
+        for (const auto& mix : groups[g]) {
+            misb_v.push_back(lab.speedup(mix, "misb"));
+            triage_v.push_back(lab.speedup(mix, "triage_dyn"));
         }
         double misb_g = stats::geomean(misb_v);
         double triage_g = stats::geomean(triage_v);

@@ -28,21 +28,22 @@ main(int argc, char** argv)
 
     auto mixes =
         workloads::make_mixes(workloads::all_spec(), 4, n_mixes, 31415);
+    MixLab lab(cfg, scale, jobs_from_args(argc, argv));
+    lab.declare(mixes, "triage_dyn");
 
     stats::Table t({"mix", "core0", "core1", "core2", "core3",
                     "total ways"});
     std::unordered_map<std::string, std::pair<double, unsigned>> per_bench;
     for (unsigned m = 0; m < mixes.size(); ++m) {
-        std::cerr << "  [mix " << m + 1 << "/" << mixes.size() << "]\n";
-        stats::run_mix(cfg, mixes[m], "triage_dyn", scale);
-        const auto& ways = stats::last_mix_metadata_ways();
+        const auto& res = lab.run(mixes[m], "triage_dyn");
         double total = 0;
         std::vector<std::string> row{"mix" + std::to_string(m + 1)};
         for (unsigned c = 0; c < 4; ++c) {
-            total += ways[c];
-            row.push_back(mixes[m][c] + ": " + stats::fmt(ways[c], 2));
+            double ways = res.per_core[c].avg_metadata_ways;
+            total += ways;
+            row.push_back(mixes[m][c] + ": " + stats::fmt(ways, 2));
             auto& acc = per_bench[mixes[m][c]];
-            acc.first += ways[c];
+            acc.first += ways;
             acc.second += 1;
         }
         row.push_back(stats::fmt(total, 2));

@@ -19,8 +19,11 @@ main(int argc, char** argv)
 {
     stats::banner(std::cout, "Figure 20: Sensitivity to prefetch degree");
     sim::MachineConfig cfg;
-    SingleCoreLab lab(cfg, single_core_scale(argc, argv));
+    SingleCoreLab lab(cfg, single_core_scale(argc, argv),
+                      jobs_from_args(argc, argv));
     const auto& benches = workloads::irregular_spec();
+    lab.declare_sweep(benches, {"bo", "sms", "triage_1MB"},
+                      {1, 2, 4, 8, 16});
 
     stats::Table sp({"degree", "bo", "sms", "triage_1MB"});
     stats::Table acc({"degree", "bo", "sms", "triage_1MB"});

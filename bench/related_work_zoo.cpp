@@ -21,8 +21,12 @@ main(int argc, char** argv)
                   "Related work zoo: every prefetcher family of "
                   "Section 2 (irregular SPEC aggregate)");
     sim::MachineConfig cfg;
-    SingleCoreLab lab(cfg, single_core_scale(argc, argv));
+    SingleCoreLab lab(cfg, single_core_scale(argc, argv),
+                      jobs_from_args(argc, argv));
     const auto& benches = workloads::irregular_spec();
+    lab.declare_sweep(benches,
+                      {"next_line", "bo", "ghb_pcdc", "sms", "markov",
+                       "stms", "domino", "isb", "misb", "triage_dyn"});
 
     struct Entry {
         const char* spec;

@@ -8,7 +8,6 @@
 #include <memory>
 
 #include "common.hpp"
-#include "sim/system.hpp"
 #include "triage/triage.hpp"
 
 using namespace triage;
@@ -16,19 +15,22 @@ using namespace triage::bench;
 
 namespace {
 
-double
-run_with_epoch(const sim::MachineConfig& cfg, const std::string& bench,
-               const stats::RunScale& scale, std::uint64_t epoch,
-               const sim::RunResult& base)
+/** Triage-Dynamic with a non-default partition epoch. */
+std::function<std::unique_ptr<prefetch::Prefetcher>(unsigned)>
+epoch_factory(std::uint64_t epoch)
 {
-    sim::SingleCoreSystem sys(cfg);
-    core::TriageConfig tcfg;
-    tcfg.dynamic = true;
-    tcfg.partition.epoch_accesses = epoch;
-    sys.set_prefetcher(std::make_unique<core::Triage>(tcfg));
-    auto wl = workloads::make_benchmark(bench, scale.workload_scale);
-    auto r = sys.run(*wl, scale.warmup_records, scale.measure_records);
-    return stats::speedup(r, base);
+    return [epoch](unsigned) {
+        core::TriageConfig tcfg;
+        tcfg.dynamic = true;
+        tcfg.partition.epoch_accesses = epoch;
+        return std::make_unique<core::Triage>(tcfg);
+    };
+}
+
+std::string
+epoch_tag(std::uint64_t epoch)
+{
+    return "triage_dyn@epoch" + std::to_string(epoch);
 }
 
 } // namespace
@@ -40,18 +42,25 @@ main(int argc, char** argv)
                   "Section 4.6: Sensitivity to partition epoch length "
                   "(Triage-Dynamic)");
     sim::MachineConfig cfg;
-    stats::RunScale scale = single_core_scale(argc, argv);
     const auto& benches = workloads::irregular_spec();
+    const std::uint64_t epochs[] = {10000, 25000, 50000, 100000,
+                                    200000};
 
-    SingleCoreLab lab(cfg, scale);
+    SingleCoreLab lab(cfg, single_core_scale(argc, argv),
+                      jobs_from_args(argc, argv));
+    lab.declare_sweep(benches, {});
+    for (std::uint64_t epoch : epochs)
+        for (const auto& b : benches)
+            lab.declare_custom(b, epoch_tag(epoch),
+                               epoch_factory(epoch));
+
     stats::Table t({"epoch (metadata accesses)", "speedup (geomean)"});
-    for (std::uint64_t epoch : {10000u, 25000u, 50000u, 100000u,
-                                200000u}) {
+    for (std::uint64_t epoch : epochs) {
         std::vector<double> v;
         for (const auto& b : benches) {
-            std::cerr << "  [epoch " << epoch << "] " << b << "\n";
-            v.push_back(run_with_epoch(cfg, b, scale, epoch,
-                                       lab.run(b, "none")));
+            const auto& r = lab.run_custom(b, epoch_tag(epoch),
+                                           epoch_factory(epoch));
+            v.push_back(stats::speedup(r, lab.run(b, "none")));
         }
         t.row({std::to_string(epoch),
                stats::fmt_x(stats::geomean(v))});

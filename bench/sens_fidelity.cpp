@@ -6,6 +6,7 @@
  * TLBs, reporting the Triage-vs-BO gap under each.
  */
 #include <iostream>
+#include <memory>
 
 #include "common.hpp"
 
@@ -46,16 +47,25 @@ main(int argc, char** argv)
          true},
     };
 
-    stats::Table t({"substrate", "bo", "triage_1MB", "triage gap"});
+    // One lab per substrate; declare every sweep before collecting so
+    // a parallel run fans out across all nine configurations at once.
+    unsigned jobs = jobs_from_args(argc, argv);
+    std::vector<std::unique_ptr<SingleCoreLab>> labs;
     for (const auto& f : configs) {
         sim::MachineConfig cfg;
         cfg.llc_replacement = f.llc;
         cfg.l2_mshrs = f.mshrs;
         cfg.model_tlb = f.tlb;
-        SingleCoreLab lab(cfg, scale);
-        double bo = lab.geomean_speedup(benches, "bo");
-        double tr = lab.geomean_speedup(benches, "triage_1MB");
-        t.row({f.label, stats::fmt_x(bo), stats::fmt_x(tr),
+        labs.push_back(std::make_unique<SingleCoreLab>(cfg, scale,
+                                                       jobs));
+        labs.back()->declare_sweep(benches, {"bo", "triage_1MB"});
+    }
+
+    stats::Table t({"substrate", "bo", "triage_1MB", "triage gap"});
+    for (std::size_t i = 0; i < labs.size(); ++i) {
+        double bo = labs[i]->geomean_speedup(benches, "bo");
+        double tr = labs[i]->geomean_speedup(benches, "triage_1MB");
+        t.row({configs[i].label, stats::fmt_x(bo), stats::fmt_x(tr),
                stats::fmt_pct(tr - bo)});
     }
     t.print(std::cout);

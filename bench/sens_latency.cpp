@@ -6,6 +6,7 @@
  * data and metadata by up to 6 cycles and sees only ~1% loss.
  */
 #include <iostream>
+#include <memory>
 
 #include "common.hpp"
 
@@ -19,28 +20,37 @@ main(int argc, char** argv)
                   "Section 4.6: Sensitivity to extra LLC latency "
                   "(irregular SPEC, Triage-1MB)");
     stats::RunScale scale = single_core_scale(argc, argv);
+    unsigned jobs = jobs_from_args(argc, argv);
     const auto& benches = workloads::irregular_spec();
+    const std::uint32_t extras[] = {0, 2, 4, 6};
 
-    // Baseline: no prefetching, no extra latency.
+    // Baseline: no prefetching, no extra latency. Declare everything
+    // before collecting so a parallel lab fans out across configs too.
     sim::MachineConfig base_cfg;
-    SingleCoreLab base_lab(base_cfg, scale);
+    SingleCoreLab base_lab(base_cfg, scale, jobs);
+    base_lab.declare_sweep(benches, {});
+    std::vector<std::unique_ptr<SingleCoreLab>> labs;
+    for (std::uint32_t extra : extras) {
+        sim::MachineConfig cfg;
+        cfg.llc_extra_latency = extra;
+        labs.push_back(std::make_unique<SingleCoreLab>(cfg, scale,
+                                                       jobs));
+        labs.back()->declare(benches, "triage_1MB");
+    }
 
     stats::Table t({"extra LLC cycles", "Triage speedup",
                     "delta vs +0"});
     double at_zero = 0;
-    for (std::uint32_t extra : {0u, 2u, 4u, 6u}) {
-        sim::MachineConfig cfg;
-        cfg.llc_extra_latency = extra;
-        SingleCoreLab lab(cfg, scale);
+    for (std::size_t i = 0; i < labs.size(); ++i) {
         std::vector<double> v;
         for (const auto& b : benches) {
-            v.push_back(stats::speedup(lab.run(b, "triage_1MB"),
+            v.push_back(stats::speedup(labs[i]->run(b, "triage_1MB"),
                                        base_lab.run(b, "none")));
         }
         double g = stats::geomean(v);
-        if (extra == 0)
+        if (extras[i] == 0)
             at_zero = g;
-        t.row({"+" + std::to_string(extra), stats::fmt_x(g),
+        t.row({"+" + std::to_string(extras[i]), stats::fmt_x(g),
                stats::fmt_pct(g / at_zero - 1)});
     }
     t.print(std::cout);

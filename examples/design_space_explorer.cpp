@@ -5,14 +5,20 @@
  * illustrating how to construct custom Triage configurations rather
  * than using the stock factories.
  *
- * Usage: design_space_explorer [benchmark] [--scale=F]
+ * The sweep is declared as exec::Lab jobs: custom configurations use a
+ * prefetcher factory plus a variant tag (the tag keys memoization),
+ * and `--jobs=N` runs the whole grid on N worker threads with results
+ * identical to a serial run.
+ *
+ * Usage: design_space_explorer [benchmark] [--scale=F] [--jobs=N]
  */
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "exec/lab.hpp"
 #include "sim/config.hpp"
-#include "sim/system.hpp"
 #include "stats/experiment.hpp"
 #include "stats/metrics.hpp"
 #include "stats/table.hpp"
@@ -20,20 +26,6 @@
 #include "workloads/spec.hpp"
 
 using namespace triage;
-
-namespace {
-
-sim::RunResult
-run_custom(const sim::MachineConfig& cfg, const std::string& bench,
-           const stats::RunScale& scale, const core::TriageConfig& tcfg)
-{
-    sim::SingleCoreSystem sys(cfg);
-    sys.set_prefetcher(std::make_unique<core::Triage>(tcfg));
-    auto wl = workloads::make_benchmark(bench, scale.workload_scale);
-    return sys.run(*wl, scale.warmup_records, scale.measure_records);
-}
-
-} // namespace
 
 int
 main(int argc, char** argv)
@@ -48,30 +40,66 @@ main(int argc, char** argv)
 
     std::cout << "Sweeping Triage's metadata store on '" << bench
               << "'\n\n";
-    auto base = stats::run_single(cfg, bench, "none", scale);
 
-    stats::Table t({"store", "replacement", "speedup", "coverage",
-                    "store entries"});
+    exec::Lab lab({.jobs = exec::Lab::jobs_from_args(argc, argv)});
+    auto submit = [&](const std::string& variant,
+                      const core::TriageConfig& tcfg) {
+        exec::Job j;
+        j.config = cfg;
+        j.benchmark = bench;
+        j.variant = variant;
+        j.prefetcher_factory = [tcfg](unsigned) {
+            return std::make_unique<core::Triage>(tcfg);
+        };
+        j.scale = scale;
+        return lab.submit(std::move(j));
+    };
+
+    // Declare the whole grid before collecting any result, so the
+    // workers can chew through it in parallel.
+    exec::Job base_job;
+    base_job.config = cfg;
+    base_job.benchmark = bench;
+    base_job.pf_spec = "none";
+    base_job.scale = scale;
+    auto base_id = lab.submit(std::move(base_job));
+
+    struct Point {
+        std::uint64_t kb;
+        core::MetaReplKind repl;
+        exec::Lab::JobId id;
+    };
+    std::vector<Point> grid;
     for (std::uint64_t kb : {128, 256, 512, 1024}) {
         for (auto repl :
              {core::MetaReplKind::Lru, core::MetaReplKind::Hawkeye}) {
             core::TriageConfig tcfg;
             tcfg.static_bytes = kb * 1024;
             tcfg.repl = repl;
-            auto r = run_custom(cfg, bench, scale, tcfg);
-            t.row({std::to_string(kb) + "KB",
-                   repl == core::MetaReplKind::Lru ? "lru" : "hawkeye",
-                   stats::fmt_x(stats::speedup(r, base)),
-                   stats::fmt_pct(stats::avg_coverage(r)),
-                   std::to_string(kb * 1024 / 4)});
+            std::string variant =
+                "triage@" + std::to_string(kb) + "KB/" +
+                (repl == core::MetaReplKind::Lru ? "lru" : "hawkeye");
+            grid.push_back({kb, repl, submit(variant, tcfg)});
         }
     }
-    // The unlimited-metadata upper bound.
+    core::TriageConfig unlimited;
+    unlimited.unlimited = true;
+    unlimited.charge_llc_capacity = false;
+    auto unlimited_id = submit("triage@unlimited", unlimited);
+
+    const auto& base = lab.result(base_id);
+    stats::Table t({"store", "replacement", "speedup", "coverage",
+                    "store entries"});
+    for (const auto& p : grid) {
+        const auto& r = lab.result(p.id);
+        t.row({std::to_string(p.kb) + "KB",
+               p.repl == core::MetaReplKind::Lru ? "lru" : "hawkeye",
+               stats::fmt_x(stats::speedup(r, base)),
+               stats::fmt_pct(stats::avg_coverage(r)),
+               std::to_string(p.kb * 1024 / 4)});
+    }
     {
-        core::TriageConfig tcfg;
-        tcfg.unlimited = true;
-        tcfg.charge_llc_capacity = false;
-        auto r = run_custom(cfg, bench, scale, tcfg);
+        const auto& r = lab.result(unlimited_id);
         t.row({"unlimited", "-", stats::fmt_x(stats::speedup(r, base)),
                stats::fmt_pct(stats::avg_coverage(r)), "-"});
     }

@@ -4,11 +4,12 @@
  * analog) compared across the full prefetcher zoo — the "pointer-based
  * data structures" case the paper's introduction motivates.
  *
- * Usage: graph_analytics [--scale=F]
+ * Usage: graph_analytics [--scale=F] [--jobs=N]
  */
 #include <iostream>
 #include <vector>
 
+#include "exec/lab.hpp"
 #include "sim/config.hpp"
 #include "stats/experiment.hpp"
 #include "stats/metrics.hpp"
@@ -30,15 +31,31 @@ main(int argc, char** argv)
     std::cout << "Graph analytics on the '" << bench
               << "' analog (frontier walk over an irregular graph)\n\n";
 
-    auto base = stats::run_single(cfg, bench, "none", scale);
+    // One job per prefetcher, all declared up front: `--jobs=N` fans
+    // the zoo out over N workers with bit-identical results.
+    const std::vector<std::string> pfs = {
+        "bo",         "sms",        "markov",       "stms",
+        "misb",       "triage_1MB", "triage_dyn",   "bo+triage_dyn"};
+    exec::Lab lab({.jobs = exec::Lab::jobs_from_args(argc, argv)});
+    auto submit = [&](const std::string& pf) {
+        exec::Job j;
+        j.config = cfg;
+        j.benchmark = bench;
+        j.pf_spec = pf;
+        j.scale = scale;
+        return lab.submit(std::move(j));
+    };
+    auto base_id = submit("none");
+    std::vector<exec::Lab::JobId> ids;
+    for (const auto& pf : pfs)
+        ids.push_back(submit(pf));
 
+    const auto& base = lab.result(base_id);
     stats::Table t({"prefetcher", "speedup", "coverage", "accuracy",
                     "traffic overhead"});
-    for (const std::string pf :
-         {"bo", "sms", "markov", "stms", "misb", "triage_1MB",
-          "triage_dyn", "bo+triage_dyn"}) {
-        auto r = stats::run_single(cfg, bench, pf, scale);
-        t.row({pf, stats::fmt_x(stats::speedup(r, base)),
+    for (std::size_t i = 0; i < pfs.size(); ++i) {
+        const auto& r = lab.result(ids[i]);
+        t.row({pfs[i], stats::fmt_x(stats::speedup(r, base)),
                stats::fmt_pct(stats::avg_coverage(r)),
                stats::fmt_pct(stats::avg_accuracy(r)),
                stats::fmt_pct(stats::traffic_overhead(r, base))});

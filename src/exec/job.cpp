@@ -1,0 +1,166 @@
+#include "exec/job.hpp"
+
+#include <sstream>
+
+#include "sim/multicore.hpp"
+#include "sim/system.hpp"
+#include "util/log.hpp"
+#include "workloads/spec.hpp"
+
+namespace triage::exec {
+
+namespace {
+
+/**
+ * Canonical serialization of every MachineConfig field. Keep in sync
+ * with sim::MachineConfig: a field missing here would let two distinct
+ * machines share a memoization slot.
+ */
+std::string
+fingerprint(const sim::MachineConfig& c)
+{
+    std::ostringstream os;
+    os << c.rob_entries << ',' << c.fetch_width << ',' << c.retire_width
+       << ';' << c.l1d.size_bytes << ',' << c.l1d.assoc << ','
+       << c.l1d.latency << ';' << c.l2.size_bytes << ',' << c.l2.assoc
+       << ',' << c.l2.latency << ';' << c.llc.size_bytes << ','
+       << c.llc.assoc << ',' << c.llc.latency << ';'
+       << c.llc_extra_latency << ';' << c.dram_channels << ','
+       << c.dram_latency << ',' << c.dram_cycles_per_transfer << ','
+       << c.dram_prefetch_queue_limit << ';'
+       << (c.l1_stride_prefetcher ? 1 : 0) << ';' << c.prefetch_degree
+       << ';' << static_cast<int>(c.llc_replacement) << ';'
+       << c.l2_mshrs << ';' << (c.model_tlb ? 1 : 0) << ','
+       << c.l1_tlb_entries << ',' << c.l2_tlb_entries << ','
+       << c.l2_tlb_latency << ',' << c.page_walk_latency;
+    return os.str();
+}
+
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+std::string
+JobKey::str() const
+{
+    std::ostringstream os;
+    os << machine << '|' << workload << '|' << pf << "|d" << degree
+       << "|r" << replica << "|w" << warmup_records << "|m"
+       << measure_records << "|s" << workload_scale;
+    return os.str();
+}
+
+std::uint64_t
+JobKey::hash() const
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL; // FNV-1a 64
+    for (char ch : str()) {
+        h ^= static_cast<unsigned char>(ch);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::uint64_t
+JobKey::derived_seed() const
+{
+    return splitmix64(hash());
+}
+
+JobKey
+key_of(const Job& job)
+{
+    const bool has_factory =
+        static_cast<bool>(job.prefetcher_factory) ||
+        static_cast<bool>(job.workload_factory);
+    if (has_factory && job.variant.empty())
+        util::fatal("exec::Job with a custom factory needs a unique "
+                    "variant tag for its JobKey");
+    if (!has_factory && !job.variant.empty())
+        util::fatal("exec::Job variant tag set without a factory: '" +
+                    job.variant + "'");
+    if (job.workload_factory && !job.mix.empty())
+        util::fatal("exec::Job workload_factory is single-core only");
+
+    JobKey k;
+    k.machine = fingerprint(job.config);
+    if (!job.mix.empty()) {
+        std::string w = "mix:";
+        for (std::size_t c = 0; c < job.mix.size(); ++c) {
+            if (c > 0)
+                w += ',';
+            w += job.mix[c];
+        }
+        k.workload = w;
+    } else if (job.workload_factory) {
+        k.workload = "wl:" + job.variant;
+    } else {
+        if (job.benchmark.empty())
+            util::fatal("exec::Job has neither benchmark nor mix");
+        k.workload = "bench:" + job.benchmark;
+    }
+    k.pf = job.prefetcher_factory ? job.variant : job.pf_spec;
+    k.degree = job.degree;
+    k.replica = job.replica;
+    k.warmup_records = job.scale.warmup_records;
+    k.measure_records = job.scale.measure_records;
+    k.workload_scale = job.scale.workload_scale;
+    return k;
+}
+
+sim::RunResult
+run_job(const Job& job)
+{
+    const JobKey key = key_of(job);
+    // Replica 0 keeps the benchmark table's canonical seeds (and thus
+    // today's published numbers); replicas > 0 get an independent,
+    // reproducible stream derived from the key.
+    const std::uint64_t jitter =
+        job.replica == 0 ? 0 : key.derived_seed();
+
+    auto make_pf = [&](unsigned core) {
+        return job.prefetcher_factory
+                   ? job.prefetcher_factory(core)
+                   : stats::make_prefetcher(job.pf_spec, job.degree);
+    };
+
+    if (!job.mix.empty()) {
+        auto cores = static_cast<unsigned>(job.mix.size());
+        sim::MultiCoreSystem sys(job.config, cores);
+        sys.set_observability(job.obs);
+        for (unsigned c = 0; c < cores; ++c) {
+            sys.set_prefetcher(c, make_pf(c));
+            auto wl = workloads::make_benchmark(
+                job.mix[c], job.scale.workload_scale, jitter);
+            wl->set_instance(c);
+            sys.bind(c, *wl);
+        }
+        return sys.run(job.scale.warmup_records,
+                       job.scale.measure_records);
+    }
+
+    sim::SingleCoreSystem sys(job.config);
+    sys.set_observability(job.obs);
+    sys.set_prefetcher(make_pf(0));
+    std::unique_ptr<sim::Workload> wl =
+        job.workload_factory
+            ? job.workload_factory()
+            : workloads::make_benchmark(job.benchmark,
+                                        job.scale.workload_scale,
+                                        jitter);
+    if (wl == nullptr)
+        util::fatal("exec::Job workload_factory returned null ('" +
+                    key.workload + "')");
+    wl->reset();
+    return sys.run(*wl, job.scale.warmup_records,
+                   job.scale.measure_records);
+}
+
+} // namespace triage::exec

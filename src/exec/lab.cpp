@@ -1,0 +1,177 @@
+#include "exec/lab.hpp"
+
+#include <cstring>
+#include <string>
+
+#include "util/log.hpp"
+
+namespace triage::exec {
+
+namespace {
+
+std::string
+progress_label(const JobKey& key)
+{
+    std::string s = "[run] " + key.workload + " / " + key.pf;
+    if (key.degree != 1)
+        s += " (degree " + std::to_string(key.degree) + ")";
+    if (key.replica != 0)
+        s += " (replica " + std::to_string(key.replica) + ")";
+    return s;
+}
+
+} // namespace
+
+Lab::Lab(LabOptions opt)
+    : n_workers_(opt.jobs != 0
+                     ? opt.jobs
+                     : std::max(1u, std::thread::hardware_concurrency()))
+{}
+
+Lab::~Lab()
+{
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    work_ready_.notify_all();
+    for (auto& w : workers_)
+        w.join();
+}
+
+void
+Lab::execute(Task& task, unsigned worker_id,
+             std::unique_lock<std::mutex>& lock)
+{
+    task.started = true;
+    lock.unlock();
+    if (n_workers_ > 1) {
+        TRIAGE_LOG_INFO("[w", worker_id, "] ",
+                        progress_label(task.key));
+    } else {
+        TRIAGE_LOG_INFO(progress_label(task.key));
+    }
+    sim::RunResult r = run_job(task.job);
+    lock.lock();
+    task.result = std::move(r);
+    task.done = true;
+    ++executed_;
+    task_done_.notify_all();
+}
+
+void
+Lab::worker_loop(unsigned worker_id)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        work_ready_.wait(lock,
+                         [&] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            if (stop_)
+                return;
+            continue;
+        }
+        std::shared_ptr<Task> task = queue_.front();
+        queue_.pop_front();
+        execute(*task, worker_id, lock);
+    }
+}
+
+void
+Lab::ensure_workers()
+{
+    if (!workers_.empty())
+        return;
+    workers_.reserve(n_workers_);
+    for (unsigned w = 0; w < n_workers_; ++w)
+        workers_.emplace_back([this, w] { worker_loop(w); });
+}
+
+Lab::JobId
+Lab::submit(Job job)
+{
+    JobKey key = key_of(job);
+    std::unique_lock<std::mutex> lock(mu_);
+    JobId id = submitted_.size();
+    // Observability jobs are side-effecting: never satisfy one from a
+    // memoized result (the bundle would stay empty) and never let a
+    // later plain job reuse its slot.
+    const bool memoizable = job.obs == nullptr;
+    if (memoizable) {
+        auto it = memo_.find(key);
+        if (it != memo_.end()) {
+            submitted_.push_back(it->second);
+            return id;
+        }
+    }
+    auto task = std::make_shared<Task>();
+    task->job = std::move(job);
+    task->key = std::move(key);
+    task->seq = id;
+    submitted_.push_back(task);
+    if (memoizable)
+        memo_.emplace(task->key, task);
+    if (n_workers_ == 1) {
+        // Serial path: run synchronously at submission, exactly like
+        // the hand-rolled loops this Lab replaces.
+        execute(*task, 0, lock);
+        return id;
+    }
+    queue_.push_back(std::move(task));
+    ensure_workers();
+    lock.unlock();
+    work_ready_.notify_one();
+    return id;
+}
+
+const sim::RunResult&
+Lab::result(JobId id)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    TRIAGE_ASSERT(id < submitted_.size(), "bad JobId");
+    std::shared_ptr<Task> task = submitted_[id];
+    task_done_.wait(lock, [&] { return task->done; });
+    return task->result;
+}
+
+void
+Lab::wait_all()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    task_done_.wait(lock, [&] {
+        for (const auto& t : submitted_)
+            if (!t->done)
+                return false;
+        return true;
+    });
+}
+
+std::size_t
+Lab::size() const
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    return submitted_.size();
+}
+
+std::size_t
+Lab::runs_executed() const
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    return executed_;
+}
+
+unsigned
+Lab::jobs_from_args(int argc, char** argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+            auto n = static_cast<unsigned>(std::stoul(argv[i] + 7));
+            if (n != 0)
+                return n;
+            break;
+        }
+    }
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+} // namespace triage::exec

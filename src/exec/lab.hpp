@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The Lab: a parallel experiment scheduler. Jobs are submitted
+ * declaratively, deduplicated by JobKey, executed by a worker pool
+ * (`--jobs=N`; N=1 reproduces the serial path exactly), and collected
+ * in submission order.
+ *
+ * Each worker constructs its own SingleCoreSystem / MultiCoreSystem —
+ * the systems are thread-unsafe but self-contained (see
+ * cache/hierarchy.hpp), which makes job-level parallelism safe by
+ * construction. Results are bit-identical across any worker count; see
+ * docs/parallel-runs.md for the determinism contract.
+ */
+#ifndef TRIAGE_EXEC_LAB_HPP
+#define TRIAGE_EXEC_LAB_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/job.hpp"
+
+namespace triage::exec {
+
+/** Lab construction knobs. */
+struct LabOptions {
+    /** Worker threads; 0 = std::thread::hardware_concurrency(). */
+    unsigned jobs = 0;
+};
+
+/**
+ * Parallel, memoizing experiment engine.
+ *
+ * Usage: submit() every job of a sweep up front (duplicates by JobKey
+ * are coalesced onto one run), then collect with result(), which
+ * blocks until that job finishes. With one worker, submit() runs the
+ * job synchronously on the calling thread — byte-for-byte today's
+ * serial loop. Not reentrant: do not submit from inside a job.
+ */
+class Lab
+{
+  public:
+    using JobId = std::size_t;
+
+    explicit Lab(LabOptions opt = {});
+    ~Lab();
+    Lab(const Lab&) = delete;
+    Lab& operator=(const Lab&) = delete;
+
+    /**
+     * Enqueue @p job. A job whose key was already submitted shares the
+     * earlier run's result; a job with an obs bundle attached always
+     * runs (observability is a side effect memoization must not skip).
+     */
+    JobId submit(Job job);
+
+    /** Block until job @p id finishes and return its result. */
+    const sim::RunResult& result(JobId id);
+
+    /** submit() + result() in one call. */
+    const sim::RunResult&
+    run(Job job)
+    {
+        return result(submit(std::move(job)));
+    }
+
+    /** Block until every submitted job has finished. */
+    void wait_all();
+
+    /** Jobs submitted so far (JobIds are 0..size()-1). */
+    std::size_t size() const;
+
+    /** Distinct simulations actually executed (memo hits excluded). */
+    std::size_t runs_executed() const;
+
+    /** Effective worker count. */
+    unsigned workers() const { return n_workers_; }
+
+    /**
+     * Parse `--jobs=N` from a CLI argument list. Returns the effective
+     * worker count: N when given, hardware_concurrency (min 1) when
+     * the flag is absent or N=0.
+     */
+    static unsigned jobs_from_args(int argc, char** argv);
+
+  private:
+    struct Task {
+        Job job;
+        JobKey key;
+        JobId seq = 0;       ///< first submission's JobId (for logs)
+        bool started = false;
+        bool done = false;
+        sim::RunResult result;
+    };
+
+    void worker_loop(unsigned worker_id);
+    void execute(Task& task, unsigned worker_id,
+                 std::unique_lock<std::mutex>& lock);
+    void ensure_workers();
+
+    unsigned n_workers_;
+    mutable std::mutex mu_;
+    std::condition_variable work_ready_;
+    std::condition_variable task_done_;
+    std::vector<std::shared_ptr<Task>> submitted_; ///< by JobId
+    std::unordered_map<JobKey, std::shared_ptr<Task>, JobKeyHash> memo_;
+    std::deque<std::shared_ptr<Task>> queue_;
+    std::vector<std::thread> workers_;
+    std::size_t executed_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace triage::exec
+
+#endif // TRIAGE_EXEC_LAB_HPP

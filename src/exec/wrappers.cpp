@@ -1,0 +1,45 @@
+/**
+ * @file
+ * stats::run_single / stats::run_mix, reimplemented as thin wrappers
+ * over a one-job exec::Lab. Declared in stats/experiment.hpp (the
+ * historical entry points every example and test uses); defined here
+ * because the implementation now sits above the stats layer.
+ */
+#include "exec/lab.hpp"
+#include "stats/experiment.hpp"
+
+namespace triage::stats {
+
+sim::RunResult
+run_single(const sim::MachineConfig& cfg, const std::string& benchmark,
+           const std::string& pf_spec, const RunScale& scale,
+           std::uint32_t degree, obs::Observability* obs)
+{
+    exec::Job job;
+    job.config = cfg;
+    job.benchmark = benchmark;
+    job.pf_spec = pf_spec;
+    job.degree = degree;
+    job.scale = scale;
+    job.obs = obs;
+    exec::Lab lab({.jobs = 1});
+    return lab.run(std::move(job));
+}
+
+sim::RunResult
+run_mix(const sim::MachineConfig& cfg, const workloads::Mix& mix,
+        const std::string& pf_spec, const RunScale& scale,
+        std::uint32_t degree, obs::Observability* obs)
+{
+    exec::Job job;
+    job.config = cfg;
+    job.mix = mix;
+    job.pf_spec = pf_spec;
+    job.degree = degree;
+    job.scale = scale;
+    job.obs = obs;
+    exec::Lab lab({.jobs = 1});
+    return lab.run(std::move(job));
+}
+
+} // namespace triage::stats

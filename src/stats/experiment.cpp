@@ -10,17 +10,12 @@
 #include "prefetch/misb.hpp"
 #include "prefetch/next_line.hpp"
 #include "prefetch/sms.hpp"
-#include "sim/multicore.hpp"
-#include "sim/system.hpp"
 #include "triage/triage.hpp"
 #include "util/log.hpp"
-#include "workloads/spec.hpp"
 
 namespace triage::stats {
 
 namespace {
-
-std::vector<double> g_last_mix_ways;
 
 std::unique_ptr<prefetch::Prefetcher>
 make_one(const std::string& spec, std::uint32_t degree)
@@ -146,12 +141,16 @@ RunScale::from_args(int argc, char** argv)
     RunScale s;
     for (int i = 1; i < argc; ++i) {
         const char* a = argv[i];
-        if (std::strncmp(a, "--scale=", 8) == 0)
+        if (std::strncmp(a, "--scale=", 8) == 0) {
             s.workload_scale = std::stod(a + 8);
-        else if (std::strncmp(a, "--warmup=", 9) == 0)
+            s.scale_set = true;
+        } else if (std::strncmp(a, "--warmup=", 9) == 0) {
             s.warmup_records = std::stoull(a + 9);
-        else if (std::strncmp(a, "--measure=", 10) == 0)
+            s.warmup_set = true;
+        } else if (std::strncmp(a, "--measure=", 10) == 0) {
             s.measure_records = std::stoull(a + 10);
+            s.measure_set = true;
+        }
     }
     return s;
 }
@@ -164,47 +163,6 @@ RunScale::mixes_from_args(int argc, char** argv, unsigned def)
             return static_cast<unsigned>(std::stoul(argv[i] + 8));
     }
     return def;
-}
-
-sim::RunResult
-run_single(const sim::MachineConfig& cfg, const std::string& benchmark,
-           const std::string& pf_spec, const RunScale& scale,
-           std::uint32_t degree, obs::Observability* obs)
-{
-    sim::SingleCoreSystem sys(cfg);
-    sys.set_observability(obs);
-    sys.set_prefetcher(make_prefetcher(pf_spec, degree));
-    auto wl = workloads::make_benchmark(benchmark, scale.workload_scale);
-    return sys.run(*wl, scale.warmup_records, scale.measure_records);
-}
-
-sim::RunResult
-run_mix(const sim::MachineConfig& cfg, const workloads::Mix& mix,
-        const std::string& pf_spec, const RunScale& scale,
-        std::uint32_t degree, obs::Observability* obs)
-{
-    auto cores = static_cast<unsigned>(mix.size());
-    sim::MultiCoreSystem sys(cfg, cores);
-    sys.set_observability(obs);
-    for (unsigned c = 0; c < cores; ++c) {
-        sys.set_prefetcher(c, make_prefetcher(pf_spec, degree));
-        auto wl =
-            workloads::make_benchmark(mix[c], scale.workload_scale);
-        wl->set_instance(c);
-        sys.bind(c, *wl);
-    }
-    sim::RunResult res =
-        sys.run(scale.warmup_records, scale.measure_records);
-    g_last_mix_ways.clear();
-    for (unsigned c = 0; c < cores; ++c)
-        g_last_mix_ways.push_back(res.per_core[c].avg_metadata_ways);
-    return res;
-}
-
-const std::vector<double>&
-last_mix_metadata_ways()
-{
-    return g_last_mix_ways;
 }
 
 } // namespace triage::stats

@@ -29,6 +29,16 @@ struct RunScale {
     std::uint64_t measure_records = 1000000;
     double workload_scale = 1.0;
 
+    /**
+     * Presence flags: set by from_args when the corresponding flag was
+     * explicitly given on the command line. Lets callers with
+     * different defaults (e.g. bench::multi_core_scale) honor an
+     * explicit CLI value even when it equals the single-core default.
+     */
+    bool warmup_set = false;
+    bool measure_set = false;
+    bool scale_set = false;
+
     /** Parse --scale=F / --warmup=N / --measure=N / --mixes=N args. */
     static RunScale from_args(int argc, char** argv);
     /** --mixes=N when present (default @p def). */
@@ -43,6 +53,10 @@ make_prefetcher(const std::string& spec, std::uint32_t degree = 1);
  * Single-core run of @p benchmark under @p pf_spec.
  * "none" runs the no-L2-prefetch baseline (the L1 stride prefetcher
  * from Table 1 stays on in all configurations).
+ *
+ * Thin wrapper over a one-job exec::Lab (defined in exec/wrappers.cpp);
+ * batch sweeps should build exec::Jobs and submit them to a shared
+ * Lab instead — see docs/parallel-runs.md.
  */
 sim::RunResult run_single(const sim::MachineConfig& cfg,
                           const std::string& benchmark,
@@ -51,15 +65,14 @@ sim::RunResult run_single(const sim::MachineConfig& cfg,
                           std::uint32_t degree = 1,
                           obs::Observability* obs = nullptr);
 
-/** Multi-core run of @p mix (benchmark name per core). */
+/** Multi-core run of @p mix (benchmark name per core); same wrapper
+ *  arrangement as run_single. Per-core metadata ways are in
+ *  RunResult::per_core[c].avg_metadata_ways. */
 sim::RunResult run_mix(const sim::MachineConfig& cfg,
                        const workloads::Mix& mix,
                        const std::string& pf_spec, const RunScale& scale,
                        std::uint32_t degree = 1,
                        obs::Observability* obs = nullptr);
-
-/** Per-core average metadata ways of the last run_mix call (Fig 19). */
-const std::vector<double>& last_mix_metadata_ways();
 
 } // namespace triage::stats
 

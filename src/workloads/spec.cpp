@@ -408,12 +408,13 @@ table()
 } // namespace
 
 std::unique_ptr<SyntheticWorkload>
-make_benchmark(const std::string& name, double scale)
+make_benchmark(const std::string& name, double scale,
+               std::uint64_t seed_jitter)
 {
     auto it = table().find(name);
     if (it == table().end())
         util::fatal("unknown benchmark analog: " + name);
-    std::uint64_t seed = seed_of(name);
+    std::uint64_t seed = seed_of(name) ^ seed_jitter;
     auto length = static_cast<std::uint64_t>(
         static_cast<double>(it->second.length) * scale);
     if (length == 0)

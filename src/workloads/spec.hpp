@@ -22,10 +22,14 @@ namespace triage::workloads {
 /**
  * Build the analog for @p name.
  * @param scale multiplies the pass length (1.0 = default bench scale).
+ * @param seed_jitter XORed into the benchmark's canonical seed; 0 (the
+ *        default) reproduces the published streams, non-zero values
+ *        give reproducible independent replicas (exec::Job::replica).
  * Fatal if the name is unknown.
  */
-std::unique_ptr<SyntheticWorkload> make_benchmark(const std::string& name,
-                                                  double scale = 1.0);
+std::unique_ptr<SyntheticWorkload>
+make_benchmark(const std::string& name, double scale = 1.0,
+               std::uint64_t seed_jitter = 0);
 
 /** The paper's irregular SPEC2006 subset (Figure 5 x-axis). */
 const std::vector<std::string>& irregular_spec();

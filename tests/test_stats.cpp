@@ -260,12 +260,32 @@ TEST(SpecGrammar, RunScaleParsing)
     EXPECT_DOUBLE_EQ(s.workload_scale, 0.5);
     EXPECT_EQ(s.warmup_records, 123u);
     EXPECT_EQ(s.measure_records, 456u);
+    EXPECT_TRUE(s.warmup_set);
+    EXPECT_TRUE(s.measure_set);
+    EXPECT_TRUE(s.scale_set);
     EXPECT_EQ(stats::RunScale::mixes_from_args(
                   5, const_cast<char**>(argv), 80),
               9u);
     EXPECT_EQ(stats::RunScale::mixes_from_args(
                   1, const_cast<char**>(argv), 80),
               80u);
+}
+
+TEST(SpecGrammar, RunScalePresenceFlagsDefaultToFalse)
+{
+    // The multi-core benches override defaults only for flags the user
+    // actually passed — even a value equal to the single-core default
+    // must register as explicitly provided.
+    const char* argv[] = {"prog", "--warmup=200000"};
+    auto s = stats::RunScale::from_args(2, const_cast<char**>(argv));
+    EXPECT_TRUE(s.warmup_set);
+    EXPECT_FALSE(s.measure_set);
+    EXPECT_FALSE(s.scale_set);
+
+    auto d = stats::RunScale::from_args(1, const_cast<char**>(argv));
+    EXPECT_FALSE(d.warmup_set);
+    EXPECT_FALSE(d.measure_set);
+    EXPECT_FALSE(d.scale_set);
 }
 
 // ---------------------------------------------------------------------

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/lab.hpp"
 #include "obs/observer.hpp"
 
 #include "sim/multicore.hpp"
@@ -48,6 +49,7 @@ struct Options {
     std::uint64_t measure = 1000000;
     std::uint64_t records = 1000000; ///< for --save-trace
     double scale = 1.0;
+    unsigned jobs = 0; ///< worker threads (0 = hardware concurrency)
     std::uint32_t mshrs = 0;
     bool tlb = false;
     std::string llc_repl = "lru";
@@ -86,6 +88,9 @@ usage()
         "  --mshrs=N              finite L2 MSHR file (0 = unlimited)\n"
         "  --tlb                  model the Table 1 TLBs\n"
         "  --no-baseline          skip the no-prefetch comparison run\n"
+        "  --jobs=N               worker threads for independent runs\n"
+        "                         (default: hardware concurrency;\n"
+        "                         results are identical at any N)\n"
         "  --json                 emit the report as JSON\n"
         "  --stats-json=FILE      write the full stats registry, epoch\n"
         "                         series and run summary as JSON\n"
@@ -153,6 +158,8 @@ parse(int argc, char** argv, Options& o)
             o.trace_events_path = *v;
         } else if (auto v = val("epoch")) {
             o.epoch = std::stoull(*v);
+        } else if (auto v = val("jobs")) {
+            o.jobs = static_cast<unsigned>(std::stoul(*v));
         } else if (auto v = val("scale")) {
             o.scale = std::stod(*v);
         } else if (auto v = val("mshrs")) {
@@ -322,63 +329,66 @@ main(int argc, char** argv)
     scale.measure_records = o.measure;
     scale.workload_scale = o.scale;
 
-    if (!o.mix.empty()) {
-        if (!o.json) {
-            std::cout << "Machine: " << o.mix.size() << " cores\n"
-                      << cfg.describe(
-                             static_cast<unsigned>(o.mix.size()))
-                      << "\n";
-        }
-        std::optional<sim::RunResult> base;
-        if (o.baseline)
-            base = stats::run_mix(cfg, o.mix, "none", scale, o.degree);
-        obs::Observability obs;
-        obs.sampler.configure(o.epoch);
-        if (!o.trace_events_path.empty())
-            obs.trace.enable();
-        auto r = stats::run_mix(cfg, o.mix, o.prefetcher, scale, o.degree,
-                                wants_observability(o) ? &obs : nullptr);
-        if (o.json)
-            stats::write_json(std::cout, r);
-        else
-            report(o.prefetcher, r, base ? &*base : nullptr);
-        return emit_observability(o, r, obs);
-    }
-
-    // Single core: synthetic benchmark or recorded trace.
-    std::unique_ptr<sim::Workload> wl;
+    // Validate the trace file before handing it to worker threads.
     std::string label;
-    if (!o.trace_path.empty()) {
-        wl = workloads::load_trace(o.trace_path);
-        if (wl == nullptr)
+    if (!o.mix.empty()) {
+        label = o.prefetcher;
+    } else if (!o.trace_path.empty()) {
+        if (workloads::load_trace(o.trace_path) == nullptr)
             return 1;
-        label = o.trace_path;
+        label = o.trace_path + " / " + o.prefetcher;
     } else {
-        wl = workloads::make_benchmark(o.benchmark, o.scale);
-        label = o.benchmark;
+        label = o.benchmark + " / " + o.prefetcher;
     }
-    if (!o.json)
-        std::cout << "Machine: 1 core\n" << cfg.describe(1) << "\n";
 
-    std::optional<sim::RunResult> base;
-    if (o.baseline) {
-        sim::SingleCoreSystem sys(cfg);
-        auto wl2 = wl->clone();
-        base = sys.run(*wl2, o.warmup, o.measure);
+    if (!o.json) {
+        auto cores =
+            o.mix.empty() ? 1u : static_cast<unsigned>(o.mix.size());
+        std::cout << "Machine: " << cores
+                  << (cores == 1 ? " core\n" : " cores\n")
+                  << cfg.describe(cores) << "\n";
     }
-    sim::SingleCoreSystem sys(cfg);
+
     obs::Observability obs;
     obs.sampler.configure(o.epoch);
     if (!o.trace_events_path.empty())
         obs.trace.enable();
-    if (wants_observability(o))
-        sys.set_observability(&obs);
-    sys.set_prefetcher(stats::make_prefetcher(o.prefetcher, o.degree));
-    wl->reset();
-    auto r = sys.run(*wl, o.warmup, o.measure);
+
+    // The baseline and main runs are independent jobs; with --jobs>=2
+    // they execute on parallel workers, byte-identical to serial.
+    exec::Lab lab({.jobs = o.jobs});
+    auto make_job = [&](const std::string& pf, bool with_obs) {
+        exec::Job j;
+        j.config = cfg;
+        j.pf_spec = pf;
+        j.degree = o.degree;
+        j.scale = scale;
+        if (!o.mix.empty()) {
+            j.mix = o.mix;
+        } else if (!o.trace_path.empty()) {
+            j.workload_factory = [path = o.trace_path] {
+                return workloads::load_trace(path);
+            };
+            j.variant = "trace:" + o.trace_path;
+        } else {
+            j.benchmark = o.benchmark;
+        }
+        if (with_obs && wants_observability(o))
+            j.obs = &obs;
+        return j;
+    };
+
+    std::optional<exec::Lab::JobId> base_id;
+    if (o.baseline)
+        base_id = lab.submit(make_job("none", false));
+    auto main_id = lab.submit(make_job(o.prefetcher, true));
+
+    const sim::RunResult* base =
+        base_id ? &lab.result(*base_id) : nullptr;
+    const auto& r = lab.result(main_id);
     if (o.json)
         stats::write_json(std::cout, r);
     else
-        report(label + " / " + o.prefetcher, r, base ? &*base : nullptr);
+        report(label, r, base);
     return emit_observability(o, r, obs);
 }
