@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/event_trace.hpp"
+#include "obs/lifecycle.hpp"
 #include "obs/registry.hpp"
 
 #include "replacement/drrip.hpp"
@@ -95,7 +96,7 @@ MemorySystem::llc_latency() const
 }
 
 void
-MemorySystem::credit_prefetch(const LookupResult& r)
+MemorySystem::credit_prefetch(unsigned core, const LookupResult& r)
 {
     if (!r.first_prefetch_use || r.pf_owner == nullptr)
         return;
@@ -105,6 +106,10 @@ MemorySystem::credit_prefetch(const LookupResult& r)
     if (trace_ != nullptr)
         trace_->emit(obs::EventKind::PrefetchUseful, r.line->block,
                      r.late_prefetch ? 1 : 0);
+    // Close the lifecycle record, if one is open for this block
+    // (stride-owned and warmup-era prefetches have none).
+    if (lifecycle_ != nullptr)
+        lifecycle_->on_use(core, r.line->block, r.late_prefetch);
 }
 
 sim::Cycle
@@ -134,6 +139,8 @@ MemorySystem::access(unsigned core, sim::Pc pc, sim::Addr byte_addr,
 
     if (trace_ != nullptr)
         trace_->set_context(now, core);
+    if (lifecycle_ != nullptr)
+        lifecycle_->set_trigger_pc(pc);
 
     // Address translation (optional Table 1 TLBs): latency only.
     if (pcs.tlb != nullptr)
@@ -158,7 +165,7 @@ MemorySystem::access(unsigned core, sim::Pc pc, sim::Addr byte_addr,
                             core,     is_write, r2.hit,
                             r2.first_prefetch_use};
     if (r2.hit) {
-        credit_prefetch(r2);
+        credit_prefetch(core, r2);
         completion = std::max(now + cfg_.l2.latency, r2.line->ready_time);
     } else {
         completion = fetch_into_l2(core, pc, block, now, false, nullptr,
@@ -233,6 +240,10 @@ MemorySystem::fetch_into_l2(unsigned core, sim::Pc pc, sim::Addr block,
                                  owner);
     if (e2.valid && e2.dirty)
         writeback_to_llc(core, e2.block, now);
+    // A still-unused prefetched victim closes its lifecycle record as
+    // early-evicted (absent records — e.g. warmup-era — are ignored).
+    if (lifecycle_ != nullptr && e2.valid && e2.prefetched)
+        lifecycle_->on_evict(core, e2.block);
     if (pcs.l2pf != nullptr)
         pcs.l2pf->on_fill(block, completion, is_prefetch);
     return completion;
@@ -268,6 +279,23 @@ MemorySystem::issue_prefetch(unsigned core, sim::Addr block,
     }
     prefetch::PfOutcome outcome = prefetch::PfOutcome::RedundantL2;
     fetch_into_l2(core, 0, block, when, true, owner, &outcome);
+    // Lifecycle tracking covers the L2 prefetcher under test only:
+    // owner-less direct issues and the L1 stride are excluded so class
+    // counts reconcile against that prefetcher's issued aggregate.
+    if (lifecycle_ != nullptr && owner != nullptr &&
+        owner != static_cast<prefetch::Prefetcher*>(pcs.stride.get())) {
+        switch (outcome) {
+          case prefetch::PfOutcome::IssuedToDram:
+          case prefetch::PfOutcome::FilledFromLlc:
+            lifecycle_->on_issue(core, block);
+            break;
+          case prefetch::PfOutcome::DroppedBandwidth:
+            lifecycle_->on_drop(core);
+            break;
+          default:
+            break;
+        }
+    }
     if (trace_ != nullptr) {
         switch (outcome) {
           case prefetch::PfOutcome::IssuedToDram:

@@ -28,6 +28,7 @@
 
 namespace triage::obs {
 class EventTrace;
+class LifecycleTracker;
 class Registry;
 } // namespace triage::obs
 
@@ -121,6 +122,15 @@ class MemorySystem final : public prefetch::PrefetchHost
     void set_trace(obs::EventTrace* trace);
     obs::EventTrace* trace() { return trace_; }
 
+    /**
+     * Attach (or detach, with null) the per-prefetch lifecycle
+     * tracker. Only the L2 prefetcher under test is tracked (L1
+     * stride prefetches and owner-less direct issues are excluded, so
+     * class counts reconcile with that prefetcher's issued count).
+     */
+    void set_lifecycle(obs::LifecycleTracker* lc) { lifecycle_ = lc; }
+    obs::LifecycleTracker* lifecycle() { return lifecycle_; }
+
   private:
     struct PerCore {
         std::unique_ptr<SetAssocCache> l1;
@@ -153,7 +163,7 @@ class MemorySystem final : public prefetch::PrefetchHost
                              prefetch::PfOutcome* outcome);
     void writeback_to_llc(unsigned core, sim::Addr block, sim::Cycle now);
     void apply_partition(sim::Cycle now);
-    void credit_prefetch(const LookupResult& r);
+    void credit_prefetch(unsigned core, const LookupResult& r);
 
     sim::MachineConfig cfg_;
     unsigned n_cores_;
@@ -162,6 +172,7 @@ class MemorySystem final : public prefetch::PrefetchHost
     sim::Dram dram_;
     sim::Cycle stats_epoch_start_ = 0;
     obs::EventTrace* trace_ = nullptr;
+    obs::LifecycleTracker* lifecycle_ = nullptr;
 };
 
 } // namespace triage::cache

@@ -51,8 +51,21 @@ Lab::execute(Task& task, unsigned worker_id,
     } else {
         TRIAGE_LOG_INFO(progress_label(task.key));
     }
+    auto us_since = [this](std::chrono::steady_clock::time_point t) {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(t - t0_)
+                .count());
+    };
+    const auto started = std::chrono::steady_clock::now();
     sim::RunResult r = run_job(task.job);
+    const auto ended = std::chrono::steady_clock::now();
     lock.lock();
+    obs::perfetto::JobSpan span;
+    span.worker = worker_id;
+    span.label = task.key.workload + " / " + task.key.pf;
+    span.start_us = us_since(started);
+    span.end_us = us_since(ended);
+    spans_.push_back(std::move(span));
     task.result = std::move(r);
     task.done = true;
     ++executed_;
@@ -158,6 +171,13 @@ Lab::runs_executed() const
 {
     std::unique_lock<std::mutex> lock(mu_);
     return executed_;
+}
+
+std::vector<obs::perfetto::JobSpan>
+Lab::job_spans() const
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    return spans_;
 }
 
 unsigned

@@ -14,6 +14,7 @@
 #ifndef TRIAGE_EXEC_LAB_HPP
 #define TRIAGE_EXEC_LAB_HPP
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -24,6 +25,7 @@
 #include <vector>
 
 #include "exec/job.hpp"
+#include "obs/perfetto.hpp"
 
 namespace triage::exec {
 
@@ -82,6 +84,14 @@ class Lab
     unsigned workers() const { return n_workers_; }
 
     /**
+     * Wall-clock span of every executed job (memo hits excluded),
+     * timestamped in microseconds since Lab construction — one
+     * Perfetto track row per worker. Snapshot; call after wait_all()
+     * for the complete set.
+     */
+    std::vector<obs::perfetto::JobSpan> job_spans() const;
+
+    /**
      * Parse `--jobs=N` from a CLI argument list. Returns the effective
      * worker count: N when given, hardware_concurrency (min 1) when
      * the flag is absent or N=0.
@@ -104,6 +114,9 @@ class Lab
     void ensure_workers();
 
     unsigned n_workers_;
+    const std::chrono::steady_clock::time_point t0_ =
+        std::chrono::steady_clock::now();
+    std::vector<obs::perfetto::JobSpan> spans_;
     mutable std::mutex mu_;
     std::condition_variable work_ready_;
     std::condition_variable task_done_;

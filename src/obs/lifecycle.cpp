@@ -1,0 +1,317 @@
+#include "obs/lifecycle.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/log.hpp"
+
+namespace triage::obs {
+
+const char*
+prefetch_class_name(PrefetchClass c)
+{
+    switch (c) {
+      case PrefetchClass::Accurate: return "accurate";
+      case PrefetchClass::Late: return "late";
+      case PrefetchClass::EarlyEvicted: return "early_evicted";
+      case PrefetchClass::Useless: return "useless";
+      case PrefetchClass::Dropped: return "dropped";
+      case PrefetchClass::NumClasses: break;
+    }
+    return "?";
+}
+
+void
+LifecycleTracker::reset(unsigned n_cores)
+{
+    per_core_.assign(n_cores, PerCore{});
+    by_pc_.clear();
+    trigger_pc_ = 0;
+    finalized_ = false;
+}
+
+void
+LifecycleTracker::close(PerCore& pc, std::uint64_t trigger_pc,
+                        PrefetchClass c)
+{
+    LifecycleCounts& by_pc = by_pc_[trigger_pc];
+    switch (c) {
+      case PrefetchClass::Accurate:
+        ++pc.counts.accurate;
+        ++by_pc.accurate;
+        break;
+      case PrefetchClass::Late:
+        ++pc.counts.late;
+        ++by_pc.late;
+        break;
+      case PrefetchClass::EarlyEvicted:
+        ++pc.counts.early_evicted;
+        ++by_pc.early_evicted;
+        break;
+      case PrefetchClass::Useless:
+        ++pc.counts.useless;
+        ++by_pc.useless;
+        break;
+      case PrefetchClass::Dropped:
+      case PrefetchClass::NumClasses:
+        break;
+    }
+}
+
+void
+LifecycleTracker::on_issue(unsigned core, std::uint64_t block)
+{
+    if (core >= per_core_.size() || finalized_)
+        return;
+    PerCore& pc = per_core_[core];
+    ++pc.counts.issued;
+    ++by_pc_[trigger_pc_].issued;
+    auto [it, inserted] = pc.open.emplace(block, trigger_pc_);
+    if (!inserted) {
+        // The hierarchy's redundancy check makes a re-issue of a live
+        // block impossible in real runs; tolerate direct host calls in
+        // tests by retiring the stale record first.
+        close(pc, it->second, PrefetchClass::Useless);
+        it->second = trigger_pc_;
+    }
+}
+
+void
+LifecycleTracker::on_drop(unsigned core)
+{
+    if (core >= per_core_.size() || finalized_)
+        return;
+    ++per_core_[core].counts.dropped;
+    ++by_pc_[trigger_pc_].dropped;
+}
+
+void
+LifecycleTracker::on_use(unsigned core, std::uint64_t block, bool late)
+{
+    if (core >= per_core_.size() || finalized_)
+        return;
+    PerCore& pc = per_core_[core];
+    auto it = pc.open.find(block);
+    if (it == pc.open.end())
+        return; // prefetched before tracking started (warmup)
+    close(pc, it->second,
+          late ? PrefetchClass::Late : PrefetchClass::Accurate);
+    pc.open.erase(it);
+}
+
+void
+LifecycleTracker::on_evict(unsigned core, std::uint64_t block)
+{
+    if (core >= per_core_.size() || finalized_)
+        return;
+    PerCore& pc = per_core_[core];
+    auto it = pc.open.find(block);
+    if (it == pc.open.end())
+        return;
+    close(pc, it->second, PrefetchClass::EarlyEvicted);
+    pc.open.erase(it);
+}
+
+void
+LifecycleTracker::finalize()
+{
+    if (finalized_)
+        return;
+    for (PerCore& pc : per_core_) {
+        for (const auto& [block, trigger_pc] : pc.open) {
+            (void)block;
+            close(pc, trigger_pc, PrefetchClass::Useless);
+        }
+        pc.open.clear();
+    }
+    finalized_ = true;
+}
+
+const LifecycleCounts&
+LifecycleTracker::core_counts(unsigned core) const
+{
+    TRIAGE_ASSERT(core < per_core_.size());
+    return per_core_[core].counts;
+}
+
+LifecycleCounts
+LifecycleTracker::total() const
+{
+    LifecycleCounts t;
+    for (const PerCore& pc : per_core_) {
+        t.issued += pc.counts.issued;
+        t.accurate += pc.counts.accurate;
+        t.late += pc.counts.late;
+        t.early_evicted += pc.counts.early_evicted;
+        t.useless += pc.counts.useless;
+        t.dropped += pc.counts.dropped;
+    }
+    return t;
+}
+
+std::size_t
+LifecycleTracker::open_records() const
+{
+    std::size_t n = 0;
+    for (const PerCore& pc : per_core_)
+        n += pc.open.size();
+    return n;
+}
+
+std::vector<PcAttribution>
+LifecycleTracker::ranked(bool by_coverage, std::size_t n) const
+{
+    std::vector<PcAttribution> rows;
+    rows.reserve(by_pc_.size());
+    auto score = [by_coverage](const LifecycleCounts& c) {
+        return by_coverage ? c.covered() : c.polluting() + c.dropped;
+    };
+    for (const auto& [pc, counts] : by_pc_) {
+        if (score(counts) == 0)
+            continue;
+        rows.push_back({pc, counts});
+    }
+    std::sort(rows.begin(), rows.end(),
+              [&](const PcAttribution& a, const PcAttribution& b) {
+                  std::uint64_t sa = score(a.counts);
+                  std::uint64_t sb = score(b.counts);
+                  if (sa != sb)
+                      return sa > sb;
+                  if (a.counts.issued != b.counts.issued)
+                      return a.counts.issued > b.counts.issued;
+                  return a.pc < b.pc; // deterministic tie-break
+              });
+    if (rows.size() > n)
+        rows.resize(n);
+    return rows;
+}
+
+std::vector<PcAttribution>
+LifecycleTracker::top_by_coverage(std::size_t n) const
+{
+    return ranked(true, n);
+}
+
+std::vector<PcAttribution>
+LifecycleTracker::top_by_pollution(std::size_t n) const
+{
+    return ranked(false, n);
+}
+
+namespace {
+
+void
+write_counts(std::ostream& os, const LifecycleCounts& c)
+{
+    os << "{\"issued\": " << c.issued << ", \"accurate\": " << c.accurate
+       << ", \"late\": " << c.late
+       << ", \"early_evicted\": " << c.early_evicted
+       << ", \"useless\": " << c.useless
+       << ", \"dropped\": " << c.dropped << "}";
+}
+
+void
+write_pc_table(std::ostream& os, const std::string& pad,
+               const std::vector<PcAttribution>& rows)
+{
+    os << "[";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        os << (i == 0 ? "\n" : ",\n") << pad << "  {\"pc\": "
+           << rows[i].pc << ", \"counts\": ";
+        write_counts(os, rows[i].counts);
+        os << "}";
+    }
+    if (!rows.empty())
+        os << "\n" << pad;
+    os << "]";
+}
+
+} // namespace
+
+void
+LifecycleTracker::write_json(std::ostream& os, int indent,
+                             std::size_t top_n) const
+{
+    const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+    os << "{\n" << pad << "  \"cores\": [";
+    for (std::size_t c = 0; c < per_core_.size(); ++c) {
+        os << (c == 0 ? "\n" : ",\n") << pad << "    ";
+        write_counts(os, per_core_[c].counts);
+    }
+    if (!per_core_.empty())
+        os << "\n" << pad << "  ";
+    os << "],\n" << pad << "  \"total\": ";
+    write_counts(os, total());
+    os << ",\n" << pad << "  \"open\": " << open_records();
+    os << ",\n" << pad << "  \"top_pcs_by_coverage\": ";
+    write_pc_table(os, pad + "  ", top_by_coverage(top_n));
+    os << ",\n" << pad << "  \"top_pcs_by_pollution\": ";
+    write_pc_table(os, pad + "  ", top_by_pollution(top_n));
+    os << "\n" << pad << "}";
+}
+
+const char*
+partition_event_name(PartitionEvent e)
+{
+    switch (e) {
+      case PartitionEvent::Warmup: return "warmup";
+      case PartitionEvent::Hold: return "hold";
+      case PartitionEvent::Pending: return "pending";
+      case PartitionEvent::Changed: return "changed";
+      case PartitionEvent::Cooldown: return "cooldown";
+      case PartitionEvent::Gated: return "gated";
+      case PartitionEvent::NumEvents: break;
+    }
+    return "?";
+}
+
+void
+PartitionTimeline::reset(unsigned n_cores)
+{
+    n_cores_ = n_cores;
+    samples_.clear();
+    dropped_ = 0;
+}
+
+void
+PartitionTimeline::record(PartitionSample s)
+{
+    if (samples_.size() >= capacity_) {
+        ++dropped_;
+        return;
+    }
+    samples_.push_back(std::move(s));
+}
+
+void
+PartitionTimeline::write_json(std::ostream& os, int indent) const
+{
+    const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+    os << "{\n" << pad << "  \"dropped\": " << dropped_ << ",\n"
+       << pad << "  \"cores\": [";
+    for (unsigned c = 0; c < n_cores_; ++c) {
+        os << (c == 0 ? "\n" : ",\n") << pad << "    [";
+        bool first = true;
+        for (const PartitionSample& s : samples_) {
+            if (s.core != c)
+                continue;
+            os << (first ? "\n" : ",\n") << pad << "      "
+               << "{\"epoch\": " << s.epoch << ", \"level\": " << s.level
+               << ", \"verdict\": " << s.verdict
+               << ", \"size_bytes\": " << s.size_bytes << ", \"event\": \""
+               << partition_event_name(s.event) << "\", \"hit_rates\": [";
+            for (std::size_t i = 0; i < s.hit_rates.size(); ++i)
+                os << (i == 0 ? "" : ", ") << s.hit_rates[i];
+            os << "]}";
+            first = false;
+        }
+        if (!first)
+            os << "\n" << pad << "    ";
+        os << "]";
+    }
+    if (n_cores_ != 0)
+        os << "\n" << pad << "  ";
+    os << "]\n" << pad << "}";
+}
+
+} // namespace triage::obs

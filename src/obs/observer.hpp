@@ -11,27 +11,34 @@
 #define TRIAGE_OBS_OBSERVER_HPP
 
 #include "obs/event_trace.hpp"
+#include "obs/lifecycle.hpp"
 #include "obs/registry.hpp"
 #include "obs/sampler.hpp"
 
 namespace triage::obs {
 
-/** Registry + sampler + trace, attached to a system as one unit. */
+/** Registry + sampler + trace + lifecycle/timeline, one unit. */
 struct Observability {
     Registry registry;
     EpochSampler sampler;
     EventTrace trace;
+    LifecycleTracker lifecycle;
+    PartitionTimeline partition_timeline;
 
     /**
-     * Detach the bundle from the system it was wired into: snapshot
-     * every bound/formula stat and drop the sampler's live probes, so
-     * dumping after the system is destroyed reads stored values rather
-     * than dangling pointers. The systems call this at the end of
+     * Detach the bundle from the system it was wired into: settle the
+     * lifecycle tracker (open prefetch records become "useless"), then
+     * snapshot every bound/formula stat and drop the sampler's live
+     * probes, so dumping after the system is destroyed reads stored
+     * values rather than dangling pointers. Lifecycle finalization
+     * must precede the registry freeze — the frozen formulas read the
+     * settled class counts. The systems call this at the end of
      * run(); recorded epochs and trace events are unaffected.
      */
     void
     freeze()
     {
+        lifecycle.finalize();
         registry.freeze();
         sampler.freeze();
     }

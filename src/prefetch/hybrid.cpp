@@ -82,4 +82,12 @@ Hybrid::set_trace(obs::EventTrace* trace)
         c->set_trace(trace);
 }
 
+void
+Hybrid::set_partition_timeline(obs::PartitionTimeline* timeline,
+                               unsigned core)
+{
+    for (auto& c : children_)
+        c->set_partition_timeline(timeline, core);
+}
+
 } // namespace triage::prefetch

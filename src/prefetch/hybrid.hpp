@@ -36,6 +36,8 @@ class Hybrid final : public Prefetcher
     void register_probes(obs::EpochSampler& sampler,
                          const std::string& prefix) const override;
     void set_trace(obs::EventTrace* trace) override;
+    void set_partition_timeline(obs::PartitionTimeline* timeline,
+                                unsigned core) override;
 
     Prefetcher& child(std::size_t i) { return *children_[i]; }
     std::size_t num_children() const { return children_.size(); }

@@ -22,6 +22,7 @@ namespace triage::obs {
 class Registry;
 class EpochSampler;
 class EventTrace;
+class PartitionTimeline;
 } // namespace triage::obs
 
 namespace triage::prefetch {
@@ -177,6 +178,18 @@ class Prefetcher
 
     /** Attach (null: detach) a structured event trace. */
     virtual void set_trace(obs::EventTrace* trace) { (void)trace; }
+
+    /**
+     * Attach (null: detach) a partition-decision timeline for @p core.
+     * Only prefetchers with a dynamic partition controller (Triage)
+     * record into it; the default is a no-op.
+     */
+    virtual void
+    set_partition_timeline(obs::PartitionTimeline* timeline, unsigned core)
+    {
+        (void)timeline;
+        (void)core;
+    }
 
     PrefetcherStats& stats() { return stats_; }
     const PrefetcherStats& stats() const { return stats_; }

@@ -76,6 +76,46 @@ register_core_probes(obs::EpochSampler& sampler, const CoreModel& core,
     });
 }
 
+/**
+ * Per-core lifecycle class counters and formulas. The tracker's
+ * per-core array is sized once by reset(), so the bound pointers stay
+ * valid until the next attach.
+ */
+void
+register_lifecycle_stats(obs::Registry& reg,
+                         const obs::LifecycleTracker& lc, unsigned idx,
+                         const std::string& base)
+{
+    const obs::LifecycleCounts* c = &lc.core_counts(idx);
+    obs::Scope s(reg, base + ".lifecycle");
+    s.bind_counter("issued", &c->issued);
+    s.bind_counter("accurate", &c->accurate);
+    s.bind_counter("late", &c->late);
+    s.bind_counter("early_evicted", &c->early_evicted);
+    s.bind_counter("useless", &c->useless);
+    s.bind_counter("dropped", &c->dropped);
+    s.add_formula("covered", [c] {
+        return static_cast<double>(c->covered());
+    });
+    s.add_formula("polluting", [c] {
+        return static_cast<double>(c->polluting());
+    });
+}
+
+void
+register_lifecycle_probes(obs::EpochSampler& sampler,
+                          const obs::LifecycleTracker& lc, unsigned idx,
+                          const std::string& base)
+{
+    const obs::LifecycleCounts* c = &lc.core_counts(idx);
+    sampler.add_delta(base + ".lifecycle.covered", [c] {
+        return static_cast<double>(c->covered());
+    });
+    sampler.add_delta(base + ".lifecycle.polluting", [c] {
+        return static_cast<double>(c->polluting());
+    });
+}
+
 } // namespace
 
 void
@@ -89,12 +129,21 @@ attach_observability(obs::Observability& obs, cache::MemorySystem& mem,
     mem.register_stats(obs.registry);
     mem.set_trace(&obs.trace);
 
+    // Arm the lifecycle tracker and partition timeline for this run's
+    // core count; attaching resets any previous run's records.
+    obs.lifecycle.reset(static_cast<unsigned>(cores.size()));
+    obs.partition_timeline.reset(static_cast<unsigned>(cores.size()));
+    mem.set_lifecycle(&obs.lifecycle);
+
     for (unsigned i = 0; i < cores.size(); ++i) {
         const std::string base = "core" + std::to_string(i);
         register_core_stats(obs.registry, *cores[i], base);
         register_core_probes(obs.sampler, *cores[i], mem, i, base);
+        register_lifecycle_stats(obs.registry, obs.lifecycle, i, base);
+        register_lifecycle_probes(obs.sampler, obs.lifecycle, i, base);
         if (prefetch::Prefetcher* pf = mem.prefetcher(i)) {
             pf->register_probes(obs.sampler, base + ".pf");
+            pf->set_partition_timeline(&obs.partition_timeline, i);
         }
     }
 
@@ -109,6 +158,11 @@ void
 detach_observability(cache::MemorySystem& mem)
 {
     mem.set_trace(nullptr);
+    mem.set_lifecycle(nullptr);
+    for (unsigned i = 0; i < mem.num_cores(); ++i) {
+        if (prefetch::Prefetcher* pf = mem.prefetcher(i))
+            pf->set_partition_timeline(nullptr, i);
+    }
 }
 
 } // namespace triage::sim

@@ -4,7 +4,9 @@
  * subsystem: one call registers every component's counters into the
  * stats registry, installs the per-epoch probes the paper's trajectory
  * plots need (IPC, coverage, accuracy, metadata hit rate, way
- * allocation), and attaches the event trace to the hierarchy.
+ * allocation), attaches the event trace to the hierarchy, and arms the
+ * prefetch lifecycle tracker and partition-decision timeline for the
+ * run's core count.
  *
  * Registration happens at measurement start (after warmup), so
  * registry formulas that need "since measurement began" semantics

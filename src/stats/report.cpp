@@ -79,6 +79,14 @@ write_stats_json(std::ostream& os, const sim::RunResult& r,
         obs->sampler.write_json(os, 1);
         os << ",\n\"stats\": ";
         obs->registry.write_json(os, 1);
+        if (obs->lifecycle.enabled()) {
+            os << ",\n\"lifecycle\": ";
+            obs->lifecycle.write_json(os, 1);
+        }
+        if (obs->partition_timeline.num_cores() > 0) {
+            os << ",\n\"partition_timeline\": ";
+            obs->partition_timeline.write_json(os, 1);
+        }
         os << ",\n\"trace\": {\"enabled\": "
            << (obs->trace.enabled() ? "true" : "false")
            << ", \"total\": " << obs->trace.total()

@@ -12,14 +12,18 @@ MetaLru::MetaLru(std::uint32_t sets, std::uint32_t ways)
 
 void
 MetaLru::on_hit(std::uint32_t set, std::uint32_t way, std::uint64_t,
-                sim::Pc, bool)
+                sim::Pc, bool visible)
 {
     stamps_[static_cast<std::size_t>(set) * ways_ + way] = ++clock_;
+    if (stats_ != nullptr)
+        ++(visible ? stats_->visible_events : stats_->hidden_events);
 }
 
 void
-MetaLru::on_miss(std::uint32_t, std::uint64_t, sim::Pc, bool)
+MetaLru::on_miss(std::uint32_t, std::uint64_t, sim::Pc, bool visible)
 {
+    if (stats_ != nullptr)
+        ++(visible ? stats_->visible_events : stats_->hidden_events);
 }
 
 void
@@ -92,6 +96,8 @@ MetaHawkeye::sample(std::uint32_t set, std::uint64_t key, sim::Pc pc)
 {
     SampledSet& s = samplers_[set >> sample_shift_];
     bool opt_hit = s.optgen.access(key);
+    if (stats_ != nullptr)
+        ++(opt_hit ? stats_->optgen_hits : stats_->optgen_misses);
     auto it = s.last_pc.find(key);
     if (it != s.last_pc.end()) {
         if (opt_hit)
@@ -113,6 +119,8 @@ MetaHawkeye::on_hit(std::uint32_t set, std::uint32_t way,
     // Per-entry state always reflects the latest access...
     rrpv(set, way) = predictor_.predict(pc) ? 0 : MAX_RRPV;
     entry_pc(set, way) = pc;
+    if (stats_ != nullptr)
+        ++(visible ? stats_->visible_events : stats_->hidden_events);
     // ...but OPTgen and the predictor only see useful reuse.
     if (visible && is_sampled(set))
         sample(set, key, pc);
@@ -122,6 +130,8 @@ void
 MetaHawkeye::on_miss(std::uint32_t set, std::uint64_t key, sim::Pc pc,
                      bool visible)
 {
+    if (stats_ != nullptr)
+        ++(visible ? stats_->visible_events : stats_->hidden_events);
     if (visible && is_sampled(set))
         sample(set, key, pc);
 }
@@ -133,6 +143,8 @@ MetaHawkeye::on_insert(std::uint32_t set, std::uint32_t way,
     (void)key;
     entry_pc(set, way) = pc;
     bool friendly = predictor_.predict(pc);
+    if (stats_ != nullptr)
+        ++(friendly ? stats_->friendly_inserts : stats_->averse_inserts);
     if (friendly) {
         for (std::uint32_t w = 0; w < ways_; ++w) {
             if (w == way)
@@ -169,6 +181,8 @@ MetaHawkeye::victim(std::uint32_t set)
             best = w;
         }
     }
+    if (stats_ != nullptr)
+        ++stats_->victim_demotions;
     predictor_.train_negative(entry_pc(set, best));
     return best;
 }

@@ -30,6 +30,22 @@ enum class MetaReplKind : std::uint8_t {
     Hawkeye,
 };
 
+/**
+ * Counters for the filtered-training replacement stream. Owned by the
+ * MetadataStore (NOT by the policy object — resize() rebuilds the
+ * policy, and these must survive that) and bound into each policy
+ * instance; every increment is null-guarded.
+ */
+struct MetaReplStats {
+    std::uint64_t visible_events = 0; ///< accesses that trained OPTgen
+    std::uint64_t hidden_events = 0;  ///< filtered out (redundant pf)
+    std::uint64_t optgen_hits = 0;    ///< sampled accesses OPT would hit
+    std::uint64_t optgen_misses = 0;
+    std::uint64_t friendly_inserts = 0; ///< predictor said cache-friendly
+    std::uint64_t averse_inserts = 0;   ///< inserted at distant RRPV
+    std::uint64_t victim_demotions = 0; ///< victim without a distant entry
+};
+
 /** Replacement policy over a sets x ways metadata store. */
 class MetaRepl
 {
@@ -59,6 +75,12 @@ class MetaRepl
     virtual std::uint32_t victim(std::uint32_t set) = 0;
 
     virtual const char* name() const = 0;
+
+    /** Attach (or detach, with null) externally-owned counters. */
+    void bind_stats(MetaReplStats* stats) { stats_ = stats; }
+
+  protected:
+    MetaReplStats* stats_ = nullptr;
 };
 
 /** LRU metadata replacement (the Figure 9 baseline). */

@@ -34,6 +34,8 @@ MetadataStore::build(std::uint64_t bytes)
     entries_.assign(static_cast<std::size_t>(sets_) * cfg_.line_entries,
                     Entry{});
     repl_ = make_meta_repl(cfg_.repl, sets_, cfg_.line_entries);
+    // Counters live in the store so the policy rebuild keeps them.
+    repl_->bind_stats(&repl_stats_);
 }
 
 std::uint32_t

@@ -106,6 +106,9 @@ class MetadataStore
     std::uint64_t capacity_entries() const;
     std::uint64_t valid_entries() const;
     const MetadataStoreStats& stats() const { return stats_; }
+    /** Replacement-training counters; owned here so they survive the
+     *  policy rebuild a resize() performs. */
+    const MetaReplStats& repl_stats() const { return repl_stats_; }
     const TagCompressor& compressor() const { return compressor_; }
     MetaRepl* repl() { return repl_.get(); }
 
@@ -136,6 +139,7 @@ class MetadataStore
     std::unique_ptr<MetaRepl> repl_;
     TagCompressor compressor_;
     MetadataStoreStats stats_;
+    MetaReplStats repl_stats_;
     obs::EventTrace* trace_ = nullptr;
 };
 

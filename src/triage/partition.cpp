@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/event_trace.hpp"
+#include "obs/lifecycle.hpp"
 
 #include "util/bitops.hpp"
 #include "util/log.hpp"
@@ -48,10 +49,28 @@ PartitionController::observe(sim::Addr trigger, bool visible)
 }
 
 void
+PartitionController::record_sample(std::uint32_t verdict,
+                                   obs::PartitionEvent event)
+{
+    if (timeline_ == nullptr)
+        return;
+    obs::PartitionSample s;
+    s.core = core_;
+    s.epoch = epochs_;
+    s.level = level_;
+    s.verdict = verdict;
+    s.size_bytes = size_bytes();
+    s.event = event;
+    s.hit_rates = last_rates_;
+    timeline_->record(std::move(s));
+}
+
+void
 PartitionController::end_epoch()
 {
     accesses_ = 0;
     ++epochs_;
+    ++dstats_.epochs;
     for (std::size_t i = 0; i < sandboxes_.size(); ++i)
         last_rates_[i] = sandboxes_[i].hit_rate();
     for (auto& sb : sandboxes_)
@@ -76,8 +95,11 @@ PartitionController::end_epoch()
 
     // A cold OPTgen reports near-zero hit rates regardless of the
     // workload; hold the initial allocation until history accumulates.
-    if (sampled_ < cfg_.warmup_samples)
+    if (sampled_ < cfg_.warmup_samples) {
+        ++dstats_.warmup_epochs;
+        record_sample(level_, obs::PartitionEvent::Warmup);
         return;
+    }
 
     std::uint32_t level_before = level_;
     // Hit rate of the "no store" configuration is zero by definition.
@@ -102,6 +124,10 @@ PartitionController::end_epoch()
         trace_->emit(obs::EventKind::OptgenVerdict, verdict,
                      static_cast<std::uint64_t>(rate_at(verdict) * 1e6));
     }
+    // The raw sandbox verdict, before the gate or cooldown clamp it;
+    // this is what the timeline reports so suppression is visible.
+    std::uint32_t raw_verdict = verdict;
+    bool gate_fired = false;
     // Utility gate (paper Section 4.2's "future work": account for
     // cache utility, not just metadata hit rate). A store that has
     // been resident long enough to warm and either (a) prefetches
@@ -118,13 +144,25 @@ PartitionController::end_epoch()
         if (inaccurate || quiet) {
             verdict = std::min(verdict, level_ - 1);
             cooldown_ = cfg_.gate_cooldown_epochs;
+            gate_fired = true;
+            ++dstats_.gate_fires;
         }
     }
-    if (cooldown_ > 0 && verdict > level_)
+    bool cooled = false;
+    if (cooldown_ > 0 && verdict > level_) {
         verdict = level_; // growth suppressed while cooling down
+        cooled = true;
+    }
 
     if (verdict == level_) {
         pending_count_ = 0;
+        if (cooled) {
+            ++dstats_.cooldown_suppressed;
+            record_sample(raw_verdict, obs::PartitionEvent::Cooldown);
+        } else {
+            ++dstats_.holds;
+            record_sample(raw_verdict, obs::PartitionEvent::Hold);
+        }
         return;
     }
     // Apply a change only after confirm_epochs consecutive agreeing
@@ -151,6 +189,13 @@ PartitionController::end_epoch()
         epochs_at_level_ = 0;
         issued_ = 0;
         useful_ = 0;
+        ++dstats_.changes;
+        record_sample(raw_verdict, obs::PartitionEvent::Changed);
+    } else {
+        ++dstats_.pending;
+        record_sample(raw_verdict, gate_fired
+                                       ? obs::PartitionEvent::Gated
+                                       : obs::PartitionEvent::Pending);
     }
 }
 

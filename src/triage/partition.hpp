@@ -21,6 +21,8 @@
 
 namespace triage::obs {
 class EventTrace;
+enum class PartitionEvent : std::uint8_t;
+class PartitionTimeline;
 } // namespace triage::obs
 
 namespace triage::core {
@@ -73,6 +75,22 @@ struct PartitionConfig {
     std::uint32_t gate_cooldown_epochs = 10;
 };
 
+/**
+ * How the controller spent its epochs: every end_epoch() increments
+ * `epochs` plus exactly one of the outcome counters, so they always sum
+ * to `epochs`. `gate_fires` counts utility-gate activations separately
+ * (a gated epoch also lands in changed/pending/holds).
+ */
+struct PartitionDecisionStats {
+    std::uint64_t epochs = 0;
+    std::uint64_t warmup_epochs = 0;
+    std::uint64_t holds = 0;
+    std::uint64_t pending = 0; ///< change wanted, awaiting confirmation
+    std::uint64_t changes = 0;
+    std::uint64_t cooldown_suppressed = 0;
+    std::uint64_t gate_fires = 0; ///< not part of the epoch sum
+};
+
 /** OPTgen-sandbox based size controller for one core. */
 class PartitionController
 {
@@ -111,8 +129,21 @@ class PartitionController
     /** Attach (or detach, with null) the event trace. */
     void set_trace(obs::EventTrace* trace) { trace_ = trace; }
 
+    /** Attach (or detach, with null) the decision timeline, recording
+     *  one PartitionSample per epoch attributed to @p core. */
+    void
+    set_timeline(obs::PartitionTimeline* timeline, unsigned core)
+    {
+        timeline_ = timeline;
+        core_ = core;
+    }
+
+    /** How every epoch so far was decided. */
+    const PartitionDecisionStats& decision_stats() const { return dstats_; }
+
   private:
     void end_epoch();
+    void record_sample(std::uint32_t verdict, obs::PartitionEvent event);
 
     PartitionConfig cfg_;
     std::vector<replacement::OptGen> sandboxes_; ///< one per size
@@ -128,6 +159,9 @@ class PartitionController
     std::uint32_t epochs_at_level_ = 0;
     std::uint32_t cooldown_ = 0;
     obs::EventTrace* trace_ = nullptr;
+    obs::PartitionTimeline* timeline_ = nullptr;
+    unsigned core_ = 0;
+    PartitionDecisionStats dstats_;
 };
 
 } // namespace triage::core

@@ -217,6 +217,18 @@ Triage::register_stats(obs::Registry& reg, const std::string& prefix) const
         return static_cast<double>(store->valid_entries());
     });
 
+    // Filtered-Hawkeye training stream (owned by the store, so these
+    // pointers survive resizes rebuilding the policy object).
+    obs::Scope rp(reg, prefix + ".store.repl");
+    const MetaReplStats* rs = &store_.repl_stats();
+    rp.bind_counter("visible_events", &rs->visible_events);
+    rp.bind_counter("hidden_events", &rs->hidden_events);
+    rp.bind_counter("optgen_hits", &rs->optgen_hits);
+    rp.bind_counter("optgen_misses", &rs->optgen_misses);
+    rp.bind_counter("friendly_inserts", &rs->friendly_inserts);
+    rp.bind_counter("averse_inserts", &rs->averse_inserts);
+    rp.bind_counter("victim_demotions", &rs->victim_demotions);
+
     if (cfg_.dynamic && !cfg_.unlimited) {
         obs::Scope pt(reg, prefix + ".partition");
         const PartitionController* pc = &partition_;
@@ -229,6 +241,13 @@ Triage::register_stats(obs::Registry& reg, const std::string& prefix) const
         pt.add_formula("epochs", [pc] {
             return static_cast<double>(pc->epochs());
         });
+        const PartitionDecisionStats* ds = &pc->decision_stats();
+        pt.bind_counter("warmup_epochs", &ds->warmup_epochs);
+        pt.bind_counter("holds", &ds->holds);
+        pt.bind_counter("pending", &ds->pending);
+        pt.bind_counter("changes", &ds->changes);
+        pt.bind_counter("cooldown_suppressed", &ds->cooldown_suppressed);
+        pt.bind_counter("gate_fires", &ds->gate_fires);
     }
 }
 
@@ -246,11 +265,38 @@ Triage::register_probes(obs::EpochSampler& sampler,
     sampler.add_level(prefix + ".store_bytes", [store] {
         return static_cast<double>(store->capacity_bytes());
     });
+    // Metadata churn: per-epoch deltas of the cumulative store counters
+    // show when the table is being rebuilt vs quietly reused.
+    sampler.add_delta(prefix + ".store_inserts", [ms] {
+        return static_cast<double>(ms->inserts);
+    });
+    sampler.add_delta(prefix + ".store_evictions", [ms] {
+        return static_cast<double>(ms->evictions);
+    });
+    sampler.add_delta(prefix + ".store_confidence_flips", [ms] {
+        return static_cast<double>(ms->confidence_flips);
+    });
+    sampler.add_delta(prefix + ".store_updates", [ms] {
+        return static_cast<double>(ms->updates);
+    });
     if (cfg_.dynamic && !cfg_.unlimited) {
         const PartitionController* pc = &partition_;
         sampler.add_level(prefix + ".partition_level", [pc] {
             return static_cast<double>(pc->level());
         });
+        // One OPTgen-sandbox hit-rate series per candidate store size.
+        for (std::size_t i = 0; i < cfg_.partition.sizes.size(); ++i) {
+            std::uint64_t bytes = cfg_.partition.sizes[i];
+            std::string label =
+                bytes % (1024 * 1024) == 0
+                    ? std::to_string(bytes / (1024 * 1024)) + "MB"
+                    : std::to_string(bytes / 1024) + "KB";
+            sampler.add_level(
+                prefix + ".optgen_hit_rate_" + label, [pc, i] {
+                    const auto& rates = pc->last_hit_rates();
+                    return i < rates.size() ? rates[i] : 0.0;
+                });
+        }
     }
 }
 
@@ -259,6 +305,14 @@ Triage::set_trace(obs::EventTrace* trace)
 {
     store_.set_trace(trace);
     partition_.set_trace(trace);
+}
+
+void
+Triage::set_partition_timeline(obs::PartitionTimeline* timeline,
+                               unsigned core)
+{
+    if (cfg_.dynamic && !cfg_.unlimited)
+        partition_.set_timeline(timeline, core);
 }
 
 std::unique_ptr<Triage>

@@ -77,6 +77,9 @@ class Triage final : public prefetch::Prefetcher
     void register_probes(obs::EpochSampler& sampler,
                          const std::string& prefix) const override;
     void set_trace(obs::EventTrace* trace) override;
+    /** Forwarded to the partition controller (dynamic config only). */
+    void set_partition_timeline(obs::PartitionTimeline* timeline,
+                                unsigned core) override;
 
     const MetadataStore& store() const { return store_; }
     const PartitionController* partition() const

@@ -5,6 +5,7 @@
  * into the single-core harness (registry dump consistent with the
  * RunResult, epochs produced at the requested cadence).
  */
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <sstream>
@@ -13,7 +14,9 @@
 
 #include "obs/event_trace.hpp"
 #include "obs/json.hpp"
+#include "obs/lifecycle.hpp"
 #include "obs/observer.hpp"
+#include "obs/perfetto.hpp"
 #include "obs/registry.hpp"
 #include "obs/sampler.hpp"
 #include "sim/system.hpp"
@@ -384,6 +387,266 @@ TEST(EventTrace, KindNamesAreStable)
                  "optgen_verdict");
 }
 
+// --- Prefetch lifecycle tracker -----------------------------------------
+
+TEST(Lifecycle, ClassifiesEveryTerminalState)
+{
+    obs::LifecycleTracker lc;
+    lc.reset(1);
+    lc.set_trigger_pc(0x400100);
+    lc.on_issue(0, 1);
+    lc.on_issue(0, 2);
+    lc.on_issue(0, 3);
+    lc.on_issue(0, 4);
+    lc.on_use(0, 1, /*late=*/false); // accurate
+    lc.on_use(0, 2, /*late=*/true);  // late
+    lc.on_evict(0, 3);               // early_evicted
+    EXPECT_EQ(lc.open_records(), 1u);
+    lc.finalize();                   // block 4 -> useless
+    EXPECT_TRUE(lc.finalized());
+    EXPECT_EQ(lc.open_records(), 0u);
+
+    const obs::LifecycleCounts& c = lc.core_counts(0);
+    EXPECT_EQ(c.issued, 4u);
+    EXPECT_EQ(c.accurate, 1u);
+    EXPECT_EQ(c.late, 1u);
+    EXPECT_EQ(c.early_evicted, 1u);
+    EXPECT_EQ(c.useless, 1u);
+    EXPECT_EQ(c.closed(), c.issued);
+    EXPECT_EQ(c.covered(), 2u);
+    EXPECT_EQ(c.polluting(), 2u);
+}
+
+TEST(Lifecycle, DroppedIsNotPartOfIssued)
+{
+    obs::LifecycleTracker lc;
+    lc.reset(1);
+    lc.on_drop(0);
+    lc.on_drop(0);
+    lc.finalize();
+    const obs::LifecycleCounts& c = lc.core_counts(0);
+    EXPECT_EQ(c.dropped, 2u);
+    EXPECT_EQ(c.issued, 0u);
+    EXPECT_EQ(c.closed(), 0u);
+}
+
+TEST(Lifecycle, ToleratesUnknownBlocksAndStaysOffWhenUnarmed)
+{
+    obs::LifecycleTracker lc;
+    EXPECT_FALSE(lc.enabled());
+    lc.on_issue(0, 1); // unarmed: every hook must no-op
+    lc.on_use(0, 1, false);
+    lc.on_evict(0, 1);
+    lc.on_drop(0);
+    EXPECT_EQ(lc.total().issued, 0u);
+
+    lc.reset(1);
+    // Demand use / eviction of a line no prefetch opened (demand fill,
+    // or the L1 stride traffic the hierarchy excludes) is ignored.
+    lc.on_use(0, 99, false);
+    lc.on_evict(0, 99);
+    EXPECT_EQ(lc.total().issued, 0u);
+    EXPECT_EQ(lc.total().covered(), 0u);
+}
+
+TEST(Lifecycle, ReissueOfResidentBlockClosesTheOldRecord)
+{
+    // The hierarchy can re-prefetch a block whose record is still open;
+    // the old record must close (as useless churn) instead of leaking.
+    obs::LifecycleTracker lc;
+    lc.reset(1);
+    lc.on_issue(0, 7);
+    lc.on_issue(0, 7);
+    EXPECT_EQ(lc.open_records(), 1u);
+    lc.on_use(0, 7, false);
+    lc.finalize();
+    const obs::LifecycleCounts& c = lc.core_counts(0);
+    EXPECT_EQ(c.issued, 2u);
+    EXPECT_EQ(c.closed(), c.issued);
+    EXPECT_EQ(c.accurate, 1u);
+}
+
+TEST(Lifecycle, AttributesCoverageAndPollutionToTriggerPcs)
+{
+    obs::LifecycleTracker lc;
+    lc.reset(1);
+    lc.set_trigger_pc(0xAAA);
+    lc.on_issue(0, 1);
+    lc.on_issue(0, 2);
+    lc.on_use(0, 1, false);
+    lc.on_use(0, 2, true);
+    lc.set_trigger_pc(0xBBB);
+    lc.on_issue(0, 3);
+    lc.on_evict(0, 3);
+    lc.finalize();
+
+    auto cov = lc.top_by_coverage(4);
+    ASSERT_FALSE(cov.empty());
+    EXPECT_EQ(cov[0].pc, 0xAAAu);
+    EXPECT_EQ(cov[0].counts.covered(), 2u);
+    auto pol = lc.top_by_pollution(4);
+    ASSERT_FALSE(pol.empty());
+    EXPECT_EQ(pol[0].pc, 0xBBBu);
+    EXPECT_EQ(pol[0].counts.polluting(), 1u);
+}
+
+TEST(Lifecycle, JsonRoundTrip)
+{
+    obs::LifecycleTracker lc;
+    lc.reset(2);
+    lc.set_trigger_pc(0x10);
+    lc.on_issue(0, 1);
+    lc.on_use(0, 1, false);
+    lc.on_issue(1, 2);
+    lc.finalize();
+
+    std::ostringstream os;
+    lc.write_json(os);
+    std::string err;
+    auto v = obs::json::parse(os.str(), &err);
+    ASSERT_TRUE(v.has_value()) << err << "\n" << os.str();
+    const Value* cores = v->get("cores");
+    ASSERT_NE(cores, nullptr);
+    ASSERT_EQ(cores->array.size(), 2u);
+    EXPECT_EQ(cores->array[0].get("accurate")->number, 1.0);
+    EXPECT_EQ(cores->array[1].get("useless")->number, 1.0);
+    EXPECT_EQ(v->find_path("total.issued")->number, 2.0);
+    EXPECT_EQ(v->get("open")->number, 0.0);
+    ASSERT_TRUE(v->get("top_pcs_by_coverage")->is_array());
+    ASSERT_TRUE(v->get("top_pcs_by_pollution")->is_array());
+}
+
+// --- Partition decision timeline ----------------------------------------
+
+TEST(PartitionTimelineTest, RecordsPerCoreAndBoundsCapacity)
+{
+    obs::PartitionTimeline tl;
+    tl.reset(2);
+    tl.set_capacity(2);
+    obs::PartitionSample s;
+    s.core = 0;
+    s.epoch = 1;
+    s.level = 2;
+    s.verdict = 1;
+    s.size_bytes = 1 << 20;
+    s.event = obs::PartitionEvent::Warmup;
+    s.hit_rates = {0.5, 0.75};
+    tl.record(s);
+    s.core = 1;
+    s.epoch = 1;
+    s.event = obs::PartitionEvent::Hold;
+    tl.record(s);
+    s.epoch = 2;
+    tl.record(s); // over capacity
+    EXPECT_EQ(tl.samples().size(), 2u);
+    EXPECT_EQ(tl.dropped(), 1u);
+
+    std::ostringstream os;
+    tl.write_json(os);
+    std::string err;
+    auto v = obs::json::parse(os.str(), &err);
+    ASSERT_TRUE(v.has_value()) << err << "\n" << os.str();
+    EXPECT_EQ(v->get("dropped")->number, 1.0);
+    const Value* cores = v->get("cores");
+    ASSERT_NE(cores, nullptr);
+    ASSERT_EQ(cores->array.size(), 2u);
+    ASSERT_EQ(cores->array[0].array.size(), 1u);
+    const Value& first = cores->array[0].array[0];
+    EXPECT_EQ(first.get("epoch")->number, 1.0);
+    EXPECT_EQ(first.get("event")->str, "warmup");
+    ASSERT_TRUE(first.get("hit_rates")->is_array());
+    EXPECT_EQ(first.get("hit_rates")->array.size(), 2u);
+}
+
+TEST(PartitionTimelineTest, EventNamesAreStable)
+{
+    EXPECT_STREQ(obs::partition_event_name(obs::PartitionEvent::Warmup),
+                 "warmup");
+    EXPECT_STREQ(obs::partition_event_name(obs::PartitionEvent::Changed),
+                 "changed");
+    EXPECT_STREQ(obs::partition_event_name(obs::PartitionEvent::Gated),
+                 "gated");
+}
+
+// --- Perfetto exporter --------------------------------------------------
+
+TEST(Perfetto, JobSpansProduceWorkerTracks)
+{
+    std::vector<obs::perfetto::JobSpan> jobs;
+    jobs.push_back({0, "mcf / triage", 10, 50});
+    jobs.push_back({1, "lbm / triage", 12, 40});
+    obs::perfetto::TraceOptions opt;
+    opt.n_workers = 2;
+    std::ostringstream os;
+    obs::perfetto::write_trace(os, nullptr, jobs, opt);
+
+    std::string err;
+    auto v = obs::json::parse(os.str(), &err);
+    ASSERT_TRUE(v.has_value()) << err << "\n" << os.str();
+    const Value* ev = v->get("traceEvents");
+    ASSERT_NE(ev, nullptr);
+    ASSERT_TRUE(ev->is_array());
+    int worker_tracks = 0;
+    int spans = 0;
+    for (const Value& e : ev->array) {
+        if (e.get("ph")->str == "M" &&
+            e.get("name")->str == "thread_name" &&
+            e.get("pid")->number == 1.0)
+            ++worker_tracks;
+        if (e.get("ph")->str == "X") {
+            ++spans;
+            EXPECT_TRUE(e.get("ts")->is_number());
+            EXPECT_GT(e.get("dur")->number, 0.0);
+        }
+    }
+    EXPECT_EQ(worker_tracks, 2);
+    EXPECT_EQ(spans, 2);
+}
+
+TEST(Perfetto, SimulationInstantsAndEpochSpans)
+{
+    obs::Observability o;
+    o.trace.enable(64);
+    o.trace.set_context(1000, 0);
+    o.trace.emit(obs::EventKind::PartitionEpoch, 2, 1 << 20);
+    o.trace.emit(obs::EventKind::PartitionDecision, 1, 2);
+    o.trace.emit(obs::EventKind::PrefetchIssued, 0, 0); // filtered out
+    o.sampler.configure(100);
+    double x = 0.0;
+    o.sampler.add_level("x", [&] { return x; });
+    o.sampler.begin(0);
+    o.sampler.sample(100);
+
+    std::ostringstream os;
+    obs::perfetto::write_trace(os, &o, {}, {});
+    std::string err;
+    auto v = obs::json::parse(os.str(), &err);
+    ASSERT_TRUE(v.has_value()) << err << "\n" << os.str();
+    bool saw_epoch = false;
+    bool saw_partition_epoch = false;
+    bool saw_partition_decision = false;
+    bool saw_prefetch = false;
+    for (const Value& e : v->get("traceEvents")->array) {
+        const std::string& name = e.get("name")->str;
+        if (name.rfind("epoch", 0) == 0 && e.get("ph")->str == "X")
+            saw_epoch = true;
+        if (name == "partition_epoch") {
+            saw_partition_epoch = true;
+            EXPECT_EQ(e.get("ph")->str, "i");
+            EXPECT_EQ(e.get("ts")->number, 1000.0);
+            EXPECT_EQ(e.find_path("args.level")->number, 2.0);
+        }
+        if (name == "partition_decision")
+            saw_partition_decision = true;
+        if (name == "prefetch_issued")
+            saw_prefetch = true;
+    }
+    EXPECT_TRUE(saw_epoch);
+    EXPECT_TRUE(saw_partition_epoch);
+    EXPECT_TRUE(saw_partition_decision);
+    EXPECT_FALSE(saw_prefetch) << "per-prefetch kinds must stay out";
+}
+
 // --- JSON parser --------------------------------------------------------
 
 TEST(Json, ParsesScalarsAndNesting)
@@ -491,6 +754,63 @@ TEST(ObservabilityIntegration, MixRegistryOutlivesTheSystem)
     auto v = obs::json::parse(os.str(), &err);
     ASSERT_TRUE(v.has_value()) << err;
     EXPECT_NE(v->find_path("stats.core1.l2.demand_misses"), nullptr);
+}
+
+TEST(ObservabilityIntegration, MixLifecycleReconcilesWithRunStats)
+{
+    sim::MachineConfig cfg;
+    stats::RunScale scale;
+    scale.warmup_records = 10000;
+    scale.measure_records = 60000;
+    obs::Observability o;
+    o.sampler.configure(20000);
+    sim::RunResult r = stats::run_mix(cfg, {"mcf", "omnetpp"},
+                                      "triage_dyn", scale, 1, &o);
+
+    // The tracker was armed for both cores and finalized by freeze().
+    ASSERT_TRUE(o.lifecycle.enabled());
+    EXPECT_TRUE(o.lifecycle.finalized());
+    ASSERT_EQ(o.lifecycle.num_cores(), 2u);
+    EXPECT_EQ(o.lifecycle.open_records(), 0u);
+
+    // Per core, the terminal classes partition exactly the prefetches
+    // the run counted as issued (the tracker's core invariant).
+    for (unsigned c = 0; c < 2; ++c) {
+        const obs::LifecycleCounts& lc = o.lifecycle.core_counts(c);
+        EXPECT_EQ(lc.closed(), lc.issued) << "core " << c;
+        EXPECT_EQ(lc.issued, r.per_core[c].l2pf.issued()) << "core " << c;
+        EXPECT_EQ(lc.dropped, r.per_core[c].l2pf.dropped) << "core " << c;
+    }
+
+    // Each core samples its own epoch stream: the probe sets are
+    // per-core-prefixed, not shared or cross-wired.
+    const auto& names = o.sampler.probe_names();
+    for (const char* key :
+         {"core0.lifecycle.covered", "core1.lifecycle.covered",
+          "core0.ipc", "core1.ipc"}) {
+        EXPECT_NE(std::find(names.begin(), names.end(), key),
+                  names.end())
+            << "missing probe " << key;
+    }
+
+    // The partition timeline is armed per core and any samples carry
+    // core ids inside the configured range.
+    EXPECT_EQ(o.partition_timeline.num_cores(), 2u);
+    for (const obs::PartitionSample& s : o.partition_timeline.samples())
+        EXPECT_LT(s.core, 2u);
+
+    // The lifecycle block lands in the structured report and agrees.
+    std::ostringstream os;
+    stats::write_stats_json(os, r, &o);
+    std::string err;
+    auto v = obs::json::parse(os.str(), &err);
+    ASSERT_TRUE(v.has_value()) << err;
+    const Value* cores = v->find_path("lifecycle.cores");
+    ASSERT_NE(cores, nullptr);
+    ASSERT_EQ(cores->array.size(), 2u);
+    EXPECT_EQ(cores->array[0].get("issued")->number,
+              static_cast<double>(r.per_core[0].l2pf.issued()));
+    EXPECT_NE(v->get("partition_timeline"), nullptr);
 }
 
 TEST(ObservabilityIntegration, ReRunReattachesWithoutDuplicates)

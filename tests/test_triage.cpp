@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "obs/lifecycle.hpp"
 #include "triage/metadata_store.hpp"
 #include "triage/partition.hpp"
 #include "triage/tag_compressor.hpp"
@@ -253,6 +254,42 @@ TEST(MetadataStore, HawkeyeKeepsHotEntriesUnderThrash)
     EXPECT_GE(hawkeye, lru);
 }
 
+TEST(MetadataStore, ReplStatsCountEventsAndSurviveResize)
+{
+    MetadataStore s(small_store(MetaReplKind::Hawkeye, 4096));
+    // update() trains the policy as hidden; demand-path probes commit
+    // as visible, per the filtered-training rule.
+    for (std::uint64_t t = 0; t < 2000; ++t) {
+        s.update(t % 600 + 1, t % 600 + 2, 0x1);
+        auto look = s.probe(t % 600 + 1);
+        s.commit_access(t % 600 + 1, look, 0x1, /*visible=*/true);
+    }
+    const MetaReplStats& r = s.repl_stats();
+    EXPECT_GT(r.visible_events, 0u);
+    EXPECT_GT(r.hidden_events, 0u);
+    EXPECT_GT(r.friendly_inserts + r.averse_inserts, 0u);
+
+    // resize() rebuilds the policy object; the counters live in the
+    // store and must keep accumulating instead of resetting or (worse)
+    // being written through a dangling pointer.
+    const std::uint64_t before = r.visible_events;
+    s.resize(8192);
+    for (std::uint64_t t = 0; t < 500; ++t) {
+        auto look = s.probe(t % 600 + 1);
+        s.commit_access(t % 600 + 1, look, 0x1, /*visible=*/true);
+    }
+    EXPECT_GT(s.repl_stats().visible_events, before);
+
+    // Invisible accesses land in the hidden counter, not the visible
+    // one (the filtered-training rule).
+    const std::uint64_t vis = s.repl_stats().visible_events;
+    const std::uint64_t hid = s.repl_stats().hidden_events;
+    auto lk = s.probe(1);
+    s.commit_access(1, lk, 0x1, /*visible=*/false);
+    EXPECT_EQ(s.repl_stats().visible_events, vis);
+    EXPECT_GT(s.repl_stats().hidden_events, hid);
+}
+
 // ---------------------------------------------------------------------
 // PartitionController
 // ---------------------------------------------------------------------
@@ -328,6 +365,66 @@ TEST(Partition, EpochBoundaryReported)
     }
     EXPECT_EQ(epochs, 3);
     EXPECT_EQ(pc.epochs(), 3u);
+}
+
+TEST(Partition, DecisionStatsPartitionEpochsAndTimelineReplaysThem)
+{
+    auto cfg = fast_partition();
+    PartitionController pc(cfg);
+    obs::PartitionTimeline tl;
+    tl.reset(1);
+    pc.set_timeline(&tl, 0);
+    sim::Addr a = 0;
+    for (int i = 0; i < 8000; ++i)
+        pc.observe(a++); // no reuse: walks the ladder down to 0
+
+    const PartitionDecisionStats d = pc.decision_stats();
+    EXPECT_EQ(d.epochs, pc.epochs());
+    EXPECT_GT(d.epochs, 0u);
+    // Every epoch lands in exactly one outcome bucket.
+    EXPECT_EQ(d.warmup_epochs + d.holds + d.pending + d.changes +
+                  d.cooldown_suppressed,
+              d.epochs);
+    EXPECT_GT(d.changes, 0u); // it did shrink
+    EXPECT_EQ(pc.level(), 0u);
+
+    // One timeline sample per epoch, in epoch order, all core 0, one
+    // sandbox hit rate per candidate size; the last sample agrees with
+    // the controller's final state.
+    ASSERT_EQ(tl.samples().size(), d.epochs);
+    std::uint64_t prev_epoch = 0;
+    for (const obs::PartitionSample& s : tl.samples()) {
+        EXPECT_EQ(s.core, 0u);
+        EXPECT_GT(s.epoch, prev_epoch);
+        prev_epoch = s.epoch;
+        EXPECT_EQ(s.hit_rates.size(), cfg.sizes.size());
+    }
+    // The timeline's event mix replays the decision-stat counters
+    // exactly (a gated epoch also counts as pending).
+    std::uint64_t by_event[static_cast<int>(
+        obs::PartitionEvent::NumEvents)] = {};
+    for (const obs::PartitionSample& s : tl.samples())
+        ++by_event[static_cast<int>(s.event)];
+    EXPECT_EQ(by_event[static_cast<int>(obs::PartitionEvent::Warmup)],
+              d.warmup_epochs);
+    EXPECT_EQ(by_event[static_cast<int>(obs::PartitionEvent::Hold)],
+              d.holds);
+    EXPECT_EQ(by_event[static_cast<int>(obs::PartitionEvent::Changed)],
+              d.changes);
+    EXPECT_EQ(by_event[static_cast<int>(obs::PartitionEvent::Pending)] +
+                  by_event[static_cast<int>(obs::PartitionEvent::Gated)],
+              d.pending);
+    EXPECT_EQ(by_event[static_cast<int>(obs::PartitionEvent::Cooldown)],
+              d.cooldown_suppressed);
+    EXPECT_EQ(tl.samples().back().level, pc.level());
+    EXPECT_EQ(tl.samples().back().size_bytes, pc.size_bytes());
+
+    // Detached, further epochs leave the timeline untouched.
+    pc.set_timeline(nullptr, 0);
+    for (int i = 0; i < 4000; ++i)
+        pc.observe(a++);
+    EXPECT_GT(pc.epochs(), d.epochs);
+    EXPECT_EQ(tl.samples().size(), d.epochs);
 }
 
 // ---------------------------------------------------------------------

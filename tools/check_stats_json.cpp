@@ -13,9 +13,22 @@
  *     accuracy / metadata-hit-rate / way-allocation probes;
  *   - with --require-stats: "stats" is a non-empty object (the
  *     hierarchical registry dump) containing a few load-bearing paths;
+ *   - with --require-lifecycle: "lifecycle" carries one class-count
+ *     object per run core, the classes sum exactly to issued, issued
+ *     matches run.cores[i].pf_issued, and the top-PC attribution
+ *     tables are arrays;
+ *   - with --require-partition-timeline: "partition_timeline" is an
+ *     object with a numeric "dropped" and one per-core sample array
+ *     (possibly empty) of well-formed, epoch-monotonic samples;
  *   - each --require-key=PATH names a dotted path that must exist.
  *
- * Used by the ctest smoke test (tests/CMakeLists.txt) to pin the
+ * A second mode, --perfetto, validates a --trace-perfetto output
+ * instead: "traceEvents" must be a non-empty array of well-formed
+ * Chrome trace events containing at least one epoch span and one
+ * partition instant; --expect-workers=N additionally requires worker
+ * thread-name metadata for at least N lab workers.
+ *
+ * Used by the ctest smoke tests (tests/CMakeLists.txt) to pin the
  * structured-output contract.
  */
 #include <cmath>
@@ -113,6 +126,189 @@ check_epochs(const Value& root)
     }
 }
 
+/** Sum-to-issued contract for one lifecycle class-count object. */
+void
+check_lifecycle_counts(const Value& counts, const std::string& tag,
+                       double expect_issued)
+{
+    for (const char* key : {"issued", "accurate", "late", "early_evicted",
+                            "useless", "dropped"}) {
+        const Value* v = counts.get(key);
+        if (v == nullptr || !v->is_number()) {
+            fail(tag + "." + key + " missing or not a number");
+            return;
+        }
+    }
+    double sum = counts.get("accurate")->number +
+                 counts.get("late")->number +
+                 counts.get("early_evicted")->number +
+                 counts.get("useless")->number;
+    double issued = counts.get("issued")->number;
+    if (sum != issued) {
+        fail(tag + ": classes sum to " + std::to_string(sum) +
+             " but issued is " + std::to_string(issued));
+    }
+    if (expect_issued >= 0.0 && issued != expect_issued) {
+        fail(tag + ": issued " + std::to_string(issued) +
+             " does not match run pf_issued " +
+             std::to_string(expect_issued));
+    }
+}
+
+void
+check_lifecycle(const Value& root)
+{
+    const Value* lc = root.get("lifecycle");
+    if (lc == nullptr || !lc->is_object()) {
+        fail("lifecycle missing or not an object");
+        return;
+    }
+    const Value* cores = lc->get("cores");
+    const Value* run_cores = root.find_path("run.cores");
+    if (cores == nullptr || !cores->is_array() || cores->array.empty()) {
+        fail("lifecycle.cores missing or empty");
+        return;
+    }
+    if (run_cores != nullptr && run_cores->is_array() &&
+        cores->array.size() != run_cores->array.size()) {
+        fail("lifecycle.cores length does not match run.cores");
+    }
+    for (std::size_t c = 0; c < cores->array.size(); ++c) {
+        double expect = -1.0;
+        if (run_cores != nullptr && c < run_cores->array.size()) {
+            const Value* pi = run_cores->array[c].get("pf_issued");
+            if (pi != nullptr && pi->is_number())
+                expect = pi->number;
+        }
+        check_lifecycle_counts(cores->array[c],
+                               "lifecycle.cores[" + std::to_string(c) + "]",
+                               expect);
+    }
+    const Value* total = lc->get("total");
+    if (total == nullptr || !total->is_object())
+        fail("lifecycle.total missing");
+    else
+        check_lifecycle_counts(*total, "lifecycle.total", -1.0);
+    const Value* open = lc->get("open");
+    if (open == nullptr || !open->is_number() || open->number != 0.0)
+        fail("lifecycle.open missing or non-zero after finalize");
+    for (const char* key :
+         {"top_pcs_by_coverage", "top_pcs_by_pollution"}) {
+        const Value* t = lc->get(key);
+        if (t == nullptr || !t->is_array()) {
+            fail(std::string("lifecycle.") + key + " missing or not array");
+            continue;
+        }
+        for (std::size_t i = 0; i < t->array.size(); ++i) {
+            const Value& row = t->array[i];
+            if (row.get("pc") == nullptr || row.get("counts") == nullptr)
+                fail(std::string("lifecycle.") + key + "[" +
+                     std::to_string(i) + "] lacks pc/counts");
+        }
+    }
+}
+
+void
+check_partition_timeline(const Value& root)
+{
+    const Value* pt = root.get("partition_timeline");
+    if (pt == nullptr || !pt->is_object()) {
+        fail("partition_timeline missing or not an object");
+        return;
+    }
+    const Value* dropped = pt->get("dropped");
+    if (dropped == nullptr || !dropped->is_number())
+        fail("partition_timeline.dropped missing or not a number");
+    const Value* cores = pt->get("cores");
+    if (cores == nullptr || !cores->is_array()) {
+        fail("partition_timeline.cores missing or not an array");
+        return;
+    }
+    for (std::size_t c = 0; c < cores->array.size(); ++c) {
+        const Value& samples = cores->array[c];
+        const std::string tag =
+            "partition_timeline.cores[" + std::to_string(c) + "]";
+        if (!samples.is_array()) {
+            fail(tag + " is not an array");
+            continue;
+        }
+        double prev_epoch = 0.0;
+        for (std::size_t i = 0; i < samples.array.size(); ++i) {
+            const Value& s = samples.array[i];
+            const std::string stag = tag + "[" + std::to_string(i) + "]";
+            for (const char* key :
+                 {"epoch", "level", "verdict", "size_bytes"}) {
+                const Value* v = s.get(key);
+                if (v == nullptr || !v->is_number())
+                    fail(stag + "." + key + " missing or not a number");
+            }
+            const Value* event = s.get("event");
+            if (event == nullptr || !event->is_string())
+                fail(stag + ".event missing or not a string");
+            const Value* rates = s.get("hit_rates");
+            if (rates == nullptr || !rates->is_array())
+                fail(stag + ".hit_rates missing or not an array");
+            const Value* epoch = s.get("epoch");
+            if (epoch != nullptr && epoch->is_number()) {
+                if (epoch->number <= prev_epoch)
+                    fail(stag + ".epoch not strictly increasing");
+                prev_epoch = epoch->number;
+            }
+        }
+    }
+}
+
+/** Validate a --trace-perfetto Chrome trace-event file. */
+void
+check_perfetto(const Value& root, int expect_workers)
+{
+    const Value* events = root.get("traceEvents");
+    if (events == nullptr || !events->is_array() ||
+        events->array.empty()) {
+        fail("traceEvents missing or empty");
+        return;
+    }
+    bool saw_epoch = false;
+    bool saw_partition = false;
+    int workers = 0;
+    for (std::size_t i = 0; i < events->array.size(); ++i) {
+        const Value& e = events->array[i];
+        const std::string tag = "traceEvents[" + std::to_string(i) + "]";
+        const Value* name = e.get("name");
+        const Value* ph = e.get("ph");
+        if (name == nullptr || !name->is_string() || ph == nullptr ||
+            !ph->is_string()) {
+            fail(tag + " lacks string name/ph");
+            continue;
+        }
+        const Value* pid = e.get("pid");
+        const Value* tid = e.get("tid");
+        if (pid == nullptr || !pid->is_number() || tid == nullptr ||
+            !tid->is_number())
+            fail(tag + " lacks numeric pid/tid");
+        if (ph->str != "M") {
+            const Value* ts = e.get("ts");
+            if (ts == nullptr || !ts->is_number())
+                fail(tag + " lacks numeric ts");
+        }
+        if (name->str.rfind("epoch", 0) == 0)
+            saw_epoch = true;
+        if (name->str.rfind("partition", 0) == 0)
+            saw_partition = true;
+        if (ph->str == "M" && name->str == "thread_name" &&
+            pid != nullptr && pid->is_number() && pid->number == 1.0)
+            ++workers;
+    }
+    if (!saw_epoch)
+        fail("no epoch event in traceEvents");
+    if (!saw_partition)
+        fail("no partition event in traceEvents");
+    if (expect_workers > 0 && workers < expect_workers) {
+        fail("expected >= " + std::to_string(expect_workers) +
+             " lab worker tracks, found " + std::to_string(workers));
+    }
+}
+
 void
 check_stats(const Value& root)
 {
@@ -138,6 +334,10 @@ main(int argc, char** argv)
     std::string path;
     bool require_epochs = false;
     bool require_stats = false;
+    bool require_lifecycle = false;
+    bool require_partition_timeline = false;
+    bool perfetto = false;
+    int expect_workers = 0;
     std::vector<std::string> require_keys;
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -145,13 +345,26 @@ main(int argc, char** argv)
             require_epochs = true;
         } else if (a == "--require-stats") {
             require_stats = true;
+        } else if (a == "--require-lifecycle") {
+            require_lifecycle = true;
+        } else if (a == "--require-partition-timeline") {
+            require_partition_timeline = true;
+        } else if (a == "--perfetto") {
+            perfetto = true;
+        } else if (a.rfind("--expect-workers=", 0) == 0) {
+            expect_workers =
+                std::stoi(a.substr(std::strlen("--expect-workers=")));
         } else if (a.rfind("--require-key=", 0) == 0) {
             require_keys.push_back(a.substr(std::strlen("--require-key=")));
         } else if (!a.empty() && a[0] != '-') {
             path = a;
         } else {
             std::cerr << "usage: check_stats_json FILE [--require-epochs]"
-                         " [--require-stats] [--require-key=PATH]...\n";
+                         " [--require-stats] [--require-lifecycle]"
+                         " [--require-partition-timeline]"
+                         " [--require-key=PATH]...\n"
+                         "       check_stats_json FILE --perfetto"
+                         " [--expect-workers=N]\n";
             return 2;
         }
     }
@@ -174,14 +387,22 @@ main(int argc, char** argv)
         return 1;
     }
 
-    check_run(*root);
-    if (require_epochs)
-        check_epochs(*root);
-    if (require_stats)
-        check_stats(*root);
-    for (const auto& key : require_keys) {
-        if (root->find_path(key) == nullptr)
-            fail("required key '" + key + "' missing");
+    if (perfetto) {
+        check_perfetto(*root, expect_workers);
+    } else {
+        check_run(*root);
+        if (require_epochs)
+            check_epochs(*root);
+        if (require_stats)
+            check_stats(*root);
+        if (require_lifecycle)
+            check_lifecycle(*root);
+        if (require_partition_timeline)
+            check_partition_timeline(*root);
+        for (const auto& key : require_keys) {
+            if (root->find_path(key) == nullptr)
+                fail("required key '" + key + "' missing");
+        }
     }
 
     if (g_failures > 0) {

@@ -14,6 +14,7 @@
  *   triagesim --trace=mcf.tri --prefetcher=misb --no-baseline
  *   triagesim --list
  */
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -62,7 +63,9 @@ struct Options {
     // Observability.
     std::string stats_json_path;
     std::string trace_events_path;
+    std::string trace_perfetto_path;
     std::uint64_t epoch = 0;
+    std::uint64_t trace_capacity = 0; ///< 0 = EventTrace default
 };
 
 void
@@ -96,8 +99,17 @@ usage()
         "                         series and run summary as JSON\n"
         "  --trace-events=FILE    write the structured event trace\n"
         "                         (.jsonl = JSON lines, else binary)\n"
+        "  --trace-perfetto=FILE  write a Chrome trace-event JSON\n"
+        "                         timeline (job spans, partition\n"
+        "                         decisions, epoch series) loadable in\n"
+        "                         ui.perfetto.dev\n"
+        "  --trace-capacity=N     event-trace ring capacity in events\n"
+        "                         (default 1M; raise when a run warns\n"
+        "                         about dropped events)\n"
         "  --epoch=N              sample the epoch series every N\n"
-        "                         measured records (0 = off)\n"
+        "                         measured records (0 = off;\n"
+        "                         --trace-perfetto defaults it to\n"
+        "                         measure/20)\n"
         "  --list                 list available benchmark analogs\n";
 }
 
@@ -156,6 +168,10 @@ parse(int argc, char** argv, Options& o)
             o.stats_json_path = *v;
         } else if (auto v = val("trace-events")) {
             o.trace_events_path = *v;
+        } else if (auto v = val("trace-perfetto")) {
+            o.trace_perfetto_path = *v;
+        } else if (auto v = val("trace-capacity")) {
+            o.trace_capacity = std::stoull(*v);
         } else if (auto v = val("epoch")) {
             o.epoch = std::stoull(*v);
         } else if (auto v = val("jobs")) {
@@ -234,13 +250,13 @@ bool
 wants_observability(const Options& o)
 {
     return !o.stats_json_path.empty() || !o.trace_events_path.empty() ||
-           o.epoch > 0;
+           !o.trace_perfetto_path.empty() || o.epoch > 0;
 }
 
-/** Write --stats-json / --trace-events outputs after a run. */
+/** Write --stats-json / --trace-events / --trace-perfetto outputs. */
 int
 emit_observability(const Options& o, const sim::RunResult& r,
-                   const obs::Observability& obs)
+                   const obs::Observability& obs, const exec::Lab& lab)
 {
     if (!o.stats_json_path.empty()) {
         std::ofstream f(o.stats_json_path);
@@ -273,6 +289,27 @@ emit_observability(const Options& o, const sim::RunResult& r,
                       << obs.trace.size() << " buffered of "
                       << obs.trace.total() << " emitted)\n";
         }
+    }
+    if (!o.trace_perfetto_path.empty()) {
+        std::ofstream f(o.trace_perfetto_path);
+        if (!f) {
+            std::cerr << "cannot write " << o.trace_perfetto_path << "\n";
+            return 1;
+        }
+        obs::perfetto::TraceOptions topt;
+        topt.n_workers = lab.workers();
+        obs::perfetto::write_trace(f, &obs, lab.job_spans(), topt);
+        if (!o.json) {
+            std::cout << "perfetto trace: " << o.trace_perfetto_path
+                      << " (open in ui.perfetto.dev)\n";
+        }
+    }
+    if (obs.trace.enabled() && obs.trace.dropped() > 0) {
+        util::warn(util::format_msg(
+            "event trace overflowed: ", obs.trace.dropped(), " of ",
+            obs.trace.total(),
+            " events were overwritten; rerun with --trace-capacity=",
+            obs.trace.total(), " to keep them all"));
     }
     return 0;
 }
@@ -349,10 +386,18 @@ main(int argc, char** argv)
                   << cfg.describe(cores) << "\n";
     }
 
+    // A Perfetto timeline without epoch spans is mostly empty; default
+    // to ~20 epochs across the measurement window when unset.
+    if (!o.trace_perfetto_path.empty() && o.epoch == 0)
+        o.epoch = std::max<std::uint64_t>(1, o.measure / 20);
+
     obs::Observability obs;
     obs.sampler.configure(o.epoch);
-    if (!o.trace_events_path.empty())
-        obs.trace.enable();
+    if (!o.trace_events_path.empty() || !o.trace_perfetto_path.empty()) {
+        obs.trace.enable(o.trace_capacity != 0
+                             ? o.trace_capacity
+                             : obs::EventTrace::DEFAULT_CAPACITY);
+    }
 
     // The baseline and main runs are independent jobs; with --jobs>=2
     // they execute on parallel workers, byte-identical to serial.
@@ -390,5 +435,5 @@ main(int argc, char** argv)
         stats::write_json(std::cout, r);
     else
         report(label, r, base);
-    return emit_observability(o, r, obs);
+    return emit_observability(o, r, obs, lab);
 }
