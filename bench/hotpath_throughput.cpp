@@ -1,0 +1,295 @@
+/**
+ * @file
+ * hotpath_throughput — wall-clock throughput of the simulator hot path.
+ *
+ * Unlike the fig* benches (which reproduce the paper's *simulated*
+ * numbers), this bench measures how fast the simulator itself runs:
+ * simulated accesses per wall-clock second and ns per access, for
+ * single-core and 4-core mixes across prefetcher configurations
+ * (no prefetcher, Triage, BO+Triage hybrid).
+ *
+ * Each configuration runs `--reps` times (best-of, to shed scheduler
+ * noise) through exec::run_job — the same entry point the Lab and every
+ * fig* bench use — so the numbers track the real experiment hot path:
+ * workload generation, core model, cache hierarchy, prefetcher
+ * training and metadata maintenance.
+ *
+ * Output: a table on stdout plus a JSON trajectory file
+ * (BENCH_hotpath.json). `--merge-into=FILE` appends this run to an
+ * existing trajectory so successive PRs can track the perf history;
+ * `tools/check_stats_json --bench` validates the schema.
+ *
+ *   hotpath_throughput                      # full run, writes BENCH_hotpath.json
+ *   hotpath_throughput --smoke              # seconds-long CI smoke
+ *   hotpath_throughput --label=post-change --merge-into=BENCH_hotpath.json
+ */
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exec/job.hpp"
+#include "obs/json.hpp"
+#include "sim/config.hpp"
+#include "stats/table.hpp"
+#include "workloads/mixes.hpp"
+
+namespace {
+
+using triage::exec::Job;
+
+struct Options {
+    bool smoke = false;
+    unsigned reps = 3;
+    std::string label = "local";
+    std::string out = "BENCH_hotpath.json";
+    std::string merge_into;
+};
+
+struct Result {
+    std::string config;   ///< prefetcher configuration name
+    std::string workload; ///< "single:mcf" or "mix4:..."
+    unsigned cores = 1;
+    std::uint64_t accesses = 0; ///< simulated memory accesses stepped
+    double seconds = 0.0;       ///< best-of-reps wall time
+    double accesses_per_sec = 0.0;
+    double ns_per_access = 0.0;
+};
+
+bool
+parse_args(int argc, char** argv, Options& o)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto val = [&](const char* key) -> std::string {
+            std::string k = std::string("--") + key + "=";
+            return a.rfind(k, 0) == 0 ? a.substr(k.size()) : std::string();
+        };
+        if (a == "--smoke") {
+            o.smoke = true;
+        } else if (std::string v = val("reps"); !v.empty()) {
+            o.reps = static_cast<unsigned>(std::stoul(v));
+        } else if (std::string v = val("label"); !v.empty()) {
+            o.label = v;
+        } else if (std::string v = val("out"); !v.empty()) {
+            o.out = v;
+        } else if (std::string v = val("merge-into"); !v.empty()) {
+            o.merge_into = v;
+        } else if (a == "--jobs" || a.rfind("--jobs=", 0) == 0) {
+            // Accepted for uniformity with the fig* benches; the
+            // timed region is intentionally single-threaded.
+        } else {
+            std::cerr << "usage: hotpath_throughput [--smoke] [--reps=N]"
+                         " [--label=NAME] [--out=FILE]"
+                         " [--merge-into=FILE]\n";
+            return false;
+        }
+    }
+    if (o.reps == 0)
+        o.reps = 1;
+    return true;
+}
+
+/** Time one job, best of @p reps, and fill a Result row. */
+Result
+measure(const Job& job, const std::string& config,
+        const std::string& workload, unsigned reps)
+{
+    unsigned cores = job.mix.empty()
+                         ? 1u
+                         : static_cast<unsigned>(job.mix.size());
+    Result res;
+    res.config = config;
+    res.workload = workload;
+    res.cores = cores;
+    res.accesses =
+        static_cast<std::uint64_t>(cores) *
+        (job.scale.warmup_records + job.scale.measure_records);
+    double best = 0.0;
+    for (unsigned r = 0; r < reps; ++r) {
+        auto t0 = std::chrono::steady_clock::now();
+        (void)triage::exec::run_job(job);
+        auto t1 = std::chrono::steady_clock::now();
+        double s = std::chrono::duration<double>(t1 - t0).count();
+        if (r == 0 || s < best)
+            best = s;
+    }
+    res.seconds = best;
+    res.accesses_per_sec =
+        best > 0.0 ? static_cast<double>(res.accesses) / best : 0.0;
+    res.ns_per_access =
+        res.accesses > 0
+            ? best * 1e9 / static_cast<double>(res.accesses)
+            : 0.0;
+    return res;
+}
+
+void
+emit_result(std::ostream& os, const Result& r, int indent)
+{
+    std::string pad(static_cast<std::size_t>(indent), ' ');
+    os << pad << "{\"config\": \"" << r.config << "\", \"workload\": \""
+       << r.workload << "\", \"cores\": " << r.cores
+       << ", \"accesses\": " << r.accesses << ",\n"
+       << pad << " \"seconds\": " << std::setprecision(6) << r.seconds
+       << ", \"accesses_per_sec\": " << std::setprecision(8)
+       << r.accesses_per_sec << ", \"ns_per_access\": "
+       << std::setprecision(6) << r.ns_per_access << "}";
+}
+
+/** Re-emit one previously parsed run object (fixed schema). */
+void
+emit_parsed_run(std::ostream& os, const triage::obs::json::Value& run)
+{
+    const auto* label = run.get("label");
+    const auto* mode = run.get("mode");
+    const auto* results = run.get("results");
+    os << "  {\"label\": \""
+       << (label != nullptr && label->is_string() ? label->str : "?")
+       << "\", \"mode\": \""
+       << (mode != nullptr && mode->is_string() ? mode->str : "full")
+       << "\", \"results\": [\n";
+    if (results != nullptr && results->is_array()) {
+        for (std::size_t i = 0; i < results->array.size(); ++i) {
+            const auto& e = results->array[i];
+            Result r;
+            if (const auto* v = e.get("config"); v != nullptr)
+                r.config = v->str;
+            if (const auto* v = e.get("workload"); v != nullptr)
+                r.workload = v->str;
+            if (const auto* v = e.get("cores"); v != nullptr)
+                r.cores = static_cast<unsigned>(v->number);
+            if (const auto* v = e.get("accesses"); v != nullptr)
+                r.accesses = static_cast<std::uint64_t>(v->number);
+            if (const auto* v = e.get("seconds"); v != nullptr)
+                r.seconds = v->number;
+            if (const auto* v = e.get("accesses_per_sec"); v != nullptr)
+                r.accesses_per_sec = v->number;
+            if (const auto* v = e.get("ns_per_access"); v != nullptr)
+                r.ns_per_access = v->number;
+            emit_result(os, r, 4);
+            os << (i + 1 < results->array.size() ? ",\n" : "\n");
+        }
+    }
+    os << "  ]}";
+}
+
+int
+write_trajectory(const Options& o, const std::vector<Result>& results)
+{
+    // Existing runs to carry forward (--merge-into).
+    std::vector<triage::obs::json::Value> prior;
+    if (!o.merge_into.empty()) {
+        std::ifstream in(o.merge_into);
+        if (in) {
+            std::ostringstream buf;
+            buf << in.rdbuf();
+            std::string err;
+            auto root = triage::obs::json::parse(buf.str(), &err);
+            if (!root.has_value()) {
+                std::cerr << "hotpath_throughput: cannot merge into "
+                          << o.merge_into << ": " << err << "\n";
+                return 1;
+            }
+            if (const auto* runs = root->get("runs");
+                runs != nullptr && runs->is_array())
+                prior = runs->array;
+        }
+    }
+
+    const std::string& path =
+        o.merge_into.empty() ? o.out : o.merge_into;
+    std::ofstream f(path);
+    if (!f) {
+        std::cerr << "hotpath_throughput: cannot write " << path << "\n";
+        return 1;
+    }
+    f << "{\"bench\": \"hotpath_throughput\", \"unit\": "
+         "\"simulated accesses per wall-clock second\",\n \"runs\": [\n";
+    for (const auto& run : prior) {
+        emit_parsed_run(f, run);
+        f << ",\n";
+    }
+    f << "  {\"label\": \"" << o.label << "\", \"mode\": \""
+      << (o.smoke ? "smoke" : "full") << "\", \"results\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        emit_result(f, results[i], 4);
+        f << (i + 1 < results.size() ? ",\n" : "\n");
+    }
+    f << "  ]}\n ]}\n";
+    std::cout << "trajectory: " << path << "\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Options o;
+    if (!parse_args(argc, argv, o))
+        return 2;
+
+    triage::sim::MachineConfig cfg;
+    triage::stats::RunScale single, mix;
+    if (o.smoke) {
+        o.reps = 1;
+        single.warmup_records = 5000;
+        single.measure_records = 20000;
+        mix.warmup_records = 2000;
+        mix.measure_records = 8000;
+    } else {
+        single.warmup_records = 200000;
+        single.measure_records = 1000000;
+        mix.warmup_records = 50000;
+        mix.measure_records = 250000;
+    }
+
+    const std::vector<std::pair<std::string, std::string>> pf_configs = {
+        {"baseline", "none"},
+        {"triage", "triage_dyn"},
+        {"hybrid", "bo+triage_dyn"},
+    };
+    const triage::workloads::Mix mix4 = {"mcf", "omnetpp", "bwaves",
+                                         "sphinx3"};
+
+    std::vector<Result> results;
+    for (const auto& [name, spec] : pf_configs) {
+        Job j;
+        j.config = cfg;
+        j.benchmark = "mcf";
+        j.pf_spec = spec;
+        j.scale = single;
+        results.push_back(measure(j, name, "single:mcf", o.reps));
+        std::cerr << "  done " << name << " single:mcf\n";
+    }
+    for (const auto& [name, spec] : pf_configs) {
+        Job j;
+        j.config = cfg;
+        j.mix = mix4;
+        j.pf_spec = spec;
+        j.scale = mix;
+        results.push_back(
+            measure(j, name, "mix4:mcf,omnetpp,bwaves,sphinx3", o.reps));
+        std::cerr << "  done " << name << " mix4\n";
+    }
+
+    triage::stats::Table t({"config", "workload", "cores", "accesses",
+                            "sec", "acc/s", "ns/access"});
+    for (const auto& r : results) {
+        std::ostringstream rate, ns, sec;
+        rate << std::fixed << std::setprecision(0) << r.accesses_per_sec;
+        ns << std::fixed << std::setprecision(1) << r.ns_per_access;
+        sec << std::fixed << std::setprecision(3) << r.seconds;
+        t.row({r.config, r.workload, std::to_string(r.cores),
+               std::to_string(r.accesses), sec.str(), rate.str(),
+               ns.str()});
+    }
+    t.print(std::cout);
+
+    return write_trajectory(o, results);
+}

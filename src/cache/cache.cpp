@@ -17,8 +17,11 @@ SetAssocCache::SetAssocCache(const CacheGeometry& geom,
     sets_ = static_cast<std::uint32_t>(
         geom.size_bytes / (sim::BLOCK_SIZE * geom.assoc));
     TRIAGE_ASSERT(util::is_pow2(sets_), "set count must be a power of two");
-    lines_.resize(static_cast<std::size_t>(sets_) * assoc_);
+    tags_.assign(static_cast<std::size_t>(sets_) * assoc_, INVALID_TAG);
+    state_.assign(static_cast<std::size_t>(sets_) * assoc_, LineState{});
     TRIAGE_ASSERT(repl_ != nullptr);
+    if (!repl_->lru_fast_view(&lru_))
+        lru_ = {};
 }
 
 std::uint32_t
@@ -27,71 +30,88 @@ SetAssocCache::set_of(sim::Addr block) const
     return static_cast<std::uint32_t>(block & (sets_ - 1));
 }
 
-Line*
-SetAssocCache::find_line(sim::Addr block)
+std::uint32_t
+SetAssocCache::find_way(std::size_t base, sim::Addr block) const
 {
-    std::uint32_t set = set_of(block);
-    Line* row = &lines_[static_cast<std::size_t>(set) * assoc_];
+    // Invalid ways hold INVALID_TAG (never a real block), so validity
+    // needs no separate test: one compare per way, vectorizable.
+    const sim::Addr* row = tags_.data() + base;
     for (std::uint32_t w = 0; w < data_ways_; ++w) {
-        if (row[w].valid && row[w].block == block)
-            return &row[w];
+        if (row[w] == block)
+            return w;
     }
-    return nullptr;
+    return NO_WAY;
 }
 
 LookupResult
 SetAssocCache::access(sim::Addr block, sim::Pc pc, sim::Cycle now,
                       bool is_write, bool is_prefetch_probe)
 {
-    Line* line = find_line(block);
-    if (line == nullptr) {
+    const std::uint32_t set = set_of(block);
+    const std::size_t base = static_cast<std::size_t>(set) * assoc_;
+    const std::uint32_t way = find_way(base, block);
+    if (way == NO_WAY) {
         if (is_prefetch_probe)
             ++stats_.pf_probe_misses;
         else
             ++stats_.demand_misses;
-        repl_->on_miss(set_of(block), block, pc);
-        return {false, nullptr};
+        repl_miss(set, block, pc);
+        return {};
     }
-    LookupResult res{true, line, false, false, nullptr};
+    LineState& st = state_[base + way];
+    LookupResult res{true, false, false, st.ready_time, nullptr};
     if (is_prefetch_probe) {
         ++stats_.pf_probe_hits;
-        std::uint32_t pway = static_cast<std::uint32_t>(
-            line - &lines_[static_cast<std::size_t>(set_of(block)) *
-                           assoc_]);
-        repl_->on_hit({set_of(block), pway, block, pc, true});
+        repl_touch(set, way, block, pc, true, false);
         return res;
     }
     ++stats_.demand_hits;
-    if (line->prefetched) {
+    if (st.prefetched) {
         ++stats_.prefetch_hits;
         res.first_prefetch_use = true;
-        res.pf_owner = line->pf_owner;
-        if (line->ready_time > now) {
+        res.pf_owner = st.pf_owner;
+        if (st.ready_time > now) {
             ++stats_.late_prefetch_hits;
             res.late_prefetch = true;
         }
-        line->prefetched = false;
-        line->pf_owner = nullptr;
+        st.prefetched = false;
+        st.pf_owner = nullptr;
     }
     if (is_write)
-        line->dirty = true;
-    std::uint32_t way =
-        static_cast<std::uint32_t>(line - &lines_[static_cast<std::size_t>(
-                                              set_of(block)) * assoc_]);
-    repl_->on_hit({set_of(block), way, block, pc, false});
+        st.dirty = true;
+    repl_touch(set, way, block, pc, false, false);
     return res;
 }
 
-const Line*
-SetAssocCache::peek(sim::Addr block) const
+bool
+SetAssocCache::contains(sim::Addr block) const
 {
-    return const_cast<SetAssocCache*>(this)->find_line(block);
+    const std::size_t base =
+        static_cast<std::size_t>(set_of(block)) * assoc_;
+    return find_way(base, block) != NO_WAY;
 }
 
-Line*
-SetAssocCache::peek_mutable(sim::Addr block)
+std::optional<LineState>
+SetAssocCache::peek(sim::Addr block) const
 {
-    return find_line(block);
+    const std::size_t base =
+        static_cast<std::size_t>(set_of(block)) * assoc_;
+    const std::uint32_t way = find_way(base, block);
+    if (way == NO_WAY)
+        return std::nullopt;
+    return state_[base + way];
+}
+
+bool
+SetAssocCache::mark_dirty(sim::Addr block)
+{
+    const std::size_t base =
+        static_cast<std::size_t>(set_of(block)) * assoc_;
+    const std::uint32_t way = find_way(base, block);
+    if (way == NO_WAY)
+        return false;
+    state_[base + way].dirty = true;
+    return true;
 }
 
 Eviction
@@ -99,34 +119,40 @@ SetAssocCache::insert(sim::Addr block, sim::Pc pc, sim::Cycle ready_time,
                       bool dirty, bool is_prefetch,
                       prefetch::Prefetcher* pf_owner)
 {
-    std::uint32_t set = set_of(block);
-    Line* row = &lines_[static_cast<std::size_t>(set) * assoc_];
+    const std::uint32_t set = set_of(block);
+    const std::size_t base = static_cast<std::size_t>(set) * assoc_;
+    sim::Addr* row = tags_.data() + base;
 
-    // Re-insertion of a resident block just refreshes its state.
+    // One pass finds both the resident way (re-insertion refresh) and
+    // the first invalid way (preferred fill target).
+    std::uint32_t resident = NO_WAY;
+    std::uint32_t invalid_way = NO_WAY;
     for (std::uint32_t w = 0; w < data_ways_; ++w) {
-        if (row[w].valid && row[w].block == block) {
-            row[w].dirty |= dirty;
-            if (ready_time < row[w].ready_time)
-                row[w].ready_time = ready_time;
-            return {};
-        }
-    }
-
-    // Prefer an invalid way.
-    std::uint32_t victim_way = data_ways_;
-    for (std::uint32_t w = 0; w < data_ways_; ++w) {
-        if (!row[w].valid) {
-            victim_way = w;
+        if (row[w] == block) {
+            resident = w;
             break;
         }
+        if (row[w] == INVALID_TAG && invalid_way == NO_WAY)
+            invalid_way = w;
     }
+
+    // Re-insertion of a resident block just refreshes its state.
+    if (resident != NO_WAY) {
+        LineState& st = state_[base + resident];
+        st.dirty |= dirty;
+        if (ready_time < st.ready_time)
+            st.ready_time = ready_time;
+        return {};
+    }
+
+    std::uint32_t victim_way = invalid_way;
     Eviction ev;
-    if (victim_way == data_ways_) {
-        victim_way = repl_->victim(set, 0, data_ways_);
+    if (victim_way == NO_WAY) {
+        victim_way = repl_victim(set, 0, data_ways_);
         TRIAGE_ASSERT(victim_way < data_ways_, "victim outside partition");
-        Line& v = row[victim_way];
+        const LineState& v = state_[base + victim_way];
         ev.valid = true;
-        ev.block = v.block;
+        ev.block = row[victim_way];
         ev.dirty = v.dirty;
         ev.prefetched = v.prefetched;
         ++stats_.evictions;
@@ -134,32 +160,28 @@ SetAssocCache::insert(sim::Addr block, sim::Pc pc, sim::Cycle ready_time,
             ++stats_.dirty_evictions;
         if (v.prefetched)
             ++stats_.unused_prefetch_evictions;
-        repl_->on_invalidate(set, victim_way);
+        repl_invalidate(set, victim_way);
+        --live_lines_;
     }
-    Line& l = row[victim_way];
-    l.block = block;
-    l.valid = true;
-    l.dirty = dirty;
-    l.prefetched = is_prefetch;
-    l.ready_time = ready_time;
-    l.pf_owner = is_prefetch ? pf_owner : nullptr;
-    repl_->on_insert({set, victim_way, block, pc, is_prefetch});
+    row[victim_way] = block;
+    state_[base + victim_way] = {dirty, is_prefetch, ready_time,
+                                 is_prefetch ? pf_owner : nullptr};
+    ++live_lines_;
+    repl_touch(set, victim_way, block, pc, is_prefetch, true);
     return ev;
 }
 
 bool
 SetAssocCache::invalidate(sim::Addr block)
 {
-    Line* line = find_line(block);
-    if (line == nullptr)
+    const std::uint32_t set = set_of(block);
+    const std::size_t base = static_cast<std::size_t>(set) * assoc_;
+    const std::uint32_t way = find_way(base, block);
+    if (way == NO_WAY)
         return false;
-    std::uint32_t set = set_of(block);
-    std::uint32_t way =
-        static_cast<std::uint32_t>(line -
-                                   &lines_[static_cast<std::size_t>(set) *
-                                           assoc_]);
-    repl_->on_invalidate(set, way);
-    line->valid = false;
+    repl_invalidate(set, way);
+    tags_[base + way] = INVALID_TAG;
+    --live_lines_;
     return true;
 }
 
@@ -171,13 +193,15 @@ SetAssocCache::set_data_ways(std::uint32_t n, std::uint64_t* flushed_dirty)
         // Shrinking: hand ways [n, data_ways_) to metadata; invalidate.
         std::uint64_t dirty_count = 0;
         for (std::uint32_t set = 0; set < sets_; ++set) {
-            Line* row = &lines_[static_cast<std::size_t>(set) * assoc_];
+            const std::size_t base =
+                static_cast<std::size_t>(set) * assoc_;
             for (std::uint32_t w = n; w < data_ways_; ++w) {
-                if (row[w].valid) {
-                    if (row[w].dirty)
+                if (tags_[base + w] != INVALID_TAG) {
+                    if (state_[base + w].dirty)
                         ++dirty_count;
-                    repl_->on_invalidate(set, w);
-                    row[w].valid = false;
+                    repl_invalidate(set, w);
+                    tags_[base + w] = INVALID_TAG;
+                    --live_lines_;
                 }
             }
         }
@@ -191,11 +215,11 @@ SetAssocCache::set_data_ways(std::uint32_t n, std::uint64_t* flushed_dirty)
 }
 
 std::uint64_t
-SetAssocCache::valid_lines() const
+SetAssocCache::count_valid_lines_slow() const
 {
     std::uint64_t n = 0;
-    for (const auto& l : lines_)
-        n += l.valid ? 1 : 0;
+    for (const auto& t : tags_)
+        n += t != INVALID_TAG ? 1 : 0;
     return n;
 }
 

@@ -4,12 +4,22 @@
  * timestamps (so in-flight fills behave like MSHR merges), prefetch
  * bits, and way partitioning (used by Triage to carve metadata ways out
  * of the LLC).
+ *
+ * Hot-path layout (docs/performance.md): the lookup loop scans a
+ * packed per-set tag array (one 64-bit word per way, validity folded
+ * into an INVALID_TAG sentinel) so find-way is a tight,
+ * auto-vectorizable compare loop. Cold per-line state — dirty and
+ * prefetch bits, fill time, prefetch owner — lives in a parallel
+ * array touched only on hit or insert. Every operation computes the
+ * set index exactly once and threads {set, way} through to the
+ * replacement callbacks.
  */
 #ifndef TRIAGE_CACHE_CACHE_HPP
 #define TRIAGE_CACHE_CACHE_HPP
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -26,10 +36,11 @@ class Registry;
 
 namespace triage::cache {
 
-/** One cache line's bookkeeping state. */
-struct Line {
-    sim::Addr block = 0;
-    bool valid = false;
+/**
+ * Cold per-line bookkeeping, only read or written on a hit or insert
+ * (never by the tag scan).
+ */
+struct LineState {
     bool dirty = false;
     /** Set by prefetch fill; cleared on first demand touch. */
     bool prefetched = false;
@@ -42,11 +53,12 @@ struct Line {
 /** Result of a lookup. */
 struct LookupResult {
     bool hit = false;
-    Line* line = nullptr; ///< valid only when hit
     /** This demand touch was the first use of a prefetched line. */
     bool first_prefetch_use = false;
     /** ...and the prefetch fill was still in flight (late prefetch). */
     bool late_prefetch = false;
+    /** Fill-completion time of the hit line (valid only when hit). */
+    sim::Cycle ready_time = 0;
     /** Owner of the consumed prefetch (valid iff first_prefetch_use). */
     prefetch::Prefetcher* pf_owner = nullptr;
 };
@@ -110,8 +122,30 @@ class SetAssocCache
                         bool is_write, bool is_prefetch_probe = false);
 
     /** Tag probe with no side effects. */
-    const Line* peek(sim::Addr block) const;
-    Line* peek_mutable(sim::Addr block);
+    bool contains(sim::Addr block) const;
+
+    /**
+     * Request @p block's tag row (and LRU stamp row) from the
+     * simulating machine's memory ahead of a lookup. Pure wall-clock
+     * latency hint; no simulated (architectural) effect.
+     */
+    void
+    prefetch_hint(sim::Addr block) const
+    {
+        const std::size_t set = set_of(block);
+        const sim::Addr* row = tags_.data() + set * assoc_;
+        __builtin_prefetch(row);
+        if (assoc_ > 8) // a 16-way tag row spans two 64 B lines
+            __builtin_prefetch(row + 8);
+        if (lru_.stamps != nullptr)
+            __builtin_prefetch(lru_.stamps + set * lru_.assoc);
+    }
+
+    /** Cold-state snapshot of a resident line (no side effects). */
+    std::optional<LineState> peek(sim::Addr block) const;
+
+    /** Set the dirty bit if @p block is resident. @return resident. */
+    bool mark_dirty(sim::Addr block);
 
     /**
      * Install @p block (fill completes at @p ready_time).
@@ -142,19 +176,92 @@ class SetAssocCache
     void clear_stats() { stats_ = {}; }
     const std::string& name() const { return name_; }
 
-    /** Number of currently valid lines (tests / utilization metrics). */
-    std::uint64_t valid_lines() const;
+    /** Number of currently valid lines, O(1) (counter-maintained). */
+    std::uint64_t valid_lines() const { return live_lines_; }
+
+    /** Full tag-array scan, O(sets x ways); tests cross-check the
+     *  live-line counter against it. */
+    std::uint64_t count_valid_lines_slow() const;
 
   private:
+    /** Tag value meaning "way holds no line" (blocks are byte
+     *  addresses >> 6, so all-ones can never be a real tag). */
+    static constexpr sim::Addr INVALID_TAG = ~sim::Addr{0};
+    /** find_way() result meaning "not resident". */
+    static constexpr std::uint32_t NO_WAY = ~std::uint32_t{0};
+
     std::uint32_t set_of(sim::Addr block) const;
-    Line* find_line(sim::Addr block);
+    /** Scan the data partition of the set at @p base for @p block. */
+    std::uint32_t find_way(std::size_t base, sim::Addr block) const;
+
+    // Replacement dispatch. When the policy is plain LRU its callbacks
+    // are pure stamp updates, so they run inline here instead of
+    // through the vtable — identical state transitions, no virtual
+    // call on the ~3 replacement touches per access
+    // (docs/performance.md). Stateful policies take the virtual path.
+    void
+    repl_touch(std::uint32_t set, std::uint32_t way, sim::Addr block,
+               sim::Pc pc, bool is_prefetch, bool is_insert)
+    {
+        if (lru_.stamps != nullptr) {
+            lru_.stamps[static_cast<std::size_t>(set) * lru_.assoc + way] =
+                ++*lru_.clock;
+            return;
+        }
+        if (is_insert)
+            repl_->on_insert({set, way, block, pc, is_prefetch});
+        else
+            repl_->on_hit({set, way, block, pc, is_prefetch});
+    }
+
+    void
+    repl_miss(std::uint32_t set, sim::Addr block, sim::Pc pc)
+    {
+        if (lru_.stamps != nullptr)
+            return; // LRU ignores misses
+        repl_->on_miss(set, block, pc);
+    }
+
+    void
+    repl_invalidate(std::uint32_t set, std::uint32_t way)
+    {
+        if (lru_.stamps != nullptr) {
+            lru_.stamps[static_cast<std::size_t>(set) * lru_.assoc + way] =
+                0;
+            return;
+        }
+        repl_->on_invalidate(set, way);
+    }
+
+    std::uint32_t
+    repl_victim(std::uint32_t set, std::uint32_t way_begin,
+                std::uint32_t way_end)
+    {
+        if (lru_.stamps != nullptr) {
+            const std::uint64_t* row =
+                lru_.stamps + static_cast<std::size_t>(set) * lru_.assoc;
+            std::uint32_t best = way_begin;
+            std::uint64_t best_stamp = row[way_begin];
+            for (std::uint32_t w = way_begin + 1; w < way_end; ++w) {
+                if (row[w] < best_stamp) {
+                    best_stamp = row[w];
+                    best = w;
+                }
+            }
+            return best;
+        }
+        return repl_->victim(set, way_begin, way_end);
+    }
 
     std::string name_;
     std::uint32_t sets_;
     std::uint32_t assoc_;
     std::uint32_t data_ways_;
-    std::vector<Line> lines_; ///< sets_ x assoc_, row-major
+    std::vector<sim::Addr> tags_;    ///< sets_ x assoc_, row-major
+    std::vector<LineState> state_;   ///< parallel cold state
+    std::uint64_t live_lines_ = 0;
     std::unique_ptr<ReplacementPolicy> repl_;
+    LruFastView lru_; ///< aliases repl_'s state iff it is plain LRU
     CacheStats stats_;
 };
 

@@ -96,7 +96,8 @@ MemorySystem::llc_latency() const
 }
 
 void
-MemorySystem::credit_prefetch(unsigned core, const LookupResult& r)
+MemorySystem::credit_prefetch(unsigned core, sim::Addr block,
+                              const LookupResult& r)
 {
     if (!r.first_prefetch_use || r.pf_owner == nullptr)
         return;
@@ -104,12 +105,12 @@ MemorySystem::credit_prefetch(unsigned core, const LookupResult& r)
     if (r.late_prefetch)
         ++r.pf_owner->stats().late;
     if (trace_ != nullptr)
-        trace_->emit(obs::EventKind::PrefetchUseful, r.line->block,
+        trace_->emit(obs::EventKind::PrefetchUseful, block,
                      r.late_prefetch ? 1 : 0);
     // Close the lifecycle record, if one is open for this block
     // (stride-owned and warmup-era prefetches have none).
     if (lifecycle_ != nullptr)
-        lifecycle_->on_use(core, r.line->block, r.late_prefetch);
+        lifecycle_->on_use(core, block, r.late_prefetch);
 }
 
 sim::Cycle
@@ -142,6 +143,16 @@ MemorySystem::access(unsigned core, sim::Pc pc, sim::Addr byte_addr,
     if (lifecycle_ != nullptr)
         lifecycle_->set_trigger_pc(pc);
 
+    // Start pulling the host-machine cache lines the miss path will
+    // touch — the LLC's tag/stamp rows and the prefetcher's metadata
+    // rows — while the TLB/L1/L2 lookups run. On miss-heavy streams
+    // (the ones that are slow to simulate) nearly every access reaches
+    // those structures; on hit-heavy streams the wasted hints are
+    // cheap. Wall-clock only, no simulated effect (docs/performance.md).
+    llc_->prefetch_hint(block);
+    if (pcs.l2pf != nullptr)
+        pcs.l2pf->pre_train_hint(block);
+
     // Address translation (optional Table 1 TLBs): latency only.
     if (pcs.tlb != nullptr)
         now += pcs.tlb->access(byte_addr);
@@ -155,7 +166,7 @@ MemorySystem::access(unsigned core, sim::Pc pc, sim::Addr byte_addr,
     }
     if (r1.hit) {
         sim::Cycle done = now + cfg_.l1d.latency;
-        return std::max(done, r1.line->ready_time);
+        return std::max(done, r1.ready_time);
     }
 
     // L2: the prefetcher training stream.
@@ -165,8 +176,8 @@ MemorySystem::access(unsigned core, sim::Pc pc, sim::Addr byte_addr,
                             core,     is_write, r2.hit,
                             r2.first_prefetch_use};
     if (r2.hit) {
-        credit_prefetch(core, r2);
-        completion = std::max(now + cfg_.l2.latency, r2.line->ready_time);
+        credit_prefetch(core, block, r2);
+        completion = std::max(now + cfg_.l2.latency, r2.ready_time);
     } else {
         completion = fetch_into_l2(core, pc, block, now, false, nullptr,
                                    nullptr);
@@ -177,10 +188,7 @@ MemorySystem::access(unsigned core, sim::Pc pc, sim::Addr byte_addr,
     // Fill L1 (write-allocate); L1 victims write back into L2.
     Eviction e1 = pcs.l1->insert(block, pc, completion, is_write, false);
     if (e1.valid && e1.dirty) {
-        Line* l2line = pcs.l2->peek_mutable(e1.block);
-        if (l2line != nullptr)
-            l2line->dirty = true;
-        else
+        if (!pcs.l2->mark_dirty(e1.block))
             writeback_to_llc(core, e1.block, now);
     }
     return completion;
@@ -198,7 +206,7 @@ MemorySystem::fetch_into_l2(unsigned core, sim::Pc pc, sim::Addr block,
     // LLC probe.
     LookupResult r3 = llc_->access(block, pc, now, false, is_prefetch);
     if (r3.hit) {
-        completion = std::max(now + llc_latency(), r3.line->ready_time);
+        completion = std::max(now + llc_latency(), r3.ready_time);
         if (outcome != nullptr)
             *outcome = prefetch::PfOutcome::FilledFromLlc;
     } else {
@@ -254,11 +262,8 @@ MemorySystem::writeback_to_llc(unsigned core, sim::Addr block,
                                sim::Cycle now)
 {
     (void)core;
-    Line* line = llc_->peek_mutable(block);
-    if (line != nullptr) {
-        line->dirty = true;
+    if (llc_->mark_dirty(block))
         return;
-    }
     // Non-inclusive victim fill: install the dirty block in the LLC.
     Eviction ev = llc_->insert(block, 0, now, true, false);
     if (ev.valid && ev.dirty)
@@ -272,7 +277,7 @@ MemorySystem::issue_prefetch(unsigned core, sim::Addr block,
     PerCore& pcs = cores_[core];
     if (trace_ != nullptr)
         trace_->set_context(when, core);
-    if (pcs.l2->peek(block) != nullptr) {
+    if (pcs.l2->contains(block)) {
         if (trace_ != nullptr)
             trace_->emit(obs::EventKind::PrefetchRedundant, block);
         return prefetch::PfOutcome::RedundantL2;

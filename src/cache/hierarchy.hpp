@@ -163,7 +163,8 @@ class MemorySystem final : public prefetch::PrefetchHost
                              prefetch::PfOutcome* outcome);
     void writeback_to_llc(unsigned core, sim::Addr block, sim::Cycle now);
     void apply_partition(sim::Cycle now);
-    void credit_prefetch(unsigned core, const LookupResult& r);
+    void credit_prefetch(unsigned core, sim::Addr block,
+                         const LookupResult& r);
 
     sim::MachineConfig cfg_;
     unsigned n_cores_;

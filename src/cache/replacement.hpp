@@ -12,6 +12,18 @@
 
 namespace triage::cache {
 
+/**
+ * Direct view of a concrete LRU policy's state, for hosts that want to
+ * run the (trivial) LRU bookkeeping inline instead of paying a virtual
+ * call per touch. The policy object remains the owner; the view only
+ * aliases its storage (docs/performance.md).
+ */
+struct LruFastView {
+    std::uint64_t* stamps = nullptr; ///< sets x assoc recency stamps
+    std::uint64_t* clock = nullptr;  ///< shared monotonic counter
+    std::uint32_t assoc = 0;
+};
+
 /** Per-access context handed to the replacement policy. */
 struct ReplAccess {
     std::uint32_t set = 0;
@@ -53,6 +65,19 @@ class ReplacementPolicy
                                  std::uint32_t way_end) = 0;
 
     virtual const char* name() const = 0;
+
+    /**
+     * Fill @p out with a direct view of this policy's state if it is a
+     * plain LRU whose callbacks a host may replay inline (the LRU
+     * callbacks are pure stamp updates, so running them in the host
+     * instead of through the vtable is observationally identical).
+     * Stateful policies keep the default and stay fully virtual.
+     */
+    virtual bool lru_fast_view(LruFastView* out)
+    {
+        (void)out;
+        return false;
+    }
 };
 
 } // namespace triage::cache

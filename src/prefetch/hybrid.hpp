@@ -23,6 +23,12 @@ class Hybrid final : public Prefetcher
     explicit Hybrid(std::vector<std::unique_ptr<Prefetcher>> children);
 
     void train(const TrainEvent& ev, PrefetchHost& host) override;
+    void
+    pre_train_hint(sim::Addr block) const override
+    {
+        for (const auto& c : children_)
+            c->pre_train_hint(block);
+    }
     void on_fill(sim::Addr block, sim::Cycle now,
                  bool was_prefetch) override;
     const std::string& name() const override { return name_; }

@@ -140,6 +140,16 @@ class Prefetcher
     virtual void train(const TrainEvent& ev, PrefetchHost& host) = 0;
 
     /**
+     * The hierarchy detected an L2 miss for @p block and is about to do
+     * the fill bookkeeping before calling train(). Prefetchers with
+     * large host-memory tables (Triage's metadata store) use this to
+     * start pulling the rows train() will touch into the simulating
+     * machine's caches while the fill work proceeds. Pure wall-clock
+     * latency hint — no simulated (architectural) effect.
+     */
+    virtual void pre_train_hint(sim::Addr /*block*/) const {}
+
+    /**
      * A line this prefetcher fetched received its first demand hit
      * (useful prefetch). Invoked by the hierarchy.
      */

@@ -26,6 +26,16 @@ class Lru final : public cache::ReplacementPolicy
                          std::uint32_t way_end) override;
     const char* name() const override { return "lru"; }
 
+    /** LRU state is just stamps + a clock; hosts may drive it inline. */
+    bool
+    lru_fast_view(cache::LruFastView* out) override
+    {
+        out->stamps = stamps_.data();
+        out->clock = &clock_;
+        out->assoc = assoc_;
+        return true;
+    }
+
   private:
     std::uint64_t& stamp(std::uint32_t set, std::uint32_t way);
 

@@ -1,5 +1,7 @@
 #include "replacement/optgen.hpp"
 
+#include <algorithm>
+
 #include "util/log.hpp"
 
 namespace triage::replacement {
@@ -9,7 +11,81 @@ OptGen::OptGen(std::uint32_t capacity, std::uint32_t history_factor)
 {
     TRIAGE_ASSERT(capacity_ > 0);
     TRIAGE_ASSERT(window_ > 0);
-    occupancy_.assign(window_, 0);
+    tree_build();
+}
+
+void
+OptGen::tree_build()
+{
+    leaves_ = 1;
+    while (leaves_ < window_)
+        leaves_ <<= 1;
+    tmax_.assign(2 * static_cast<std::size_t>(leaves_), 0);
+    tadd_.assign(leaves_, 0);
+}
+
+void
+OptGen::tree_push(std::uint32_t node)
+{
+    std::uint32_t a = tadd_[node];
+    if (a == 0)
+        return;
+    for (std::uint32_t ch = 2 * node; ch <= 2 * node + 1; ++ch) {
+        tmax_[ch] += a;
+        if (ch < leaves_)
+            tadd_[ch] += a;
+    }
+    tadd_[node] = 0;
+}
+
+void
+OptGen::tree_assign(std::uint32_t node, std::uint32_t lo, std::uint32_t hi,
+                    std::uint32_t pos, std::uint32_t val)
+{
+    if (lo == hi) {
+        tmax_[node] = val;
+        return;
+    }
+    tree_push(node);
+    std::uint32_t mid = lo + (hi - lo) / 2;
+    if (pos <= mid)
+        tree_assign(2 * node, lo, mid, pos, val);
+    else
+        tree_assign(2 * node + 1, mid + 1, hi, pos, val);
+    tmax_[node] = std::max(tmax_[2 * node], tmax_[2 * node + 1]);
+}
+
+void
+OptGen::tree_add(std::uint32_t node, std::uint32_t lo, std::uint32_t hi,
+                 std::uint32_t a, std::uint32_t b)
+{
+    if (b < lo || hi < a)
+        return;
+    if (a <= lo && hi <= b) {
+        ++tmax_[node];
+        if (node < leaves_)
+            ++tadd_[node];
+        return;
+    }
+    tree_push(node);
+    std::uint32_t mid = lo + (hi - lo) / 2;
+    tree_add(2 * node, lo, mid, a, b);
+    tree_add(2 * node + 1, mid + 1, hi, a, b);
+    tmax_[node] = std::max(tmax_[2 * node], tmax_[2 * node + 1]);
+}
+
+std::uint32_t
+OptGen::tree_max(std::uint32_t node, std::uint32_t lo, std::uint32_t hi,
+                 std::uint32_t a, std::uint32_t b)
+{
+    if (b < lo || hi < a)
+        return 0;
+    if (a <= lo && hi <= b)
+        return tmax_[node];
+    tree_push(node);
+    std::uint32_t mid = lo + (hi - lo) / 2;
+    return std::max(tree_max(2 * node, lo, mid, a, b),
+                    tree_max(2 * node + 1, mid + 1, hi, a, b));
 }
 
 bool
@@ -18,23 +94,33 @@ OptGen::access(std::uint64_t key)
     ++accesses_;
 
     // The slot for "now" starts a fresh interval.
-    occupancy_[now_ % window_] = 0;
+    tree_assign(1, 0, leaves_ - 1,
+                static_cast<std::uint32_t>(now_ % window_), 0);
 
     bool hit = false;
     auto it = last_seen_.find(key);
     if (it != last_seen_.end() && now_ - it->second < window_) {
         std::uint64_t prev = it->second;
-        // OPT keeps the line iff no slot in [prev, now) is full.
-        bool fits = true;
-        for (std::uint64_t t = prev; t < now_; ++t) {
-            if (occupancy_[t % window_] >= capacity_) {
-                fits = false;
-                break;
-            }
+        // OPT keeps the line iff no slot in [prev, now) is full. The
+        // absolute interval maps to at most two contiguous index
+        // ranges of the circular window.
+        auto a = static_cast<std::uint32_t>(prev % window_);
+        auto len = static_cast<std::uint32_t>(now_ - prev);
+        std::uint32_t peak;
+        if (a + len <= window_) {
+            peak = tree_max(1, 0, leaves_ - 1, a, a + len - 1);
+        } else {
+            peak = std::max(
+                tree_max(1, 0, leaves_ - 1, a, window_ - 1),
+                tree_max(1, 0, leaves_ - 1, 0, a + len - window_ - 1));
         }
-        if (fits) {
-            for (std::uint64_t t = prev; t < now_; ++t)
-                ++occupancy_[t % window_];
+        if (peak < capacity_) {
+            if (a + len <= window_) {
+                tree_add(1, 0, leaves_ - 1, a, a + len - 1);
+            } else {
+                tree_add(1, 0, leaves_ - 1, a, window_ - 1);
+                tree_add(1, 0, leaves_ - 1, 0, a + len - window_ - 1);
+            }
             hit = true;
             ++hits_;
         }
@@ -61,7 +147,7 @@ OptGen::access(std::uint64_t key)
 void
 OptGen::clear()
 {
-    occupancy_.assign(window_, 0);
+    tree_build();
     last_seen_.clear();
     now_ = 0;
     accesses_ = 0;

@@ -6,9 +6,11 @@
  * OPTgen answers, for each access, "would the optimal policy have hit?"
  * using the *liveness interval* argument: an access to X at time t whose
  * previous access was at time p is an OPT hit iff, at every time slot in
- * [p, t), fewer than `capacity` lines are simultaneously live. The
- * occupancy vector counts live lines per slot over the most recent
- * 8 x capacity slots.
+ * [p, t), fewer than `capacity` lines are simultaneously live. Per-slot
+ * occupancy over the most recent 8 x capacity slots lives in a lazy
+ * segment tree (range max + range add), so the interval test and the
+ * subsequent occupancy bump are O(log window) instead of the O(window)
+ * scans of the naive vector (docs/performance.md).
  *
  * Triage uses OPTgen in two places: inside the Hawkeye-style metadata
  * replacement policy, and as the 1 KB "sandbox" that estimates metadata
@@ -61,10 +63,28 @@ class OptGen
     void clear_counters() { accesses_ = 0; hits_ = 0; }
 
   private:
+    // Lazy segment tree over the circular occupancy window. Nodes
+    // 1..leaves_-1 are internal, leaves_..2*leaves_-1 are the slots
+    // (time % window_); tmax_[n] is the exact max of n's range with
+    // its own pending add applied, tadd_[n] the add not yet pushed to
+    // n's children.
+    void tree_build();
+    void tree_push(std::uint32_t node);
+    void tree_assign(std::uint32_t node, std::uint32_t lo,
+                     std::uint32_t hi, std::uint32_t pos,
+                     std::uint32_t val);
+    void tree_add(std::uint32_t node, std::uint32_t lo, std::uint32_t hi,
+                  std::uint32_t a, std::uint32_t b);
+    std::uint32_t tree_max(std::uint32_t node, std::uint32_t lo,
+                           std::uint32_t hi, std::uint32_t a,
+                           std::uint32_t b);
+
     std::uint32_t capacity_;
     std::uint32_t window_;
     std::uint64_t now_ = 0; ///< access count == logical time
-    std::vector<std::uint16_t> occupancy_; ///< circular, indexed by time%window_
+    std::uint32_t leaves_ = 1;        ///< power of two >= window_
+    std::vector<std::uint32_t> tmax_; ///< 2*leaves_ max values
+    std::vector<std::uint32_t> tadd_; ///< leaves_ pending adds
     std::unordered_map<std::uint64_t, std::uint64_t> last_seen_;
     std::uint64_t accesses_ = 0;
     std::uint64_t hits_ = 0;

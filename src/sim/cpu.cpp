@@ -30,7 +30,10 @@ CoreModel::retire_head()
     // completion, no earlier than the previous retirement's cycle, and
     // at most retire_width leave per cycle.
     Cycle completion = rob_[rob_head_];
-    rob_head_ = (rob_head_ + 1) % cfg_.rob_entries;
+    // Conditional wrap instead of % — rob_entries is a runtime value,
+    // so the modulo is a real division on the per-instruction path.
+    if (++rob_head_ == cfg_.rob_entries)
+        rob_head_ = 0;
     --rob_count_;
 
     Cycle t = std::max(completion, retire_cycle_);
@@ -59,8 +62,9 @@ CoreModel::dispatch_one(Cycle completion)
             dispatched_this_cycle_ = 0;
         }
     }
-    std::uint32_t tail =
-        (rob_head_ + rob_count_) % cfg_.rob_entries;
+    std::uint32_t tail = rob_head_ + rob_count_;
+    if (tail >= cfg_.rob_entries)
+        tail -= cfg_.rob_entries;
     rob_[tail] = completion;
     ++rob_count_;
 
@@ -140,8 +144,12 @@ Cycle
 CoreModel::drain() const
 {
     Cycle end = std::max(dispatch_cycle_, retire_cycle_);
-    for (std::uint32_t i = 0; i < rob_count_; ++i)
-        end = std::max(end, rob_[(rob_head_ + i) % cfg_.rob_entries]);
+    std::uint32_t idx = rob_head_;
+    for (std::uint32_t i = 0; i < rob_count_; ++i) {
+        end = std::max(end, rob_[idx]);
+        if (++idx == cfg_.rob_entries)
+            idx = 0;
+    }
     return end;
 }
 

@@ -21,18 +21,20 @@ MetadataStore::build(std::uint64_t bytes)
     capacity_bytes_ = bytes;
     std::uint64_t n_entries = bytes / cfg_.entry_bytes;
     std::uint64_t n_sets = n_entries / cfg_.line_entries;
+    live_entries_ = 0;
     if (n_sets == 0) {
         sets_ = 0;
         entries_.clear();
+        keys_.clear();
         repl_.reset();
         return;
     }
     // Round down to a power of two for cheap indexing.
-    sets_ = 1u << util::log2_ceil(n_sets + 1) >> 1;
-    if (sets_ == 0)
-        sets_ = 1;
+    sets_ = static_cast<std::uint32_t>(util::floor_pow2(n_sets));
     entries_.assign(static_cast<std::size_t>(sets_) * cfg_.line_entries,
                     Entry{});
+    keys_.assign(static_cast<std::size_t>(sets_) * cfg_.line_entries,
+                 INVALID_KEY);
     repl_ = make_meta_repl(cfg_.repl, sets_, cfg_.line_entries);
     // Counters live in the store so the policy rebuild keeps them.
     repl_->bind_stats(&repl_stats_);
@@ -44,42 +46,40 @@ MetadataStore::set_of(sim::Addr trigger) const
     return static_cast<std::uint32_t>(util::mix64(trigger)) & (sets_ - 1);
 }
 
-MetadataStore::Entry*
-MetadataStore::find_entry(sim::Addr trigger, std::uint32_t* way_out)
+std::uint32_t
+MetadataStore::find_way(std::size_t base, std::uint64_t key) const
+{
+    const std::uint64_t* row = keys_.data() + base;
+    for (std::uint32_t w = 0; w < cfg_.line_entries; ++w) {
+        if (row[w] == key)
+            return w;
+    }
+    return NO_WAY;
+}
+
+std::uint64_t
+MetadataStore::key_of_entry(const Entry& e) const
+{
+    if (cfg_.compressed_tags) {
+        return (std::uint64_t{compressor_.set_of(e.full_trigger)} << 16) |
+               e.trigger_ctag;
+    }
+    return e.full_trigger;
+}
+
+void
+MetadataStore::prefetch_hint(sim::Addr trigger) const
 {
     if (sets_ == 0)
-        return nullptr;
-    std::uint32_t set = set_of(trigger);
-    Entry* row = &entries_[static_cast<std::size_t>(set) *
-                           cfg_.line_entries];
-    if (cfg_.compressed_tags) {
-        auto id = compressor_.find(compressor_.tag_of(trigger));
-        if (!id.has_value())
-            return nullptr;
-        std::uint32_t trig_set = compressor_.set_of(trigger);
-        for (std::uint32_t w = 0; w < cfg_.line_entries; ++w) {
-            // Sub-tag match: compressed tag plus the trigger's set id
-            // (implicit in a real set-associative layout, explicit here
-            // because we hash rather than slice the index).
-            if (row[w].valid && row[w].trigger_ctag == *id &&
-                compressor_.set_of(row[w].full_trigger) == trig_set) {
-                if (way_out != nullptr)
-                    *way_out = w;
-                if (row[w].full_trigger != trigger)
-                    ++stats_.tag_alias_drops;
-                return &row[w];
-            }
-        }
-        return nullptr;
-    }
-    for (std::uint32_t w = 0; w < cfg_.line_entries; ++w) {
-        if (row[w].valid && row[w].full_trigger == trigger) {
-            if (way_out != nullptr)
-                *way_out = w;
-            return &row[w];
-        }
-    }
-    return nullptr;
+        return;
+    const std::size_t base =
+        static_cast<std::size_t>(set_of(trigger)) * cfg_.line_entries;
+    const std::uint64_t* row = keys_.data() + base;
+    __builtin_prefetch(row);
+    if (cfg_.line_entries > 8) // a 16-entry key row spans two 64 B lines
+        __builtin_prefetch(row + 8);
+    if (cfg_.compressed_tags)
+        compressor_.prefetch_hint(compressor_.tag_of(trigger));
 }
 
 MetaLookup
@@ -87,18 +87,37 @@ MetadataStore::probe(sim::Addr trigger)
 {
     ++stats_.lookups;
     MetaLookup lk;
-    std::uint32_t way = 0;
-    Entry* e = find_entry(trigger, &way);
-    if (e == nullptr)
+    if (sets_ == 0)
         return lk;
+    const std::uint32_t set = set_of(trigger);
+    const std::size_t base =
+        static_cast<std::size_t>(set) * cfg_.line_entries;
+    std::uint64_t key;
+    if (cfg_.compressed_tags) {
+        // Sub-tag match: compressed tag plus the trigger's set id
+        // (implicit in a real set-associative layout, explicit here
+        // because we hash rather than slice the index).
+        auto id = compressor_.find(compressor_.tag_of(trigger));
+        if (!id.has_value())
+            return lk;
+        key = (std::uint64_t{compressor_.set_of(trigger)} << 16) | *id;
+    } else {
+        key = trigger;
+    }
+    const std::uint32_t way = find_way(base, key);
+    if (way == NO_WAY)
+        return lk;
+    const Entry& e = entries_[base + way];
+    if (e.full_trigger != trigger)
+        ++stats_.tag_alias_drops;
     lk.hit = true;
-    lk.confident = e->confident;
-    lk.set = set_of(trigger);
+    lk.confident = e.confident;
+    lk.set = set;
     lk.way = way;
     lk.next = cfg_.compressed_tags
-                  ? compressor_.combine(compressor_.decompress(e->next_ctag),
-                                        e->next_set)
-                  : e->full_next;
+                  ? compressor_.combine(compressor_.decompress(e.next_ctag),
+                                        e.next_set)
+                  : e.full_next;
     ++stats_.hits;
     if (trace_ != nullptr)
         trace_->emit(obs::EventKind::MetaHit, trigger, lk.next);
@@ -123,29 +142,43 @@ MetadataStore::update(sim::Addr trigger, sim::Addr next, sim::Pc pc)
     if (sets_ == 0)
         return;
     ++stats_.updates;
-    std::uint32_t way = 0;
-    Entry* e = find_entry(trigger, &way);
-    std::uint32_t set = set_of(trigger);
-    if (e != nullptr) {
-        bool matches = cfg_.compressed_tags
-                           ? (e->full_next == next)
-                           : (e->full_next == next);
-        if (matches) {
-            e->confident = true;
-        } else if (e->confident) {
-            e->confident = false; // first disagreement: keep successor
+    const std::uint32_t set = set_of(trigger);
+    const std::size_t base =
+        static_cast<std::size_t>(set) * cfg_.line_entries;
+    std::uint64_t trig_tag = 0;
+    std::uint32_t way = NO_WAY;
+    if (cfg_.compressed_tags) {
+        trig_tag = compressor_.tag_of(trigger);
+        auto id = compressor_.find(trig_tag);
+        if (id.has_value()) {
+            way = find_way(base,
+                           (std::uint64_t{compressor_.set_of(trigger)}
+                            << 16) |
+                               *id);
+        }
+    } else {
+        way = find_way(base, trigger);
+    }
+    if (way != NO_WAY) {
+        Entry& e = entries_[base + way];
+        if (e.full_trigger != trigger)
+            ++stats_.tag_alias_drops;
+        if (e.full_next == next) {
+            e.confident = true;
+        } else if (e.confident) {
+            e.confident = false; // first disagreement: keep successor
         } else {
             // Second disagreement: adopt the new successor (it must
             // confirm once more before prefetching when entries start
             // unconfident).
             ++stats_.confidence_flips;
-            e->full_next = next;
+            e.full_next = next;
             if (cfg_.compressed_tags) {
-                e->next_ctag =
+                e.next_ctag =
                     compressor_.compress(compressor_.tag_of(next));
-                e->next_set = compressor_.set_of(next);
+                e.next_set = compressor_.set_of(next);
             }
-            e->confident = cfg_.insert_confident;
+            e.confident = cfg_.insert_confident;
         }
         // A metadata write refreshes recency but is invisible to the
         // filtered Hawkeye training (only prefetch-producing reads are).
@@ -153,34 +186,29 @@ MetadataStore::update(sim::Addr trigger, sim::Addr next, sim::Pc pc)
         return;
     }
 
-    // Install a fresh correlation.
-    Entry* row = &entries_[static_cast<std::size_t>(set) *
-                           cfg_.line_entries];
-    std::uint32_t target = cfg_.line_entries;
-    for (std::uint32_t w = 0; w < cfg_.line_entries; ++w) {
-        if (!row[w].valid) {
-            target = w;
-            break;
-        }
-    }
-    if (target == cfg_.line_entries) {
+    // Install a fresh correlation, preferring the first empty way.
+    std::uint32_t target = find_way(base, INVALID_KEY);
+    if (target == NO_WAY) {
         target = repl_->victim(set);
         TRIAGE_ASSERT(target < cfg_.line_entries);
         repl_->on_invalidate(set, target);
         ++stats_.evictions;
+        --live_entries_;
         if (trace_ != nullptr)
             trace_->emit(obs::EventKind::MetaEvict, set, target);
     }
-    Entry& n = row[target];
+    Entry& n = entries_[base + target];
     n.full_trigger = trigger;
     n.full_next = next;
     n.confident = cfg_.insert_confident;
     n.valid = true;
     if (cfg_.compressed_tags) {
-        n.trigger_ctag = compressor_.compress(compressor_.tag_of(trigger));
+        n.trigger_ctag = compressor_.compress(trig_tag);
         n.next_ctag = compressor_.compress(compressor_.tag_of(next));
         n.next_set = compressor_.set_of(next);
     }
+    keys_[base + target] = key_of_entry(n);
+    ++live_entries_;
     repl_->on_insert(set, target, trigger, pc);
     ++stats_.inserts;
     if (trace_ != nullptr)
@@ -211,15 +239,15 @@ MetadataStore::resize(std::uint64_t bytes)
     // kinder and keep whatever still fits).
     for (const auto& s : survivors) {
         std::uint32_t set = set_of(s.full_trigger);
-        Entry* row = &entries_[static_cast<std::size_t>(set) *
-                               cfg_.line_entries];
-        for (std::uint32_t w = 0; w < cfg_.line_entries; ++w) {
-            if (!row[w].valid) {
-                row[w] = s;
-                repl_->on_insert(set, w, s.full_trigger, 0);
-                break;
-            }
-        }
+        const std::size_t base =
+            static_cast<std::size_t>(set) * cfg_.line_entries;
+        std::uint32_t w = find_way(base, INVALID_KEY);
+        if (w == NO_WAY)
+            continue;
+        entries_[base + w] = s;
+        keys_[base + w] = key_of_entry(s);
+        ++live_entries_;
+        repl_->on_insert(set, w, s.full_trigger, 0);
     }
 }
 
@@ -230,7 +258,7 @@ MetadataStore::capacity_entries() const
 }
 
 std::uint64_t
-MetadataStore::valid_entries() const
+MetadataStore::count_valid_entries_slow() const
 {
     std::uint64_t n = 0;
     for (const auto& e : entries_)

@@ -83,6 +83,13 @@ class MetadataStore
     MetaLookup probe(sim::Addr trigger);
 
     /**
+     * Request the cache lines a probe()/update() of @p trigger will
+     * touch (key row + compressor slot) ahead of time. Pure latency
+     * hint; no architectural effect.
+     */
+    void prefetch_hint(sim::Addr trigger) const;
+
+    /**
      * Report the outcome of a probe: @p visible is false when the
      * prefetch produced was redundant (invisible to Hawkeye training).
      */
@@ -104,7 +111,11 @@ class MetadataStore
 
     std::uint64_t capacity_bytes() const { return capacity_bytes_; }
     std::uint64_t capacity_entries() const;
-    std::uint64_t valid_entries() const;
+    /** Number of live correlations, O(1) (counter-maintained). */
+    std::uint64_t valid_entries() const { return live_entries_; }
+    /** Full table scan, O(capacity); tests cross-check the live-entry
+     *  counter against it. */
+    std::uint64_t count_valid_entries_slow() const;
     const MetadataStoreStats& stats() const { return stats_; }
     /** Replacement-training counters; owned here so they survive the
      *  policy rebuild a resize() performs. */
@@ -128,14 +139,31 @@ class MetadataStore
         sim::Addr full_next = 0;
     };
 
+    /**
+     * Per-way search key mirrored from the entry, scanned by the hot
+     * lookup loop instead of the 32-byte Entry structs
+     * (docs/performance.md). Compressed mode packs
+     * (trigger set id << 16) | trigger_ctag; uncompressed mode stores
+     * the full trigger. INVALID_KEY marks an empty way (block
+     * addresses and packed ctag keys never reach all-ones).
+     */
+    static constexpr std::uint64_t INVALID_KEY = ~std::uint64_t{0};
+    /** find_way() result meaning "no matching way". */
+    static constexpr std::uint32_t NO_WAY = ~std::uint32_t{0};
+
     std::uint32_t set_of(sim::Addr trigger) const;
-    Entry* find_entry(sim::Addr trigger, std::uint32_t* way_out);
+    /** Scan the set at @p base for @p key; first match wins. */
+    std::uint32_t find_way(std::size_t base, std::uint64_t key) const;
+    /** Recompute an entry's search key (rehash-on-resize). */
+    std::uint64_t key_of_entry(const Entry& e) const;
     void build(std::uint64_t bytes);
 
     MetadataStoreConfig cfg_;
     std::uint64_t capacity_bytes_;
     std::uint32_t sets_ = 0;
     std::vector<Entry> entries_;
+    std::vector<std::uint64_t> keys_; ///< parallel to entries_
+    std::uint64_t live_entries_ = 0;
     std::unique_ptr<MetaRepl> repl_;
     TagCompressor compressor_;
     MetadataStoreStats stats_;

@@ -1,22 +1,83 @@
 #include "triage/tag_compressor.hpp"
 
+#include "util/bitops.hpp"
 #include "util/log.hpp"
 
 namespace triage::core {
 
 TagCompressor::TagCompressor(TagCompressorConfig cfg)
-    : cfg_(cfg), slots_(1u << cfg.id_bits)
+    : cfg_(cfg), slots_(1u << cfg.id_bits),
+      map_(std::size_t{1} << (cfg.id_bits + 2))
 {
     TRIAGE_ASSERT(cfg.id_bits >= 1 && cfg.id_bits <= 16);
+    map_mask_ = map_.size() - 1;
+}
+
+std::size_t
+TagCompressor::map_home(std::uint64_t tag) const
+{
+    return static_cast<std::size_t>(util::mix64(tag)) & map_mask_;
+}
+
+std::size_t
+TagCompressor::map_find(std::uint64_t tag) const
+{
+    std::size_t i = map_home(tag);
+    while (map_[i].used) {
+        if (map_[i].tag == tag)
+            return i;
+        i = (i + 1) & map_mask_;
+    }
+    return map_.size();
+}
+
+void
+TagCompressor::map_insert(std::uint64_t tag, std::uint16_t id)
+{
+    std::size_t i = map_home(tag);
+    while (map_[i].used) {
+        if (map_[i].tag == tag) {
+            map_[i].id = id;
+            return;
+        }
+        i = (i + 1) & map_mask_;
+    }
+    map_[i] = {tag, id, true};
+}
+
+void
+TagCompressor::map_erase(std::uint64_t tag)
+{
+    std::size_t i = map_find(tag);
+    if (i == map_.size())
+        return;
+    // Backward-shift deletion (Knuth 6.4 R): pull later cluster
+    // members whose home slot precedes the hole back over it, so
+    // probes never need tombstones.
+    std::size_t j = i;
+    while (true) {
+        map_[i].used = false;
+        std::size_t home;
+        do {
+            j = (j + 1) & map_mask_;
+            if (!map_[j].used)
+                return;
+            home = map_home(map_[j].tag);
+        } while (i <= j ? (i < home && home <= j)
+                        : (i < home || home <= j));
+        map_[i] = map_[j];
+        i = j;
+    }
 }
 
 std::uint16_t
 TagCompressor::compress(std::uint64_t tag)
 {
-    auto it = ids_.find(tag);
-    if (it != ids_.end()) {
-        slots_[it->second].lru = ++clock_;
-        return it->second;
+    std::size_t pos = map_find(tag);
+    if (pos != map_.size()) {
+        std::uint16_t id = map_[pos].id;
+        slots_[id].lru = ++clock_;
+        return id;
     }
     // Recycle the LRU id.
     std::uint16_t victim = 0;
@@ -29,21 +90,21 @@ TagCompressor::compress(std::uint64_t tag)
             victim = i;
     }
     if (slots_[victim].valid) {
-        ids_.erase(slots_[victim].tag);
+        map_erase(slots_[victim].tag);
         ++recycles_;
     }
     slots_[victim] = {tag, ++clock_, true};
-    ids_.emplace(tag, victim);
+    map_insert(tag, victim);
     return victim;
 }
 
 std::optional<std::uint16_t>
 TagCompressor::find(std::uint64_t tag) const
 {
-    auto it = ids_.find(tag);
-    if (it == ids_.end())
+    std::size_t pos = map_find(tag);
+    if (pos == map_.size())
         return std::nullopt;
-    return it->second;
+    return map_[pos].id;
 }
 
 std::uint64_t

@@ -15,7 +15,6 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/types.hpp"
@@ -54,6 +53,14 @@ class TagCompressor
     /** Non-allocating probe: id only if the tag is currently mapped. */
     std::optional<std::uint16_t> find(std::uint64_t tag) const;
 
+    /** Request the cache line of @p tag's probe slot ahead of a find()
+     *  (pure latency hint, no architectural effect). */
+    void
+    prefetch_hint(std::uint64_t tag) const
+    {
+        __builtin_prefetch(map_.data() + map_home(tag));
+    }
+
     /** Expand an id back to whatever full tag currently owns it. */
     std::uint64_t decompress(std::uint16_t id) const;
 
@@ -67,9 +74,30 @@ class TagCompressor
         bool valid = false;
     };
 
+    /**
+     * tag -> id direction, an open-addressing linear-probe table
+     * (docs/performance.md): find() is on the metadata lookup hot
+     * path and a flat probe sequence beats the node-based
+     * unordered_map it replaced. Sized at 4x id capacity, so load
+     * stays under 25% and probes terminate quickly; erase uses the
+     * classic backward-shift so no tombstones accumulate.
+     */
+    struct MapSlot {
+        std::uint64_t tag = 0;
+        std::uint16_t id = 0;
+        bool used = false;
+    };
+
+    std::size_t map_home(std::uint64_t tag) const;
+    /** Slot index of @p tag, or the table size if absent. */
+    std::size_t map_find(std::uint64_t tag) const;
+    void map_insert(std::uint64_t tag, std::uint16_t id);
+    void map_erase(std::uint64_t tag);
+
     TagCompressorConfig cfg_;
-    std::vector<Slot> slots_;                       ///< id -> tag
-    std::unordered_map<std::uint64_t, std::uint16_t> ids_; ///< tag -> id
+    std::vector<Slot> slots_;   ///< id -> tag
+    std::vector<MapSlot> map_;  ///< tag -> id
+    std::size_t map_mask_ = 0;
     std::uint64_t clock_ = 0;
     std::uint64_t recycles_ = 0;
 };

@@ -5,7 +5,8 @@
 namespace triage::core {
 
 TrainingUnit::TrainingUnit(std::uint32_t entries)
-    : capacity_(entries), entries_(entries)
+    : capacity_(entries), valid_from_(entries), pcs_(entries),
+      last_(entries), lru_(entries)
 {
     TRIAGE_ASSERT(entries > 0);
 }
@@ -13,31 +14,42 @@ TrainingUnit::TrainingUnit(std::uint32_t entries)
 std::optional<sim::Addr>
 TrainingUnit::update(sim::Pc pc, sim::Addr block)
 {
-    Entry* victim = &entries_[0];
-    for (auto& e : entries_) {
-        if (e.valid && e.pc == pc) {
-            sim::Addr prev = e.last;
-            e.last = block;
-            e.lru = ++clock_;
+    // At most one live slot holds this PC (inserts only happen after a
+    // full-miss scan), so the first match is the only match.
+    const sim::Pc* row = pcs_.data();
+    for (std::uint32_t i = valid_from_; i < capacity_; ++i) {
+        if (row[i] == pc) {
+            sim::Addr prev = last_[i];
+            last_[i] = block;
+            lru_[i] = ++clock_;
             if (prev == block)
                 return std::nullopt; // same line: no new correlation
             return prev;
         }
-        if (!e.valid)
-            victim = &e;
-        else if (victim->valid && e.lru < victim->lru)
-            victim = &e;
     }
-    *victim = {pc, block, ++clock_, true};
+    // Miss: fill the last empty slot, else replace the LRU entry.
+    std::uint32_t victim;
+    if (valid_from_ > 0) {
+        victim = --valid_from_;
+    } else {
+        victim = 0;
+        for (std::uint32_t i = 1; i < capacity_; ++i) {
+            if (lru_[i] < lru_[victim])
+                victim = i;
+        }
+    }
+    pcs_[victim] = pc;
+    last_[victim] = block;
+    lru_[victim] = ++clock_;
     return std::nullopt;
 }
 
 std::optional<sim::Addr>
 TrainingUnit::last_of(sim::Pc pc) const
 {
-    for (const auto& e : entries_) {
-        if (e.valid && e.pc == pc)
-            return e.last;
+    for (std::uint32_t i = valid_from_; i < capacity_; ++i) {
+        if (pcs_[i] == pc)
+            return last_[i];
     }
     return std::nullopt;
 }

@@ -15,7 +15,17 @@
 
 namespace triage::core {
 
-/** Small fully-associative PC -> last-address table with LRU. */
+/**
+ * Small fully-associative PC -> last-address table with LRU.
+ *
+ * Hot-path layout (docs/performance.md): the per-access match loop
+ * scans a packed PC array instead of 32-byte entry structs; last
+ * address and LRU stamp live in parallel arrays touched only on a
+ * match or an insert. Empty slots occupy the prefix [0, valid_from_)
+ * — the table fills from the back, which reproduces the historical
+ * victim scan (the last empty slot in scan order won) — so validity
+ * needs no per-entry flag.
+ */
 class TrainingUnit
 {
   public:
@@ -34,15 +44,12 @@ class TrainingUnit
     std::uint32_t capacity() const { return capacity_; }
 
   private:
-    struct Entry {
-        sim::Pc pc = 0;
-        sim::Addr last = 0;
-        std::uint64_t lru = 0;
-        bool valid = false;
-    };
-
     std::uint32_t capacity_;
-    std::vector<Entry> entries_;
+    /** First valid slot; slots [valid_from_, capacity_) are live. */
+    std::uint32_t valid_from_;
+    std::vector<sim::Pc> pcs_;        ///< hot: scanned per access
+    std::vector<sim::Addr> last_;     ///< parallel cold state
+    std::vector<std::uint64_t> lru_;  ///< parallel LRU stamps
     std::uint64_t clock_ = 0;
 };
 

@@ -67,6 +67,14 @@ class Triage final : public prefetch::Prefetcher
 
     void train(const prefetch::TrainEvent& ev,
                prefetch::PrefetchHost& host) override;
+    /** Start pulling the metadata rows train() will walk (wall-clock
+     *  latency only; the store is LLC-sized and rarely cache-hot). */
+    void
+    pre_train_hint(sim::Addr block) const override
+    {
+        if (!cfg_.unlimited)
+            store_.prefetch_hint(block);
+    }
     void on_prefetch_used(sim::Addr block, sim::Cycle now) override;
     const std::string& name() const override { return name_; }
 

@@ -34,6 +34,16 @@ log2_ceil(std::uint64_t v)
     return 64u - static_cast<unsigned>(std::countl_zero(v - 1));
 }
 
+/** Largest power of two <= @p v (floor_pow2(0) == 0). */
+constexpr std::uint64_t
+floor_pow2(std::uint64_t v)
+{
+    if (v == 0)
+        return 0;
+    return std::uint64_t{1} << (63u -
+                                static_cast<unsigned>(std::countl_zero(v)));
+}
+
 /** Extract bits [lo, lo+width) of @p v. */
 constexpr std::uint64_t
 bits(std::uint64_t v, unsigned lo, unsigned width)

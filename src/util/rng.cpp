@@ -82,8 +82,14 @@ Rng::next_zipf(std::uint64_t n, double s)
     auto h_inv = [s](double x) {
         return std::pow((1.0 - s) * x, 1.0 / (1.0 - s));
     };
-    const double hx0 = h(0.5) - 1.0;
-    const double hn = h(nd + 0.5);
+    if (zipf_n_ != n || zipf_s_ != s) {
+        zipf_n_ = n;
+        zipf_s_ = s;
+        zipf_hx0_ = h(0.5) - 1.0;
+        zipf_hn_ = h(nd + 0.5);
+    }
+    const double hx0 = zipf_hx0_;
+    const double hn = zipf_hn_;
     for (;;) {
         double u = hx0 + next_double() * (hn - hx0);
         double x = h_inv(u);

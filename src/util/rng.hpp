@@ -66,6 +66,17 @@ class Rng
   private:
     std::uint64_t state_;
     std::uint64_t inc_;
+
+    // next_zipf() envelope constants for the most recent (n, s) pair.
+    // Callers draw from a fixed distribution millions of times, and the
+    // two std::pow calls behind these dominated the sampler; the cache
+    // recomputes them only when the pair changes. Values are the exact
+    // doubles the uncached computation produced, so draw sequences are
+    // unchanged.
+    std::uint64_t zipf_n_ = 0; ///< 0 = cache empty
+    double zipf_s_ = 0.0;
+    double zipf_hx0_ = 0.0;
+    double zipf_hn_ = 0.0;
 };
 
 } // namespace triage::util

@@ -93,6 +93,10 @@ PointerChaseKernel::emit(util::Rng& rng, std::uint64_t seq,
     last_seq_[c] = seq;
 
     cur_[c] = next_[node];
+    // The walk is DRAM-latency bound on this dependent load; request
+    // the successor's line now so the next visit to this chain (at
+    // least one emit away) finds it resident.
+    __builtin_prefetch(&next_[cur_[c]]);
 
     if (p_.mutate_prob > 0 && mutate_rng_.chance(p_.mutate_prob)) {
         // Relink two nodes in this chain's segment: successors change,

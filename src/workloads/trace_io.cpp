@@ -31,6 +31,15 @@ struct FileCloser {
 };
 using File = std::unique_ptr<std::FILE, FileCloser>;
 
+/**
+ * Records buffered between fwrite calls, on both the save and load
+ * paths. An explicit constant rather than vector capacity: capacity
+ * after reserve() is only a lower bound, so flushing on
+ * size()==capacity() would tie the on-disk write pattern to the
+ * allocator. The round-trip test straddles this boundary.
+ */
+constexpr std::size_t kFlushRecords = 4096;
+
 } // namespace
 
 std::uint64_t
@@ -52,12 +61,12 @@ save_trace(const std::string& path, sim::Workload& wl,
     }
     sim::TraceRecord r;
     std::vector<PackedRecord> buf;
-    buf.reserve(4096);
+    buf.reserve(kFlushRecords);
     while (count < max_records && wl.next(r)) {
         buf.push_back({r.pc, r.addr, r.dep_distance, r.nonmem_before,
                        static_cast<std::uint8_t>(r.is_write ? 1 : 0)});
         ++count;
-        if (buf.size() == buf.capacity()) {
+        if (buf.size() == kFlushRecords) {
             if (std::fwrite(buf.data(), sizeof(PackedRecord),
                             buf.size(), f.get()) != buf.size())
                 return 0;
@@ -98,7 +107,7 @@ load_trace(const std::string& path)
     }
     std::vector<sim::TraceRecord> records;
     records.reserve(count);
-    std::vector<PackedRecord> buf(4096);
+    std::vector<PackedRecord> buf(kFlushRecords);
     std::uint64_t remaining = count;
     while (remaining > 0) {
         std::size_t want = std::min<std::uint64_t>(remaining, buf.size());

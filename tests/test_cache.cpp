@@ -4,6 +4,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "cache/cache.hpp"
 #include "cache/hierarchy.hpp"
 #include "replacement/lru.hpp"
@@ -132,14 +134,76 @@ TEST(Cache, WayPartitionGrowRestoresCapacity)
     EXPECT_EQ(c.valid_lines(), 64u);
 }
 
+TEST(Cache, WayPartitionShrinkReportsExactDirtyCount)
+{
+    auto c = make_cache(4096, 4); // 16 sets x 4 ways
+    // Fill all 64 lines; blocks land way 0..3 in fill order within a
+    // set, so ways 2 and 3 of set s hold blocks 32+s and 48+s.
+    for (sim::Addr b = 0; b < 64; ++b)
+        c.insert(b, 1, 0, b >= 32, false); // ways 2-3 dirty everywhere
+    std::uint64_t flushed = ~0ull;
+    c.set_data_ways(2, &flushed);
+    EXPECT_EQ(flushed, 32u); // exactly the 32 dirty lines in ways 2-3
+    EXPECT_EQ(c.valid_lines(), 32u);
+    // Growing back reports zero flushes.
+    c.set_data_ways(4, &flushed);
+    EXPECT_EQ(flushed, 0u);
+}
+
+TEST(Cache, WayPartitionShrinkInvalidatesReplacementState)
+{
+    auto c = make_cache(4096, 4);
+    for (sim::Addr b = 0; b < 64; ++b)
+        c.insert(b, 1, 0, false, false);
+    c.set_data_ways(2);
+    c.set_data_ways(4);
+    // The reclaimed ways were invalidated (tags and LRU stamps): new
+    // fills must reuse them instead of evicting the surviving lines.
+    const std::uint64_t evictions_before = c.stats().evictions;
+    for (sim::Addr b = 100; b < 132; ++b)
+        c.insert(b, 1, 0, false, false);
+    EXPECT_EQ(c.stats().evictions, evictions_before);
+    EXPECT_EQ(c.valid_lines(), 64u);
+    // The survivors from before the repartition are still resident.
+    for (sim::Addr b = 0; b < 32; ++b)
+        EXPECT_TRUE(c.contains(b)) << "block " << b;
+}
+
+TEST(Cache, LiveLineCounterMatchesScanUnderRandomizedOps)
+{
+    auto c = make_cache(4096, 4); // 16 sets x 4 ways
+    std::mt19937_64 rng(7);
+    const std::uint32_t way_plan[] = {4, 2, 3, 1, 4};
+    for (std::uint32_t ways : way_plan) {
+        c.set_data_ways(ways);
+        ASSERT_EQ(c.valid_lines(), c.count_valid_lines_slow());
+        for (int i = 0; i < 400; ++i) {
+            sim::Addr b = rng() % 128;
+            switch (rng() % 4) {
+              case 0:
+              case 1:
+                c.insert(b, 1, 0, (rng() & 1) != 0, (rng() & 1) != 0);
+                break;
+              case 2:
+                c.invalidate(b);
+                break;
+              default:
+                c.access(b, 1, 0, (rng() & 1) != 0);
+                break;
+            }
+            ASSERT_EQ(c.valid_lines(), c.count_valid_lines_slow());
+        }
+    }
+}
+
 TEST(Cache, ReinsertionRefreshesInsteadOfDuplicating)
 {
     auto c = make_cache(4096, 4);
     c.insert(5, 1, 100, false, false);
     c.insert(5, 1, 50, true, false);
     EXPECT_EQ(c.valid_lines(), 1u);
-    auto* line = c.peek(5);
-    ASSERT_NE(line, nullptr);
+    auto line = c.peek(5);
+    ASSERT_TRUE(line.has_value());
     EXPECT_TRUE(line->dirty);
     EXPECT_EQ(line->ready_time, 50u);
 }

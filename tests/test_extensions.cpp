@@ -371,6 +371,38 @@ TEST(TraceIo, RoundTripsBenchmarkPrefix)
     std::remove(path.c_str());
 }
 
+TEST(TraceIo, RoundTripStraddlesFlushBoundary)
+{
+    // save_trace buffers kFlushRecords (4096) records between writes;
+    // a count just past the boundary exercises the flush-then-tail
+    // path, and per-record values pin record ordering across it.
+    std::string path = ::testing::TempDir() + "triage_straddle_trace.tri";
+    constexpr std::uint64_t N = 4096 + 3;
+    std::vector<sim::TraceRecord> recs;
+    recs.reserve(N);
+    for (std::uint64_t i = 0; i < N; ++i) {
+        recs.push_back({0x400 + i, 0x10000 + i * 64, (i % 3) == 0,
+                        static_cast<std::uint8_t>(i % 7),
+                        static_cast<std::uint16_t>(i % 11)});
+    }
+    sim::VectorWorkload wl("straddle", recs);
+    EXPECT_EQ(workloads::save_trace(path, wl, N), N);
+
+    auto replay = workloads::load_trace(path);
+    ASSERT_NE(replay, nullptr);
+    sim::TraceRecord r;
+    for (std::uint64_t i = 0; i < N; ++i) {
+        ASSERT_TRUE(replay->next(r)) << "record " << i;
+        EXPECT_EQ(r.pc, 0x400 + i);
+        EXPECT_EQ(r.addr, 0x10000 + i * 64);
+        EXPECT_EQ(r.is_write, (i % 3) == 0);
+        EXPECT_EQ(r.nonmem_before, i % 7);
+        EXPECT_EQ(r.dep_distance, i % 11);
+    }
+    EXPECT_FALSE(replay->next(r));
+    std::remove(path.c_str());
+}
+
 TEST(TraceIo, LoadRejectsGarbage)
 {
     std::string path = ::testing::TempDir() + "triage_bad_trace.tri";

@@ -6,6 +6,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <random>
 #include <vector>
 
 #include "obs/lifecycle.hpp"
@@ -206,6 +207,74 @@ TEST(MetadataStore, ResizeKeepsFittingEntries)
     EXPECT_GT(survived, 90u);
     s.resize(0);
     EXPECT_FALSE(s.probe(1).hit);
+}
+
+TEST(MetadataStore, CompressedTagAliasDetectedOnProbeAndUpdate)
+{
+    // A 64-byte store is exactly one 16-way set, so every trigger
+    // lands in the same set and a compressed-key alias is reachable:
+    // recycle an entry's trigger-tag id and the stale entry silently
+    // matches the id's new owner.
+    MetadataStoreConfig cfg;
+    cfg.capacity_bytes = 64;
+    cfg.repl = MetaReplKind::Lru;
+    MetadataStore s(cfg);
+    const TagCompressor& comp = s.compressor();
+
+    const sim::Addr a = comp.combine(1, 5);
+    const sim::Addr n = comp.combine(2, 5);
+    s.update(a, n, 0x4);
+    auto id = comp.find(1);
+    ASSERT_TRUE(id.has_value());
+
+    // Churn distinct tags through the compressor until tag 1's id is
+    // recycled. Matching updates keep a's entry resident (they refresh
+    // recency without re-compressing), so the stale entry survives.
+    std::uint64_t t = 100;
+    while (comp.find(1).has_value()) {
+        ASSERT_LT(t, 100000u) << "compressor never recycled tag 1";
+        s.update(a, n, 0x4);
+        s.update(comp.combine(t, 5), comp.combine(t + 1, 5), 0x4);
+        t += 2;
+    }
+
+    // The id now decodes to a different tag; a trigger built from it
+    // carries the same compressed key as a's entry.
+    const std::uint64_t owner = comp.decompress(*id);
+    ASSERT_NE(owner, 1u);
+    const sim::Addr alias = comp.combine(owner, 5);
+
+    std::uint64_t drops = s.stats().tag_alias_drops;
+    MetaLookup lk = s.probe(alias);
+    EXPECT_TRUE(lk.hit); // the compressed key cannot tell them apart
+    EXPECT_EQ(s.stats().tag_alias_drops, drops + 1);
+
+    // The update path flags the same disagreement before applying the
+    // confidence state machine to the aliased entry.
+    drops = s.stats().tag_alias_drops;
+    s.update(alias, comp.combine(50000, 5), 0x4);
+    EXPECT_EQ(s.stats().tag_alias_drops, drops + 1);
+}
+
+TEST(MetadataStore, ValidEntriesCounterMatchesScanUnderRandomizedOps)
+{
+    for (MetaReplKind kind : {MetaReplKind::Lru, MetaReplKind::Hawkeye}) {
+        MetadataStore s(small_store(kind, 16 * 1024));
+        std::mt19937_64 rng(11);
+        // Shrink forces rehash-with-overflow, 0 empties the table, and
+        // the 1 KB geometry (256 entries) forces steady evictions.
+        const std::uint64_t sizes[] = {16 * 1024, 1024, 0, 8 * 1024,
+                                       1024};
+        for (std::uint64_t bytes : sizes) {
+            s.resize(bytes);
+            ASSERT_EQ(s.valid_entries(), s.count_valid_entries_slow());
+            for (int i = 0; i < 500; ++i) {
+                s.update(rng() % 4096 + 1, rng() % 4096 + 1, 0x4);
+                ASSERT_EQ(s.valid_entries(),
+                          s.count_valid_entries_slow());
+            }
+        }
+    }
 }
 
 TEST(MetadataStore, UncompressedModeExactAddresses)

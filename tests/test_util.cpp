@@ -154,6 +154,23 @@ TEST(Bitops, Log2Ceil)
     EXPECT_EQ(tu::log2_ceil(5), 3u);
 }
 
+TEST(Bitops, FloorPow2)
+{
+    EXPECT_EQ(tu::floor_pow2(0), 0u);
+    EXPECT_EQ(tu::floor_pow2(1), 1u);
+    // Powers of two map to themselves...
+    EXPECT_EQ(tu::floor_pow2(2), 2u);
+    EXPECT_EQ(tu::floor_pow2(4), 4u);
+    EXPECT_EQ(tu::floor_pow2(1ULL << 20), 1ULL << 20);
+    EXPECT_EQ(tu::floor_pow2(1ULL << 63), 1ULL << 63);
+    // ...and 2^k +/- 1 straddle the boundary.
+    EXPECT_EQ(tu::floor_pow2(3), 2u);
+    EXPECT_EQ(tu::floor_pow2(5), 4u);
+    EXPECT_EQ(tu::floor_pow2((1ULL << 20) - 1), 1ULL << 19);
+    EXPECT_EQ(tu::floor_pow2((1ULL << 20) + 1), 1ULL << 20);
+    EXPECT_EQ(tu::floor_pow2(~0ULL), 1ULL << 63);
+}
+
 TEST(Bitops, Bits)
 {
     EXPECT_EQ(tu::bits(0xff00, 8, 8), 0xffu);

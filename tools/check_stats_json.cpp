@@ -28,6 +28,16 @@
  * partition instant; --expect-workers=N additionally requires worker
  * thread-name metadata for at least N lab workers.
  *
+ * A third mode, --golden=FILE, compares the input against a checked-in
+ * golden dump: every leaf (numbers exact, strings, bools) must match,
+ * arrays must have equal lengths and objects equal key sets. This is
+ * the bit-identity proof the hot-path work rests on — see
+ * docs/performance.md.
+ *
+ * A fourth mode, --bench, validates a hotpath_throughput trajectory
+ * (BENCH_hotpath.json): a non-empty "runs" array whose entries carry a
+ * label, a mode, and finite positive throughput numbers per result.
+ *
  * Used by the ctest smoke tests (tests/CMakeLists.txt) to pin the
  * structured-output contract.
  */
@@ -309,6 +319,134 @@ check_perfetto(const Value& root, int expect_workers)
     }
 }
 
+/** Type name for golden-mismatch messages. */
+const char*
+type_name(const Value& v)
+{
+    switch (v.type) {
+      case Value::Type::Null: return "null";
+      case Value::Type::Bool: return "bool";
+      case Value::Type::Number: return "number";
+      case Value::Type::String: return "string";
+      case Value::Type::Array: return "array";
+      case Value::Type::Object: return "object";
+    }
+    return "?";
+}
+
+/**
+ * Exact structural comparison for --golden: every counter and formula
+ * in the actual dump must equal the golden one bit-for-bit. Failure
+ * output is capped so a systemic divergence stays readable.
+ */
+void
+compare_golden(const Value& actual, const Value& golden,
+               const std::string& path)
+{
+    constexpr int MAX_REPORTED = 50;
+    if (g_failures >= MAX_REPORTED)
+        return;
+    if (actual.type != golden.type) {
+        fail(path + ": type " + type_name(actual) + " != golden " +
+             type_name(golden));
+        return;
+    }
+    switch (actual.type) {
+      case Value::Type::Null:
+        break;
+      case Value::Type::Bool:
+        if (actual.boolean != golden.boolean)
+            fail(path + ": bool mismatch");
+        break;
+      case Value::Type::Number:
+        if (actual.number != golden.number) {
+            std::ostringstream os;
+            os << path << ": " << actual.number << " != golden "
+               << golden.number;
+            fail(os.str());
+        }
+        break;
+      case Value::Type::String:
+        if (actual.str != golden.str)
+            fail(path + ": '" + actual.str + "' != golden '" +
+                 golden.str + "'");
+        break;
+      case Value::Type::Array:
+        if (actual.array.size() != golden.array.size()) {
+            fail(path + ": array length " +
+                 std::to_string(actual.array.size()) + " != golden " +
+                 std::to_string(golden.array.size()));
+            return;
+        }
+        for (std::size_t i = 0; i < actual.array.size(); ++i)
+            compare_golden(actual.array[i], golden.array[i],
+                           path + "[" + std::to_string(i) + "]");
+        break;
+      case Value::Type::Object:
+        for (const auto& [key, gv] : golden.object) {
+            auto it = actual.object.find(key);
+            if (it == actual.object.end()) {
+                fail(path + "." + key + ": missing (present in golden)");
+                continue;
+            }
+            compare_golden(it->second, gv, path + "." + key);
+        }
+        for (const auto& [key, av] : actual.object) {
+            (void)av;
+            if (golden.object.find(key) == golden.object.end())
+                fail(path + "." + key + ": extra key absent from golden");
+        }
+        break;
+    }
+}
+
+/** Validate a hotpath_throughput trajectory file (--bench). */
+void
+check_bench(const Value& root)
+{
+    const Value* runs = root.get("runs");
+    if (runs == nullptr || !runs->is_array() || runs->array.empty()) {
+        fail("runs missing or empty");
+        return;
+    }
+    for (std::size_t i = 0; i < runs->array.size(); ++i) {
+        const Value& run = runs->array[i];
+        const std::string tag = "runs[" + std::to_string(i) + "]";
+        const Value* label = run.get("label");
+        if (label == nullptr || !label->is_string() || label->str.empty())
+            fail(tag + ".label missing or empty");
+        const Value* mode = run.get("mode");
+        if (mode == nullptr || !mode->is_string() ||
+            (mode->str != "full" && mode->str != "smoke"))
+            fail(tag + ".mode must be 'full' or 'smoke'");
+        const Value* results = run.get("results");
+        if (results == nullptr || !results->is_array() ||
+            results->array.empty()) {
+            fail(tag + ".results missing or empty");
+            continue;
+        }
+        for (std::size_t j = 0; j < results->array.size(); ++j) {
+            const Value& r = results->array[j];
+            const std::string rtag =
+                tag + ".results[" + std::to_string(j) + "]";
+            for (const char* key : {"config", "workload"}) {
+                const Value* v = r.get(key);
+                if (v == nullptr || !v->is_string() || v->str.empty())
+                    fail(rtag + "." + key + " missing or empty");
+            }
+            for (const char* key :
+                 {"cores", "accesses", "seconds", "accesses_per_sec",
+                  "ns_per_access"}) {
+                const Value* v = r.get(key);
+                if (v == nullptr || !v->is_number() ||
+                    !std::isfinite(v->number) || v->number <= 0.0)
+                    fail(rtag + "." + key +
+                         " missing or not a finite positive number");
+            }
+        }
+    }
+}
+
 void
 check_stats(const Value& root)
 {
@@ -337,6 +475,8 @@ main(int argc, char** argv)
     bool require_lifecycle = false;
     bool require_partition_timeline = false;
     bool perfetto = false;
+    bool bench = false;
+    std::string golden_path;
     int expect_workers = 0;
     std::vector<std::string> require_keys;
     for (int i = 1; i < argc; ++i) {
@@ -351,6 +491,10 @@ main(int argc, char** argv)
             require_partition_timeline = true;
         } else if (a == "--perfetto") {
             perfetto = true;
+        } else if (a == "--bench") {
+            bench = true;
+        } else if (a.rfind("--golden=", 0) == 0) {
+            golden_path = a.substr(std::strlen("--golden="));
         } else if (a.rfind("--expect-workers=", 0) == 0) {
             expect_workers =
                 std::stoi(a.substr(std::strlen("--expect-workers=")));
@@ -364,7 +508,9 @@ main(int argc, char** argv)
                          " [--require-partition-timeline]"
                          " [--require-key=PATH]...\n"
                          "       check_stats_json FILE --perfetto"
-                         " [--expect-workers=N]\n";
+                         " [--expect-workers=N]\n"
+                         "       check_stats_json FILE --golden=GOLDEN\n"
+                         "       check_stats_json FILE --bench\n";
             return 2;
         }
     }
@@ -387,7 +533,25 @@ main(int argc, char** argv)
         return 1;
     }
 
-    if (perfetto) {
+    if (!golden_path.empty()) {
+        std::ifstream gf(golden_path);
+        if (!gf) {
+            std::cerr << "check_stats_json: cannot read " << golden_path
+                      << "\n";
+            return 2;
+        }
+        std::ostringstream gbuf;
+        gbuf << gf.rdbuf();
+        auto golden = triage::obs::json::parse(gbuf.str(), &err);
+        if (!golden.has_value()) {
+            std::cerr << "check_stats_json: " << golden_path << ": "
+                      << err << "\n";
+            return 1;
+        }
+        compare_golden(*root, *golden, "$");
+    } else if (bench) {
+        check_bench(*root);
+    } else if (perfetto) {
         check_perfetto(*root, expect_workers);
     } else {
         check_run(*root);
