@@ -224,6 +224,65 @@ SetAssocCache::count_valid_lines_slow() const
 }
 
 void
+SetAssocCache::self_check(
+    const std::function<void(const std::string&)>& report) const
+{
+    const std::uint64_t slow = count_valid_lines_slow();
+    if (slow != live_lines_) {
+        report(name_ + ": live-line counter " +
+               std::to_string(live_lines_) + " != tag scan " +
+               std::to_string(slow));
+    }
+    for (std::uint32_t set = 0; set < sets_; ++set) {
+        const std::size_t base = static_cast<std::size_t>(set) * assoc_;
+        for (std::uint32_t w = 0; w < assoc_; ++w) {
+            const sim::Addr tag = tags_[base + w];
+            if (tag == INVALID_TAG)
+                continue;
+            if (w >= data_ways_) {
+                report(name_ + ": set " + std::to_string(set) + " way " +
+                       std::to_string(w) +
+                       " holds a line outside the data partition (" +
+                       std::to_string(data_ways_) + " ways)");
+            }
+            if (set_of(tag) != set) {
+                report(name_ + ": set " + std::to_string(set) +
+                       " holds block mapping to set " +
+                       std::to_string(set_of(tag)));
+            }
+            for (std::uint32_t v = w + 1; v < assoc_; ++v) {
+                if (tags_[base + v] == tag) {
+                    report(name_ + ": set " + std::to_string(set) +
+                           " holds duplicate tag in ways " +
+                           std::to_string(w) + " and " +
+                           std::to_string(v));
+                }
+            }
+        }
+        if (lru_.stamps == nullptr)
+            continue;
+        // Inline-LRU stamp discipline: 0 marks an invalid way, valid
+        // ways carry a stamp the global clock has already passed.
+        const std::uint64_t* row =
+            lru_.stamps + static_cast<std::size_t>(set) * lru_.assoc;
+        for (std::uint32_t w = 0; w < assoc_; ++w) {
+            const bool valid = tags_[base + w] != INVALID_TAG;
+            if (!valid && row[w] != 0) {
+                report(name_ + ": set " + std::to_string(set) + " way " +
+                       std::to_string(w) + " invalid but LRU stamp " +
+                       std::to_string(row[w]) + " nonzero");
+            }
+            if (valid && (row[w] == 0 || row[w] > *lru_.clock)) {
+                report(name_ + ": set " + std::to_string(set) + " way " +
+                       std::to_string(w) + " valid with LRU stamp " +
+                       std::to_string(row[w]) + " outside (0, clock=" +
+                       std::to_string(*lru_.clock) + "]");
+            }
+        }
+    }
+}
+
+void
 SetAssocCache::register_stats(obs::Registry& reg,
                               const std::string& prefix) const
 {

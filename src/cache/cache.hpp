@@ -18,6 +18,7 @@
 #define TRIAGE_CACHE_CACHE_HPP
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -182,6 +183,16 @@ class SetAssocCache
     /** Full tag-array scan, O(sets x ways); tests cross-check the
      *  live-line counter against it. */
     std::uint64_t count_valid_lines_slow() const;
+
+    /**
+     * Internal-consistency sweep for the verify harness: live-line
+     * counter vs a slow tag scan, no duplicate tags within a set, ways
+     * outside the data partition invalid, and (for inline LRU) stamps
+     * zero on invalid ways and within the global clock on valid ones.
+     * Calls @p report once per violation.
+     */
+    void self_check(
+        const std::function<void(const std::string&)>& report) const;
 
   private:
     /** Tag value meaning "way holds no line" (blocks are byte

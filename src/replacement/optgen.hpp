@@ -56,6 +56,15 @@ class OptGen
 
     std::uint32_t capacity() const { return capacity_; }
 
+    /**
+     * Exact maximum per-slot occupancy over the whole history window
+     * (the segment tree root; its pending add is already applied).
+     * Occupancy bumps are guarded by a peak < capacity test over the
+     * liveness interval, so this can never exceed capacity() — the
+     * verify harness checks that invariant on the live tree.
+     */
+    std::uint32_t occupancy_peak() const { return tmax_[1]; }
+
     /** Forget all history and counters. */
     void clear();
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/obs_wiring.hpp"
+#include "sim/system.hpp"
 
 #include "util/log.hpp"
 
@@ -48,6 +49,15 @@ MultiCoreSystem::run(std::uint64_t warmup_records,
     for (unsigned c = 0; c < n_cores_; ++c)
         TRIAGE_ASSERT(workloads_[c] != nullptr, "core without workload");
 
+    // A 1-program "mix" has no co-runners, so it must be
+    // indistinguishable from the single-core system. The quantum-based
+    // warmup below overshoots the warm point (it stops at a cycle
+    // boundary, not a record boundary), so delegate to the shared
+    // record-exact protocol instead (tools/diff_fidelity pins this).
+    if (n_cores_ == 1)
+        return run_one_core(mem_, *cores_[0], warmup_records,
+                            measure_records, obs_);
+
     // Phase 1: warm until every core has executed warmup_records.
     Cycle global = quantum;
     auto all_warm = [&] {
@@ -82,7 +92,11 @@ MultiCoreSystem::run(std::uint64_t warmup_records,
         attach_observability(*obs_, mem_, core_ptrs);
     }
     const bool sampling = obs_ != nullptr && obs_->sampler.enabled();
+    obs::RunVerifier* verifier =
+        obs_ != nullptr ? obs_->verifier : nullptr;
     std::uint64_t next_epoch = 0;
+    std::uint64_t next_verify =
+        verifier != nullptr ? obs::RunVerifier::DEFAULT_EPOCH_RECORDS : 0;
     if (sampling) {
         obs_->sampler.begin(0);
         next_epoch = obs_->sampler.epoch_len();
@@ -116,16 +130,22 @@ MultiCoreSystem::run(std::uint64_t warmup_records,
                 --remaining;
             }
         }
-        if (sampling) {
+        if (sampling || verifier != nullptr) {
             std::uint64_t p = progress();
-            while (next_epoch <= p) {
+            while (sampling && next_epoch <= p) {
                 obs_->sampler.sample(next_epoch);
                 next_epoch += obs_->sampler.epoch_len();
+            }
+            while (verifier != nullptr && next_verify <= p) {
+                verifier->on_epoch();
+                next_verify += obs::RunVerifier::DEFAULT_EPOCH_RECORDS;
             }
         }
     }
     if (sampling)
         obs_->sampler.finalize(measure_records);
+    if (verifier != nullptr)
+        verifier->on_run_end();
 
     RunResult res;
     res.per_core.resize(n_cores_);

@@ -152,6 +152,11 @@ attach_observability(obs::Observability& obs, cache::MemorySystem& mem,
     obs.sampler.add_level("llc.metadata_ways", [m] {
         return static_cast<double>(m->metadata_ways());
     });
+
+    // Invariant harness last, so its checkers see the fully wired
+    // system; the run loop drives on_epoch()/on_run_end() from here on.
+    if (obs.verifier != nullptr)
+        obs.verifier->attach(mem);
 }
 
 void

@@ -18,61 +18,82 @@ SingleCoreSystem::set_prefetcher(std::unique_ptr<prefetch::Prefetcher> pf)
 }
 
 RunResult
-SingleCoreSystem::run(Workload& wl, std::uint64_t warmup_records,
-                      std::uint64_t measure_records)
+run_one_core(cache::MemorySystem& mem, CoreModel& core,
+             std::uint64_t warmup_records, std::uint64_t measure_records,
+             obs::Observability* obs)
 {
-    core_.bind(&wl);
-    core_.run_records(warmup_records);
+    core.run_records(warmup_records);
 
-    mem_.clear_stats(core_.now());
-    CoreStats before = core_.stats();
-    Cycle start = core_.now();
+    mem.clear_stats(core.now());
+    CoreStats before = core.stats();
+    Cycle start = core.now();
 
-    if (obs_ != nullptr)
-        attach_observability(*obs_, mem_, {&core_});
+    if (obs != nullptr)
+        attach_observability(*obs, mem, {&core});
 
-    if (obs_ != nullptr && obs_->sampler.enabled()) {
-        // Epoch-chunked measurement: close a sampler epoch every
-        // epoch_len measured records.
-        obs_->sampler.begin(0);
-        const std::uint64_t n = obs_->sampler.epoch_len();
+    const bool sampling = obs != nullptr && obs->sampler.enabled();
+    obs::RunVerifier* verifier = obs != nullptr ? obs->verifier : nullptr;
+    if (sampling || verifier != nullptr) {
+        // Epoch-chunked measurement: close a sampler epoch (and run
+        // the invariant sweep) every epoch_len measured records.
+        // Chunking run_records is behavior-identical to one big call,
+        // so the chunked and plain paths produce the same RunResult.
+        if (sampling)
+            obs->sampler.begin(0);
+        const std::uint64_t n =
+            sampling ? obs->sampler.epoch_len()
+                     : obs::RunVerifier::DEFAULT_EPOCH_RECORDS;
         std::uint64_t done = 0;
         while (done < measure_records) {
             std::uint64_t chunk = std::min(n, measure_records - done);
-            core_.run_records(chunk);
+            core.run_records(chunk);
             done += chunk;
-            obs_->sampler.sample(done);
+            if (sampling)
+                obs->sampler.sample(done);
+            if (verifier != nullptr)
+                verifier->on_epoch();
         }
     } else {
-        core_.run_records(measure_records);
+        core.run_records(measure_records);
     }
-    Cycle end = core_.drain();
+    Cycle end = core.drain();
+    if (verifier != nullptr)
+        verifier->on_run_end();
 
     RunResult res;
     RunStats s;
-    s.instructions = core_.stats().instructions - before.instructions;
-    s.mem_records = core_.stats().mem_records - before.mem_records;
+    s.instructions = core.stats().instructions - before.instructions;
+    s.mem_records = core.stats().mem_records - before.mem_records;
     s.cycles = end - start;
-    s.l1 = mem_.l1(0).stats();
-    s.l2 = mem_.l2(0).stats();
-    if (mem_.prefetcher(0) != nullptr)
-        s.l2pf = mem_.prefetcher(0)->snapshot();
-    if (mem_.l1_stride(0) != nullptr)
-        s.l1_stride = mem_.l1_stride(0)->snapshot();
-    s.energy = mem_.metadata_energy(0);
-    s.avg_metadata_ways = mem_.avg_metadata_ways(0, end);
+    s.l1 = mem.l1(0).stats();
+    s.l2 = mem.l2(0).stats();
+    if (mem.prefetcher(0) != nullptr)
+        s.l2pf = mem.prefetcher(0)->snapshot();
+    if (mem.l1_stride(0) != nullptr)
+        s.l1_stride = mem.l1_stride(0)->snapshot();
+    s.energy = mem.metadata_energy(0);
+    s.avg_metadata_ways = mem.avg_metadata_ways(0, end);
     res.per_core.push_back(s);
-    res.llc = mem_.llc().stats();
-    res.traffic = mem_.dram().traffic();
+    res.llc = mem.llc().stats();
+    res.traffic = mem.dram().traffic();
     res.span = end - start;
 
     // The registry's bound stats and formulas point into this system,
     // and none of them change once the run is over — snapshot them now
     // so harnesses (e.g. stats::run_single callers emitting
     // --stats-json) can dump the registry after the system dies.
-    if (obs_ != nullptr)
-        obs_->freeze();
+    if (obs != nullptr)
+        obs->freeze();
     return res;
+}
+
+RunResult
+SingleCoreSystem::run(Workload& wl, std::uint64_t warmup_records,
+                      std::uint64_t measure_records)
+{
+    core_.bind(&wl);
+    return run_one_core(mem_, core_, warmup_records, measure_records,
+                        obs_);
 }
 
 } // namespace triage::sim

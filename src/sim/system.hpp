@@ -16,6 +16,21 @@
 
 namespace triage::sim {
 
+/**
+ * The single-core measurement protocol, shared by SingleCoreSystem and
+ * by MultiCoreSystem when it runs exactly one core: warm @p core for
+ * @p warmup_records references, clear stats, attach @p obs (when
+ * non-null), run the measurement window — chunked when the sampler or
+ * an attached RunVerifier needs epoch boundaries — drain, and
+ * assemble the RunResult. Keeping one implementation is what makes a
+ * 1-program mix bit-identical to the single-core system, a property
+ * the differential suite (tools/diff_fidelity) pins.
+ */
+RunResult run_one_core(cache::MemorySystem& mem, CoreModel& core,
+                       std::uint64_t warmup_records,
+                       std::uint64_t measure_records,
+                       obs::Observability* obs);
+
 /** Convenience owner of one core + memory system. */
 class SingleCoreSystem
 {

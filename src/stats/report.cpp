@@ -92,6 +92,10 @@ write_stats_json(std::ostream& os, const sim::RunResult& r,
            << ", \"total\": " << obs->trace.total()
            << ", \"buffered\": " << obs->trace.size()
            << ", \"dropped\": " << obs->trace.dropped() << "}";
+        if (obs->verifier != nullptr) {
+            os << ",\n\"verify\": ";
+            obs->verifier->write_json(os, 1);
+        }
     }
     os << "\n}\n";
 }

@@ -63,9 +63,13 @@ MetaHawkeye::MetaHawkeye(std::uint32_t sets, std::uint32_t ways,
       pcs_(static_cast<std::size_t>(sets) * ways, 0)
 {
     TRIAGE_ASSERT(util::is_pow2(sets_));
-    std::uint32_t n = std::min(sampled_sets, sets_);
-    while (!util::is_pow2(n))
-        --n;
+    // floor_pow2, not a decrement loop: with sampled_sets == 0 the old
+    // `while (!is_pow2(n)) --n;` underflowed to 0xFFFFFFFF and spun
+    // ~2^31 iterations before producing a bogus shift.
+    TRIAGE_ASSERT(sampled_sets > 0,
+                  "MetaHawkeye needs at least one sampled set");
+    auto n = static_cast<std::uint32_t>(
+        util::floor_pow2(std::min(sampled_sets, sets_)));
     sample_shift_ = util::log2_exact(sets_ / n);
     sample_mask_ = (1u << sample_shift_) - 1;
     samplers_.reserve(n);

@@ -266,4 +266,35 @@ MetadataStore::count_valid_entries_slow() const
     return n;
 }
 
+void
+MetadataStore::self_check(
+    const std::function<void(const std::string&)>& report) const
+{
+    const std::uint64_t slow = count_valid_entries_slow();
+    if (slow != live_entries_) {
+        report("metadata store: live-entry counter " +
+               std::to_string(live_entries_) + " != table scan " +
+               std::to_string(slow));
+    }
+    if (live_entries_ > capacity_entries()) {
+        report("metadata store: " + std::to_string(live_entries_) +
+               " live entries exceed capacity " +
+               std::to_string(capacity_entries()));
+    }
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const Entry& e = entries_[i];
+        if (e.valid && keys_[i] != key_of_entry(e)) {
+            report("metadata store: slot " + std::to_string(i) +
+                   " search key " + std::to_string(keys_[i]) +
+                   " does not mirror its entry (expect " +
+                   std::to_string(key_of_entry(e)) + ")");
+        }
+        if (!e.valid && keys_[i] != INVALID_KEY) {
+            report("metadata store: slot " + std::to_string(i) +
+                   " invalid but search key " +
+                   std::to_string(keys_[i]) + " live");
+        }
+    }
+}
+
 } // namespace triage::core

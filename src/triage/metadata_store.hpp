@@ -13,8 +13,10 @@
 #define TRIAGE_CORE_METADATA_STORE_HPP
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "sim/types.hpp"
@@ -125,6 +127,15 @@ class MetadataStore
 
     /** Attach (or detach, with null) the event trace. */
     void set_trace(obs::EventTrace* trace) { trace_ = trace; }
+
+    /**
+     * Internal-consistency sweep for the verify harness: live-entry
+     * counter vs a slow scan, live entries within capacity, and every
+     * search key mirroring its entry (valid ways match key_of_entry,
+     * invalid ways hold INVALID_KEY). Calls @p report per violation.
+     */
+    void self_check(
+        const std::function<void(const std::string&)>& report) const;
 
   private:
     struct Entry {

@@ -69,12 +69,32 @@ void
 PartitionController::end_epoch()
 {
     accesses_ = 0;
-    ++epochs_;
-    ++dstats_.epochs;
     for (std::size_t i = 0; i < sandboxes_.size(); ++i)
         last_rates_[i] = sandboxes_[i].hit_rate();
     for (auto& sb : sandboxes_)
         sb.clear_counters();
+    decide_epoch();
+}
+
+void
+PartitionController::force_epoch(const std::vector<double>& rates,
+                                 std::uint64_t issued,
+                                 std::uint64_t useful)
+{
+    TRIAGE_ASSERT(rates.size() == cfg_.sizes.size(),
+                  "force_epoch needs one rate per candidate size");
+    last_rates_ = rates;
+    sampled_ = std::max(sampled_, cfg_.warmup_samples);
+    issued_ = issued;
+    useful_ = useful;
+    decide_epoch();
+}
+
+void
+PartitionController::decide_epoch()
+{
+    ++epochs_;
+    ++dstats_.epochs;
     if (trace_ != nullptr)
         trace_->emit(obs::EventKind::PartitionEpoch, level_, size_bytes());
 
@@ -186,9 +206,10 @@ PartitionController::end_epoch()
                          level_before);
         TRIAGE_LOG_INFO("partition: level ", level_before, " -> ", level_,
                         " (", size_bytes() >> 10, " KB)");
+        // issued_/useful_ are per-epoch counters, already zeroed above
+        // where the gate consumed them; only the residency clock resets
+        // on a level change.
         epochs_at_level_ = 0;
-        issued_ = 0;
-        useful_ = 0;
         ++dstats_.changes;
         record_sample(raw_verdict, obs::PartitionEvent::Changed);
     } else {
@@ -196,6 +217,84 @@ PartitionController::end_epoch()
         record_sample(raw_verdict, gate_fired
                                        ? obs::PartitionEvent::Gated
                                        : obs::PartitionEvent::Pending);
+    }
+}
+
+void
+PartitionController::self_check(
+    const std::function<void(const std::string&)>& report) const
+{
+    const auto max_level = static_cast<std::uint32_t>(cfg_.sizes.size());
+    if (level_ > max_level) {
+        report("partition level " + std::to_string(level_) +
+               " above ladder top " + std::to_string(max_level));
+    }
+    if (accesses_ >= cfg_.epoch_accesses) {
+        report("partition epoch accumulator " +
+               std::to_string(accesses_) + " >= epoch length " +
+               std::to_string(cfg_.epoch_accesses));
+    }
+    // decide_epoch() resets the confirmation counter the moment it
+    // reaches confirm_epochs, so a resting value at or above it means
+    // a level change was skipped.
+    const std::uint32_t confirm =
+        std::max<std::uint32_t>(cfg_.confirm_epochs, 1);
+    if (pending_count_ >= confirm) {
+        report("partition pending_count " +
+               std::to_string(pending_count_) +
+               " not consumed at confirm_epochs " +
+               std::to_string(cfg_.confirm_epochs));
+    }
+    if (pending_count_ > 0 &&
+        (pending_level_ > max_level || pending_level_ == level_)) {
+        report("partition pending_level " +
+               std::to_string(pending_level_) +
+               " invalid while pending at level " +
+               std::to_string(level_));
+    }
+    if (cooldown_ > cfg_.gate_cooldown_epochs) {
+        report("partition cooldown " + std::to_string(cooldown_) +
+               " above configured window " +
+               std::to_string(cfg_.gate_cooldown_epochs));
+    }
+    if (dstats_.epochs != epochs_) {
+        report("partition decision-stat epochs " +
+               std::to_string(dstats_.epochs) +
+               " != controller epochs " + std::to_string(epochs_));
+    }
+    const std::uint64_t outcome_sum =
+        dstats_.warmup_epochs + dstats_.holds + dstats_.pending +
+        dstats_.changes + dstats_.cooldown_suppressed;
+    if (outcome_sum != dstats_.epochs) {
+        report("partition outcome counters sum to " +
+               std::to_string(outcome_sum) + " but epochs is " +
+               std::to_string(dstats_.epochs));
+    }
+    if (last_rates_.size() != cfg_.sizes.size()) {
+        report("partition hit-rate vector has " +
+               std::to_string(last_rates_.size()) + " entries for " +
+               std::to_string(cfg_.sizes.size()) + " candidate sizes");
+    }
+    for (std::size_t i = 0; i < last_rates_.size(); ++i) {
+        if (!(last_rates_[i] >= 0.0 && last_rates_[i] <= 1.0)) {
+            report("partition sandbox " + std::to_string(i) +
+                   " hit rate " + std::to_string(last_rates_[i]) +
+                   " outside [0, 1]");
+        }
+    }
+    for (std::size_t i = 0; i < sandboxes_.size(); ++i) {
+        const replacement::OptGen& sb = sandboxes_[i];
+        if (sb.hits() > sb.accesses()) {
+            report("partition sandbox " + std::to_string(i) + " hits " +
+                   std::to_string(sb.hits()) + " exceed accesses " +
+                   std::to_string(sb.accesses()));
+        }
+        if (sb.occupancy_peak() > sb.capacity()) {
+            report("partition sandbox " + std::to_string(i) +
+                   " OPTgen occupancy peak " +
+                   std::to_string(sb.occupancy_peak()) +
+                   " above capacity " + std::to_string(sb.capacity()));
+        }
     }
 }
 

@@ -14,6 +14,8 @@
 #define TRIAGE_CORE_PARTITION_HPP
 
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "replacement/optgen.hpp"
@@ -141,8 +143,46 @@ class PartitionController
     /** How every epoch so far was decided. */
     const PartitionDecisionStats& decision_stats() const { return dstats_; }
 
+    const PartitionConfig& config() const { return cfg_; }
+
+    /** Epochs growth stays suppressed (0 = gate cooldown inactive). */
+    std::uint32_t cooldown() const { return cooldown_; }
+    /** Consecutive epochs the pending verdict has agreed (0 = none). */
+    std::uint32_t pending_count() const { return pending_count_; }
+    /** Level awaiting confirmation (meaningful iff pending_count() > 0). */
+    std::uint32_t pending_level() const { return pending_level_; }
+    /** Epochs since the level last changed. */
+    std::uint32_t epochs_at_level() const { return epochs_at_level_; }
+
+    /** The OPTgen sandboxes, one per candidate size (verify harness). */
+    const std::vector<replacement::OptGen>& sandboxes() const
+    {
+        return sandboxes_;
+    }
+
+    /**
+     * Drive one epoch decision directly from the given per-candidate
+     * hit rates, bypassing access sampling (test / verify seam). Marks
+     * the sandboxes warm so the decision logic runs, and feeds the
+     * utility gate with @p issued / @p useful as this epoch's counts.
+     * @p rates must have one entry per configured size.
+     */
+    void force_epoch(const std::vector<double>& rates,
+                     std::uint64_t issued = 0, std::uint64_t useful = 0);
+
+    /**
+     * Internal-consistency sweep for the verify harness: level within
+     * the ladder, pending confirmation below the confirm threshold,
+     * cooldown within the configured window, outcome counters summing
+     * to epochs. Calls @p report once per violation.
+     */
+    void self_check(
+        const std::function<void(const std::string&)>& report) const;
+
   private:
     void end_epoch();
+    /** Decision half of end_epoch(): everything after rate harvest. */
+    void decide_epoch();
     void record_sample(std::uint32_t verdict, obs::PartitionEvent event);
 
     PartitionConfig cfg_;
@@ -154,8 +194,8 @@ class PartitionController
     std::uint64_t epochs_ = 0;
     std::uint32_t pending_level_ = 0; ///< candidate awaiting confirmation
     std::uint32_t pending_count_ = 0;
-    std::uint64_t useful_ = 0; ///< consumed prefetches since level change
-    std::uint64_t issued_ = 0; ///< memory-bound prefetches since change
+    std::uint64_t useful_ = 0; ///< consumed prefetches this epoch
+    std::uint64_t issued_ = 0; ///< memory-bound prefetches this epoch
     std::uint32_t epochs_at_level_ = 0;
     std::uint32_t cooldown_ = 0;
     obs::EventTrace* trace_ = nullptr;

@@ -86,6 +86,14 @@ Triage::lookup_next(sim::Addr trigger, unsigned core,
 void
 Triage::train(const prefetch::TrainEvent& ev, prefetch::PrefetchHost& host)
 {
+    // Degree 0 means prefetching is off entirely. Return before any
+    // metadata work: the old code still issued the first-hop prefetch
+    // (the degree bound only limited the d >= 2 chain walk) and
+    // charged LLC capacity for the store, so a degree-0 run was not
+    // timing-identical to the no-prefetcher baseline — the property
+    // the differential suite (tools/diff_fidelity) pins.
+    if (cfg_.degree == 0)
+        return;
     ++stats_.train_events;
     // Triage trains on L2 misses and prefetched hits (paper Figure 4).
     if (ev.l2_hit && !ev.was_prefetch_hit)

@@ -1,0 +1,110 @@
+#include "verify/diff.hpp"
+
+namespace triage::verify {
+
+namespace {
+
+/** Accumulates named field mismatches under a dotted prefix. */
+class Differ
+{
+  public:
+    explicit Differ(std::vector<std::string>& out) : out_(out) {}
+
+    template <typename T>
+    void
+    field(const std::string& name, const T& a, const T& b)
+    {
+        if (a != b) {
+            out_.push_back(name + ": " + std::to_string(a) + " vs " +
+                           std::to_string(b));
+        }
+    }
+
+    void
+    cache(const std::string& p, const cache::CacheStats& a,
+          const cache::CacheStats& b)
+    {
+        field(p + ".demand_hits", a.demand_hits, b.demand_hits);
+        field(p + ".demand_misses", a.demand_misses, b.demand_misses);
+        field(p + ".pf_probe_hits", a.pf_probe_hits, b.pf_probe_hits);
+        field(p + ".pf_probe_misses", a.pf_probe_misses,
+              b.pf_probe_misses);
+        field(p + ".prefetch_hits", a.prefetch_hits, b.prefetch_hits);
+        field(p + ".late_prefetch_hits", a.late_prefetch_hits,
+              b.late_prefetch_hits);
+        field(p + ".evictions", a.evictions, b.evictions);
+        field(p + ".dirty_evictions", a.dirty_evictions,
+              b.dirty_evictions);
+        field(p + ".unused_prefetch_evictions",
+              a.unused_prefetch_evictions, b.unused_prefetch_evictions);
+    }
+
+    void
+    prefetcher(const std::string& p, const prefetch::PrefetcherStats& a,
+               const prefetch::PrefetcherStats& b)
+    {
+        field(p + ".train_events", a.train_events, b.train_events);
+        field(p + ".candidates", a.candidates, b.candidates);
+        field(p + ".redundant", a.redundant, b.redundant);
+        field(p + ".filled_from_llc", a.filled_from_llc,
+              b.filled_from_llc);
+        field(p + ".issued_to_dram", a.issued_to_dram, b.issued_to_dram);
+        field(p + ".dropped", a.dropped, b.dropped);
+        field(p + ".useful", a.useful, b.useful);
+        field(p + ".late", a.late, b.late);
+        field(p + ".meta_onchip_reads", a.meta_onchip_reads,
+              b.meta_onchip_reads);
+        field(p + ".meta_onchip_writes", a.meta_onchip_writes,
+              b.meta_onchip_writes);
+        field(p + ".meta_offchip_reads", a.meta_offchip_reads,
+              b.meta_offchip_reads);
+        field(p + ".meta_offchip_writes", a.meta_offchip_writes,
+              b.meta_offchip_writes);
+    }
+
+  private:
+    std::vector<std::string>& out_;
+};
+
+} // namespace
+
+std::vector<std::string>
+diff_results(const sim::RunResult& a, const sim::RunResult& b)
+{
+    std::vector<std::string> out;
+    Differ d(out);
+
+    if (a.per_core.size() != b.per_core.size()) {
+        out.push_back("per_core.size: " +
+                      std::to_string(a.per_core.size()) + " vs " +
+                      std::to_string(b.per_core.size()));
+        return out;
+    }
+    d.field("span", a.span, b.span);
+    for (std::size_t c = 0; c < a.per_core.size(); ++c) {
+        const std::string p = "core" + std::to_string(c);
+        const sim::RunStats& x = a.per_core[c];
+        const sim::RunStats& y = b.per_core[c];
+        d.field(p + ".instructions", x.instructions, y.instructions);
+        d.field(p + ".mem_records", x.mem_records, y.mem_records);
+        d.field(p + ".cycles", x.cycles, y.cycles);
+        d.cache(p + ".l1", x.l1, y.l1);
+        d.cache(p + ".l2", x.l2, y.l2);
+        d.prefetcher(p + ".l2pf", x.l2pf, y.l2pf);
+        d.prefetcher(p + ".l1_stride", x.l1_stride, y.l1_stride);
+        d.field(p + ".energy.onchip", x.energy.onchip_accesses,
+                y.energy.onchip_accesses);
+        d.field(p + ".energy.offchip", x.energy.offchip_accesses,
+                y.energy.offchip_accesses);
+        d.field(p + ".avg_metadata_ways", x.avg_metadata_ways,
+                y.avg_metadata_ways);
+    }
+    d.cache("llc", a.llc, b.llc);
+    for (std::size_t i = 0; i < a.traffic.bytes.size(); ++i) {
+        d.field("traffic.bytes[" + std::to_string(i) + "]",
+                a.traffic.bytes[i], b.traffic.bytes[i]);
+    }
+    return out;
+}
+
+} // namespace triage::verify

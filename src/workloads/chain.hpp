@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Workload concatenation: play a sequence of workloads back to back as
+ * one stream. The metamorphic property this enables — replaying a
+ * trace split at an arbitrary record boundary must be indistinguishable
+ * from replaying it unsplit — is one of the differential-fidelity
+ * checks (tools/diff_fidelity), and the chain is also handy for
+ * stitching phase traces together.
+ */
+#ifndef TRIAGE_WORKLOADS_CHAIN_HPP
+#define TRIAGE_WORKLOADS_CHAIN_HPP
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/trace.hpp"
+#include "util/log.hpp"
+
+namespace triage::workloads {
+
+/** Plays each part to end-of-trace, then the next; reset rewinds all. */
+class ChainWorkload final : public sim::Workload
+{
+  public:
+    ChainWorkload(std::string name,
+                  std::vector<std::unique_ptr<sim::Workload>> parts)
+        : name_(std::move(name)), parts_(std::move(parts))
+    {
+        TRIAGE_ASSERT(!parts_.empty(), "chain needs at least one part");
+    }
+
+    void
+    reset() override
+    {
+        for (auto& p : parts_)
+            p->reset();
+        idx_ = 0;
+    }
+
+    bool
+    next(sim::TraceRecord& out) override
+    {
+        while (idx_ < parts_.size()) {
+            if (parts_[idx_]->next(out))
+                return true;
+            ++idx_;
+        }
+        return false;
+    }
+
+    const std::string& name() const override { return name_; }
+
+    std::unique_ptr<sim::Workload>
+    clone() const override
+    {
+        std::vector<std::unique_ptr<sim::Workload>> copies;
+        copies.reserve(parts_.size());
+        for (const auto& p : parts_)
+            copies.push_back(p->clone());
+        return std::make_unique<ChainWorkload>(name_, std::move(copies));
+    }
+
+  private:
+    std::string name_;
+    std::vector<std::unique_ptr<sim::Workload>> parts_;
+    std::size_t idx_ = 0;
+};
+
+} // namespace triage::workloads
+
+#endif // TRIAGE_WORKLOADS_CHAIN_HPP

@@ -464,6 +464,28 @@ check_stats(const Value& root)
     }
 }
 
+void
+check_verify(const Value& root)
+{
+    const Value* v = root.get("verify");
+    if (v == nullptr || !v->is_object()) {
+        fail("verify block missing — rerun triagesim with --verify");
+        return;
+    }
+    const Value* checks = v->get("checks");
+    if (checks == nullptr || !checks->is_number() ||
+        checks->number <= 0.0)
+        fail("verify.checks missing or zero — no invariants ran");
+    const Value* viol = v->get("violations");
+    if (viol == nullptr || !viol->is_number()) {
+        fail("verify.violations missing or not a number");
+    } else if (viol->number != 0.0) {
+        fail("verify.violations is " +
+             std::to_string(static_cast<long long>(viol->number)) +
+             ", expected 0");
+    }
+}
+
 } // namespace
 
 int
@@ -474,6 +496,7 @@ main(int argc, char** argv)
     bool require_stats = false;
     bool require_lifecycle = false;
     bool require_partition_timeline = false;
+    bool require_verify_clean = false;
     bool perfetto = false;
     bool bench = false;
     std::string golden_path;
@@ -489,6 +512,8 @@ main(int argc, char** argv)
             require_lifecycle = true;
         } else if (a == "--require-partition-timeline") {
             require_partition_timeline = true;
+        } else if (a == "--require-verify-clean") {
+            require_verify_clean = true;
         } else if (a == "--perfetto") {
             perfetto = true;
         } else if (a == "--bench") {
@@ -506,6 +531,7 @@ main(int argc, char** argv)
             std::cerr << "usage: check_stats_json FILE [--require-epochs]"
                          " [--require-stats] [--require-lifecycle]"
                          " [--require-partition-timeline]"
+                         " [--require-verify-clean]"
                          " [--require-key=PATH]...\n"
                          "       check_stats_json FILE --perfetto"
                          " [--expect-workers=N]\n"
@@ -563,6 +589,8 @@ main(int argc, char** argv)
             check_lifecycle(*root);
         if (require_partition_timeline)
             check_partition_timeline(*root);
+        if (require_verify_clean)
+            check_verify(*root);
         for (const auto& key : require_keys) {
             if (root->find_path(key) == nullptr)
                 fail("required key '" + key + "' missing");

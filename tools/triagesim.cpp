@@ -24,6 +24,7 @@
 
 #include "exec/lab.hpp"
 #include "obs/observer.hpp"
+#include "verify/invariants.hpp"
 
 #include "sim/multicore.hpp"
 #include "util/log.hpp"
@@ -60,6 +61,11 @@ struct Options {
     bool json = false;
     bool records_set = false;
     bool measure_set = false;
+#ifdef TRIAGE_VERIFY_DEFAULT
+    bool verify = true; ///< -DTRIAGE_VERIFY=ON build: harness always on
+#else
+    bool verify = false;
+#endif
     // Observability.
     std::string stats_json_path;
     std::string trace_events_path;
@@ -110,6 +116,12 @@ usage()
         "                         measured records (0 = off;\n"
         "                         --trace-perfetto defaults it to\n"
         "                         measure/20)\n"
+        "  --verify               run the invariant harness during the\n"
+        "                         measurement window (cache/metadata/\n"
+        "                         partition/lifecycle checkers; exit\n"
+        "                         nonzero on any violation)\n"
+        "  --no-verify            force the harness off (the default\n"
+        "                         unless built with -DTRIAGE_VERIFY=ON)\n"
         "  --list                 list available benchmark analogs\n";
 }
 
@@ -134,6 +146,10 @@ parse(int argc, char** argv, Options& o)
             o.baseline = false;
         } else if (a == "--json") {
             o.json = true;
+        } else if (a == "--verify") {
+            o.verify = true;
+        } else if (a == "--no-verify") {
+            o.verify = false;
         } else if (auto v = val("benchmark")) {
             o.benchmark = *v;
         } else if (auto v = val("mix")) {
@@ -392,6 +408,9 @@ main(int argc, char** argv)
         o.epoch = std::max<std::uint64_t>(1, o.measure / 20);
 
     obs::Observability obs;
+    verify::InvariantSuite suite;
+    if (o.verify)
+        obs.verifier = &suite;
     obs.sampler.configure(o.epoch);
     if (!o.trace_events_path.empty() || !o.trace_perfetto_path.empty()) {
         obs.trace.enable(o.trace_capacity != 0
@@ -418,7 +437,7 @@ main(int argc, char** argv)
         } else {
             j.benchmark = o.benchmark;
         }
-        if (with_obs && wants_observability(o))
+        if (with_obs && (wants_observability(o) || o.verify))
             j.obs = &obs;
         return j;
     };
@@ -435,5 +454,18 @@ main(int argc, char** argv)
         stats::write_json(std::cout, r);
     else
         report(label, r, base);
-    return emit_observability(o, r, obs, lab);
+    int rc = emit_observability(o, r, obs, lab);
+    if (o.verify) {
+        if (!o.json) {
+            std::cout << "verify: " << suite.checks_run()
+                      << " checks, " << suite.violations()
+                      << " violations\n";
+        }
+        for (const auto& v : suite.recorded())
+            std::cerr << "verify: [" << v.checker << "] " << v.message
+                      << "\n";
+        if (suite.violations() > 0 && rc == 0)
+            rc = 1;
+    }
+    return rc;
 }
