@@ -33,10 +33,12 @@
 #include <vector>
 
 #include "exec/job.hpp"
+#include "exec/lab.hpp"
 #include "obs/json.hpp"
 #include "sim/config.hpp"
 #include "stats/table.hpp"
 #include "workloads/mixes.hpp"
+#include "workloads/spec.hpp"
 
 namespace {
 
@@ -58,6 +60,15 @@ struct Result {
     double seconds = 0.0;       ///< best-of-reps wall time
     double accesses_per_sec = 0.0;
     double ns_per_access = 0.0;
+};
+
+/** End-to-end sweep wall clock, cold vs checkpoint-forked + threaded. */
+struct SweepWallclock {
+    std::string sweep = "fig17-smoke";
+    unsigned jobs = 0;         ///< jobs per sweep pass
+    double cold_seconds = 0.0; ///< serial lab, cold warmups, Legacy
+    double ckpt_seconds = 0.0; ///< checkpoint forking + in-run threads
+    double speedup = 0.0;      ///< cold_seconds / ckpt_seconds
 };
 
 bool
@@ -128,6 +139,84 @@ measure(const Job& job, const std::string& config,
     return res;
 }
 
+/**
+ * Wall-clock the fig17-shaped smoke sweep twice: once the pre-PR-7 way
+ * (serial lab, every job pays its own warmup, Legacy execution), once
+ * the resumable-epoch way (jobs sharing a (config, workload, warmup)
+ * prefix fork from one memoized warm checkpoint, and mixes measure in
+ * Sharded mode with one worker thread per core). The three measurement
+ * windows per (mix, prefetcher) pair are what a scaling study actually
+ * runs — and exactly the shape whose warmups the checkpoint store
+ * collapses from three to one.
+ */
+SweepWallclock
+measure_sweep(bool smoke)
+{
+    // Warm long, measure short: fig17's shape is a large shared warm
+    // prefix per (mix, prefetcher) with many small measured variants
+    // hanging off it — exactly what checkpoint forking amortizes.
+    const std::uint64_t warm = smoke ? 60000 : 400000;
+    const std::uint64_t base = smoke ? 2000 : 5000;
+
+    auto jobs_for = [&](bool ckpt) {
+        std::vector<Job> out;
+        for (unsigned cores : {2u, 4u}) {
+            const auto mixes = triage::workloads::make_mixes(
+                triage::workloads::irregular_spec(), cores, 1,
+                4321 + cores);
+            for (const auto& mix : mixes)
+                for (const char* spec : {"misb", "triage_dyn"})
+                    for (std::uint64_t mult : {1u, 2u, 3u}) {
+                        Job j;
+                        j.mix = mix;
+                        j.pf_spec = spec;
+                        j.scale.warmup_records = warm;
+                        j.scale.measure_records = base * mult;
+                        out.push_back(std::move(j));
+                    }
+        }
+        return out;
+    };
+    auto timed_pass = [&](bool ckpt) {
+        triage::exec::LabOptions opt;
+        opt.jobs = 1; // serial lab: the two passes differ only in
+                      // warm-prefix forking, not scheduling
+        opt.warm_checkpoints = ckpt;
+        auto t0 = std::chrono::steady_clock::now();
+        triage::exec::Lab lab(opt);
+        for (auto& j : jobs_for(ckpt))
+            lab.submit(std::move(j));
+        lab.wait_all();
+        auto t1 = std::chrono::steady_clock::now();
+        if (ckpt && lab.checkpoints() != nullptr) {
+            const auto st = lab.checkpoints()->stats();
+            std::cerr << "  ckpt store: misses=" << st.misses
+                      << " mem_hits=" << st.mem_hits
+                      << " produces=" << st.produces << "\n";
+        }
+        return std::chrono::duration<double>(t1 - t0).count();
+    };
+
+    SweepWallclock s;
+    s.jobs = static_cast<unsigned>(jobs_for(false).size());
+    s.cold_seconds = timed_pass(false);
+    s.ckpt_seconds = timed_pass(true);
+    s.speedup = s.ckpt_seconds > 0.0 ? s.cold_seconds / s.ckpt_seconds
+                                     : 0.0;
+    return s;
+}
+
+void
+emit_sweep(std::ostream& os, const SweepWallclock& s)
+{
+    os << "   \"sweep_wallclock\": {\"sweep\": \"" << s.sweep
+       << "\", \"jobs\": " << s.jobs << ", \"cold_seconds\": "
+       << std::setprecision(6) << s.cold_seconds
+       << ", \"ckpt_seconds\": " << std::setprecision(6)
+       << s.ckpt_seconds << ", \"speedup\": " << std::setprecision(4)
+       << s.speedup << "},\n";
+}
+
 void
 emit_result(std::ostream& os, const Result& r, int indent)
 {
@@ -152,7 +241,23 @@ emit_parsed_run(std::ostream& os, const triage::obs::json::Value& run)
        << (label != nullptr && label->is_string() ? label->str : "?")
        << "\", \"mode\": \""
        << (mode != nullptr && mode->is_string() ? mode->str : "full")
-       << "\", \"results\": [\n";
+       << "\",\n";
+    if (const auto* sw = run.get("sweep_wallclock");
+        sw != nullptr && sw->is_object()) {
+        SweepWallclock s;
+        if (const auto* v = sw->get("sweep"); v != nullptr)
+            s.sweep = v->str;
+        if (const auto* v = sw->get("jobs"); v != nullptr)
+            s.jobs = static_cast<unsigned>(v->number);
+        if (const auto* v = sw->get("cold_seconds"); v != nullptr)
+            s.cold_seconds = v->number;
+        if (const auto* v = sw->get("ckpt_seconds"); v != nullptr)
+            s.ckpt_seconds = v->number;
+        if (const auto* v = sw->get("speedup"); v != nullptr)
+            s.speedup = v->number;
+        emit_sweep(os, s);
+    }
+    os << "   \"results\": [\n";
     if (results != nullptr && results->is_array()) {
         for (std::size_t i = 0; i < results->array.size(); ++i) {
             const auto& e = results->array[i];
@@ -179,7 +284,8 @@ emit_parsed_run(std::ostream& os, const triage::obs::json::Value& run)
 }
 
 int
-write_trajectory(const Options& o, const std::vector<Result>& results)
+write_trajectory(const Options& o, const std::vector<Result>& results,
+                 const SweepWallclock& sweep)
 {
     // Existing runs to carry forward (--merge-into).
     std::vector<triage::obs::json::Value> prior;
@@ -215,7 +321,9 @@ write_trajectory(const Options& o, const std::vector<Result>& results)
         f << ",\n";
     }
     f << "  {\"label\": \"" << o.label << "\", \"mode\": \""
-      << (o.smoke ? "smoke" : "full") << "\", \"results\": [\n";
+      << (o.smoke ? "smoke" : "full") << "\",\n";
+    emit_sweep(f, sweep);
+    f << "   \"results\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
         emit_result(f, results[i], 4);
         f << (i + 1 < results.size() ? ",\n" : "\n");
@@ -291,5 +399,14 @@ main(int argc, char** argv)
     }
     t.print(std::cout);
 
-    return write_trajectory(o, results);
+    std::cerr << "  running fig17-smoke sweep (cold vs checkpointed)\n";
+    const SweepWallclock sweep = measure_sweep(o.smoke);
+    std::cout << "sweep_wallclock (" << sweep.sweep << ", "
+              << sweep.jobs << " jobs): cold " << std::fixed
+              << std::setprecision(3) << sweep.cold_seconds
+              << "s, checkpointed " << sweep.ckpt_seconds
+              << "s -> " << std::setprecision(2) << sweep.speedup
+              << "x\n";
+
+    return write_trajectory(o, results, sweep);
 }

@@ -304,4 +304,39 @@ SetAssocCache::register_stats(obs::Registry& reg,
     });
 }
 
+void
+SetAssocCache::checkpoint(sim::Snapshot& s, const PfOwnerCodec& codec)
+{
+    s.section("cache");
+    std::uint32_t sets = sets_, assoc = assoc_;
+    s.io(sets);
+    s.io(assoc);
+    TRIAGE_ASSERT(sets == sets_ && assoc == assoc_,
+                  "cache geometry mismatch on restore");
+    s.io(data_ways_);
+    s.io_pod_vec(tags_);
+    s.io(live_lines_);
+    std::uint64_t n = state_.size();
+    s.io(n);
+    TRIAGE_ASSERT(n == state_.size(), "cache state size mismatch");
+    for (auto& st : state_) {
+        s.io(st.dirty);
+        s.io(st.prefetched);
+        s.io(st.ready_time);
+        std::uint32_t owner = s.saving() ? codec.encode(st.pf_owner) : 0;
+        s.io(owner);
+        if (s.loading())
+            st.pf_owner = codec.decode(owner);
+    }
+    repl_->checkpoint(s);
+    s.io_pod(stats_);
+    if (s.loading()) {
+        // Defensive: the fast view aliases the policy's storage; its
+        // vectors were resized in place (same size, no realloc), but
+        // re-fetch anyway so a policy that reallocates stays correct.
+        lru_ = {};
+        repl_->lru_fast_view(&lru_);
+    }
+}
+
 } // namespace triage::cache

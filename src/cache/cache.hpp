@@ -91,6 +91,41 @@ struct CacheStats {
     }
 };
 
+/**
+ * Pointer<->index codec for LineState::pf_owner across serialization.
+ * The host (MemorySystem) enumerates every prefetcher that can own a
+ * line, in a fixed order; snapshots store 0 for "no owner" and
+ * 1 + index otherwise. Restore resolves indices against the restoring
+ * system's enumeration, so save and restore hosts must be configured
+ * identically (the sealed fingerprint enforces that).
+ */
+struct PfOwnerCodec {
+    std::vector<prefetch::Prefetcher*> owners;
+
+    std::uint32_t
+    encode(const prefetch::Prefetcher* p) const
+    {
+        if (p == nullptr)
+            return 0;
+        for (std::size_t i = 0; i < owners.size(); ++i) {
+            if (owners[i] == p)
+                return static_cast<std::uint32_t>(i + 1);
+        }
+        util::panic("PfOwnerCodec: line owned by an unenumerated "
+                    "prefetcher");
+    }
+
+    prefetch::Prefetcher*
+    decode(std::uint32_t id) const
+    {
+        if (id == 0)
+            return nullptr;
+        TRIAGE_ASSERT(id <= owners.size(),
+                      "PfOwnerCodec: owner index out of range");
+        return owners[id - 1];
+    }
+};
+
 /** Construction parameters. */
 struct CacheGeometry {
     std::string name;
@@ -193,6 +228,13 @@ class SetAssocCache
      */
     void self_check(
         const std::function<void(const std::string&)>& report) const;
+
+    /**
+     * Save/restore tags, cold line state (owners via @p codec),
+     * partition width, replacement state and stats. Geometry must
+     * already match (same sets/assoc construction).
+     */
+    void checkpoint(sim::Snapshot& s, const PfOwnerCodec& codec);
 
   private:
     /** Tag value meaning "way holds no line" (blocks are byte

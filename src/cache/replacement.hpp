@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "sim/snapshot.hpp"
 #include "sim/types.hpp"
 
 namespace triage::cache {
@@ -78,6 +79,14 @@ class ReplacementPolicy
         (void)out;
         return false;
     }
+
+    /**
+     * Save/restore the policy's mutable state (recency stamps, RRPVs,
+     * predictor tables, …). Geometry comes from construction and must
+     * already match. Every concrete policy overrides this; the pure
+     * interface has no state of its own.
+     */
+    virtual void checkpoint(sim::Snapshot& s) = 0;
 };
 
 } // namespace triage::cache

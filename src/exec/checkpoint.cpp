@@ -1,0 +1,225 @@
+#include "exec/checkpoint.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "util/log.hpp"
+
+namespace triage::exec {
+
+namespace {
+
+/** FNV-1a of the key string — names the disk-tier file. Collisions are
+ *  harmless: the full key is the sealed blob's fingerprint, so a
+ *  colliding file simply fails open() and reads as a miss. */
+std::uint64_t
+fnv1a(const std::string& s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char ch : s) {
+        h ^= static_cast<unsigned char>(ch);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::string
+hex16(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+} // namespace
+
+CheckpointStore::CheckpointStore(CheckpointOptions opt)
+    : opt_(std::move(opt))
+{
+}
+
+CheckpointStore::Lease::~Lease()
+{
+    if (store_ != nullptr && producer_)
+        store_->abandon(key_);
+}
+
+void
+CheckpointStore::Lease::publish(sim::SnapshotBlob blob)
+{
+    TRIAGE_ASSERT(producer_, "publish() on a non-producer lease");
+    store_->do_publish(key_, std::move(blob));
+    producer_ = false;
+}
+
+CheckpointStore::Lease
+CheckpointStore::acquire(const std::string& key)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        auto it = entries_.find(key);
+        if (it != entries_.end() && it->second.ready) {
+            touch_locked(key, it->second);
+            ++stats_.mem_hits;
+            return Lease(this, key, it->second.blob, true, false);
+        }
+        if (it != entries_.end() && it->second.producing) {
+            // Another worker is warming this prefix; piggyback on it.
+            ++stats_.waits;
+            ready_cv_.wait(lock, [&] {
+                auto e = entries_.find(key);
+                return e == entries_.end() || !e->second.producing;
+            });
+            continue; // re-examine: ready (hit) or abandoned (produce)
+        }
+        // Memory miss: try the disk tier before becoming a producer.
+        sim::SnapshotBlob blob;
+        if (load_from_disk(key, blob)) {
+            ++stats_.disk_hits;
+            Entry& e = entries_[key];
+            e.ready = true;
+            e.blob = blob;
+            lru_.push_front(key);
+            e.lru_pos = lru_.begin();
+            mem_bytes_ += e.blob.size();
+            evict_to_budget_locked();
+            return Lease(this, key, std::move(blob), true, false);
+        }
+        ++stats_.misses;
+        entries_[key].producing = true;
+        return Lease(this, key, {}, false, true);
+    }
+}
+
+void
+CheckpointStore::do_publish(const std::string& key,
+                                sim::SnapshotBlob blob)
+{
+    store_to_disk(key, blob);
+    std::unique_lock<std::mutex> lock(mu_);
+    Entry& e = entries_[key];
+    TRIAGE_ASSERT(e.producing && !e.ready,
+                  "publish() against a non-producing entry");
+    e.producing = false;
+    e.ready = true;
+    e.blob = std::move(blob);
+    lru_.push_front(key);
+    e.lru_pos = lru_.begin();
+    mem_bytes_ += e.blob.size();
+    ++stats_.produces;
+    evict_to_budget_locked();
+    lock.unlock();
+    ready_cv_.notify_all();
+}
+
+void
+CheckpointStore::abandon(const std::string& key)
+{
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        auto it = entries_.find(key);
+        if (it == entries_.end() || !it->second.producing)
+            return;
+        // Producer died without publishing (exception unwound through
+        // the warmup): erase the placeholder so one waiter re-acquires
+        // and becomes the new producer.
+        entries_.erase(it);
+    }
+    ready_cv_.notify_all();
+}
+
+void
+CheckpointStore::touch_locked(const std::string& key, Entry& e)
+{
+    lru_.erase(e.lru_pos);
+    lru_.push_front(key);
+    e.lru_pos = lru_.begin();
+}
+
+void
+CheckpointStore::evict_to_budget_locked()
+{
+    while (mem_bytes_ > opt_.mem_budget_bytes && !lru_.empty()) {
+        const std::string victim = lru_.back();
+        auto it = entries_.find(victim);
+        TRIAGE_ASSERT(it != entries_.end() && it->second.ready,
+                      "LRU list out of sync with the entry map");
+        mem_bytes_ -= it->second.blob.size();
+        lru_.pop_back();
+        entries_.erase(it);
+        ++stats_.evictions;
+    }
+}
+
+std::string
+CheckpointStore::disk_path(const std::string& key) const
+{
+    if (opt_.disk_dir.empty())
+        return {};
+    return opt_.disk_dir + "/" + hex16(fnv1a(key)) + ".ckpt";
+}
+
+bool
+CheckpointStore::load_from_disk(const std::string& key,
+                                sim::SnapshotBlob& out)
+{
+    const std::string path = disk_path(key);
+    if (path.empty())
+        return false;
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    sim::SnapshotBlob blob((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    // Full validation (magic, version, fingerprint, checksum): a
+    // stale file from an older build or a different sweep is a miss.
+    sim::Snapshot probe;
+    if (!sim::Snapshot::open(blob, CKPT_VERSION, key, probe))
+        return false;
+    out = std::move(blob);
+    return true;
+}
+
+void
+CheckpointStore::store_to_disk(const std::string& key,
+                               const sim::SnapshotBlob& blob)
+{
+    const std::string path = disk_path(key);
+    if (path.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(opt_.disk_dir, ec);
+    // Write-then-rename so a concurrent reader never sees a torn file.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return; // disk tier is best-effort
+        out.write(reinterpret_cast<const char*>(blob.data()),
+                  static_cast<std::streamsize>(blob.size()));
+        if (!out)
+            return;
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec)
+        std::filesystem::remove(tmp, ec);
+}
+
+void
+CheckpointStore::set_disk_dir(std::string dir)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    opt_.disk_dir = std::move(dir);
+}
+
+CheckpointStore::Stats
+CheckpointStore::stats() const
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    return stats_;
+}
+
+} // namespace triage::exec

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * CheckpointStore: a memoized cache of warm-state snapshots keyed by
+ * the warm prefix of a JobKey (docs/parallel-runs.md §checkpointing).
+ *
+ * Sweeps share warmup: every job whose (machine, workload, prefetcher,
+ * degree, replica, warmup, scale, quantum) prefix matches an earlier
+ * job forks its measurement phase from the memoized warm snapshot
+ * instead of re-simulating the warmup — bit-identical to warming up
+ * in-process, because the snapshot captures the complete warm state.
+ *
+ * Two tiers: an in-memory LRU bounded by a byte budget, and an
+ * optional on-disk directory (persists across processes; every file is
+ * validated against its fingerprint + checksum on load, so a stale or
+ * corrupted file degrades to a cache miss, never a wrong result).
+ *
+ * Concurrency: acquire() hands exactly one caller per key a producer
+ * lease (miss); concurrent callers for the same key block until the
+ * producer publishes, then read the published blob (hit). A producer
+ * that dies without publishing wakes one waiter to take over.
+ */
+#ifndef TRIAGE_EXEC_CHECKPOINT_HPP
+#define TRIAGE_EXEC_CHECKPOINT_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "sim/snapshot.hpp"
+
+namespace triage::exec {
+
+/** CheckpointStore construction knobs. */
+struct CheckpointOptions {
+    /** In-memory LRU budget in bytes (0 disables the memory tier). */
+    std::size_t mem_budget_bytes = 512ull << 20;
+    /**
+     * On-disk cache directory ("" disables the disk tier). Created on
+     * first write. Defaults from the TRIAGE_CKPT_DIR environment
+     * variable when the owning Lab constructs the store.
+     */
+    std::string disk_dir;
+};
+
+/** Blob format version for warm checkpoints (bump on layout change). */
+inline constexpr std::uint32_t CKPT_VERSION = 1;
+
+/**
+ * Two-tier (memory LRU + disk) cache of sealed snapshot blobs.
+ * Thread-safe; see file comment for the producer/waiter protocol.
+ */
+class CheckpointStore
+{
+  public:
+    /** Hit/miss counters (tests and the cache-smoke tool assert on
+     *  these; disk_hits > 0 proves cross-process reuse). */
+    struct Stats {
+        std::uint64_t mem_hits = 0;
+        std::uint64_t disk_hits = 0;
+        std::uint64_t misses = 0;    ///< acquire() became a producer
+        std::uint64_t produces = 0;  ///< blobs published
+        std::uint64_t waits = 0;     ///< blocked on a concurrent producer
+        std::uint64_t evictions = 0; ///< LRU evictions (memory tier)
+    };
+
+    /**
+     * The result of acquire(): either a hit carrying the blob, or a
+     * producer lease obligating the caller to publish() the blob it
+     * computes. Destroying an unpublished producer lease abandons it,
+     * promoting one blocked waiter to producer.
+     */
+    class Lease
+    {
+      public:
+        Lease(Lease&& o) noexcept
+            : store_(o.store_), key_(std::move(o.key_)),
+              blob_(std::move(o.blob_)), hit_(o.hit_),
+              producer_(o.producer_)
+        {
+            o.store_ = nullptr;
+            o.producer_ = false;
+        }
+        Lease(const Lease&) = delete;
+        Lease& operator=(const Lease&) = delete;
+        Lease& operator=(Lease&&) = delete;
+        ~Lease();
+
+        /** True when the store already had the blob. */
+        bool hit() const { return hit_; }
+        /** The cached blob (hit() only). */
+        const sim::SnapshotBlob& blob() const { return blob_; }
+        /** Publish the produced blob (producer lease only). */
+        void publish(sim::SnapshotBlob blob);
+
+      private:
+        friend class CheckpointStore;
+        Lease(CheckpointStore* store, std::string key,
+              sim::SnapshotBlob blob, bool hit, bool producer)
+            : store_(store), key_(std::move(key)),
+              blob_(std::move(blob)), hit_(hit), producer_(producer)
+        {}
+
+        CheckpointStore* store_;
+        std::string key_;
+        sim::SnapshotBlob blob_;
+        bool hit_;
+        bool producer_;
+    };
+
+    explicit CheckpointStore(CheckpointOptions opt = {});
+
+    /**
+     * Look up @p key (its canonical string doubles as the snapshot
+     * fingerprint). Returns a hit lease, or — after checking the disk
+     * tier and waiting out any concurrent producer — a producer lease.
+     */
+    Lease acquire(const std::string& key);
+
+    Stats stats() const;
+
+    /** Redirect the disk tier ("" disables). Not thread-safe against
+     *  in-flight acquires; call before submitting jobs. */
+    void set_disk_dir(std::string dir);
+    const std::string& disk_dir() const { return opt_.disk_dir; }
+
+    /** Path of @p key's disk-tier file ("" when the tier is off). */
+    std::string disk_path(const std::string& key) const;
+
+  private:
+    struct Entry {
+        bool producing = false;
+        bool ready = false;
+        sim::SnapshotBlob blob;
+        /** Position in lru_ (valid when ready). */
+        std::list<std::string>::iterator lru_pos;
+    };
+
+    void do_publish(const std::string& key, sim::SnapshotBlob blob);
+    void abandon(const std::string& key);
+    void touch_locked(const std::string& key, Entry& e);
+    void evict_to_budget_locked();
+    bool load_from_disk(const std::string& key, sim::SnapshotBlob& out);
+    void store_to_disk(const std::string& key,
+                       const sim::SnapshotBlob& blob);
+
+    CheckpointOptions opt_;
+    mutable std::mutex mu_;
+    std::condition_variable ready_cv_;
+    std::unordered_map<std::string, Entry> entries_;
+    /** Ready keys, most-recently-used first. */
+    std::list<std::string> lru_;
+    std::size_t mem_bytes_ = 0;
+    Stats stats_;
+};
+
+} // namespace triage::exec
+
+#endif // TRIAGE_EXEC_CHECKPOINT_HPP

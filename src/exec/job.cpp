@@ -1,7 +1,11 @@
 #include "exec/job.hpp"
 
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
 #include <sstream>
 
+#include "exec/checkpoint.hpp"
 #include "sim/multicore.hpp"
 #include "sim/system.hpp"
 #include "util/log.hpp"
@@ -54,6 +58,12 @@ JobKey::str() const
     os << machine << '|' << workload << '|' << pf << "|d" << degree
        << "|r" << replica << "|w" << warmup_records << "|m"
        << measure_records << "|s" << workload_scale;
+    // Appended only when set, so every pre-existing key string (and
+    // the seeds derived from it) is unchanged.
+    if (quantum != 0)
+        os << "|q" << quantum;
+    if (sharded)
+        os << "|xs";
     return os.str();
 }
 
@@ -112,11 +122,76 @@ key_of(const Job& job)
     k.warmup_records = job.scale.warmup_records;
     k.measure_records = job.scale.measure_records;
     k.workload_scale = job.scale.workload_scale;
+    k.quantum = job.quantum;
+    // Single-core jobs have no quantum interleaving to shard; their
+    // exec_mode is inert and must not split the memoization space.
+    k.sharded =
+        job.exec_mode == sim::ExecMode::Sharded && !job.mix.empty();
     return k;
 }
 
+JobKey
+warm_prefix(const JobKey& key)
+{
+    JobKey warm = key;
+    warm.measure_records = 0;
+    warm.sharded = false;
+    return warm;
+}
+
+namespace {
+
+/**
+ * Reach the warm point: restore it from @p ckpt when a checkpoint for
+ * this job's warm prefix exists, otherwise simulate the warmup and
+ * publish the snapshot for the next job sharing the prefix. @p warm
+ * and @p restore run the System-specific run_warmup / checkpoint_warm.
+ */
+template <typename WarmFn, typename CheckpointFn>
+void
+warm_with_checkpoint(CheckpointStore* ckpt, const JobKey& key,
+                     WarmFn&& warm, CheckpointFn&& checkpoint)
+{
+    if (ckpt == nullptr) {
+        warm();
+        return;
+    }
+    const std::string wk = warm_prefix(key).str();
+    CheckpointStore::Lease lease = ckpt->acquire(wk);
+    const bool timing = std::getenv("TRIAGE_CKPT_TIMING") != nullptr;
+    auto now = std::chrono::steady_clock::now;
+    if (lease.hit()) {
+        auto t0 = now();
+        // The store validated the frame; a mismatch here means the
+        // blob rotted between acquire and open — fail loudly.
+        sim::Snapshot s =
+            sim::Snapshot::open_or_die(lease.blob(), CKPT_VERSION, wk);
+        checkpoint(s);
+        if (timing)
+            std::cerr << "restore " << lease.blob().size() << "B "
+                      << std::chrono::duration<double>(now() - t0).count()
+                      << "s\n";
+        return;
+    }
+    auto t0 = now();
+    warm();
+    auto t1 = now();
+    sim::Snapshot s;
+    checkpoint(s);
+    lease.publish(s.seal(CKPT_VERSION, wk));
+    auto t2 = now();
+    if (timing)
+        std::cerr << "warm "
+                  << std::chrono::duration<double>(t1 - t0).count()
+                  << "s save "
+                  << std::chrono::duration<double>(t2 - t1).count()
+                  << "s\n";
+}
+
+} // namespace
+
 sim::RunResult
-run_job(const Job& job)
+run_job(const Job& job, CheckpointStore* ckpt)
 {
     const JobKey key = key_of(job);
     // Replica 0 keeps the benchmark table's canonical seeds (and thus
@@ -124,6 +199,7 @@ run_job(const Job& job)
     // reproducible stream derived from the key.
     const std::uint64_t jitter =
         job.replica == 0 ? 0 : key.derived_seed();
+    const sim::Cycle quantum = job.quantum != 0 ? job.quantum : 1000;
 
     auto make_pf = [&](unsigned core) {
         return job.prefetcher_factory
@@ -142,8 +218,12 @@ run_job(const Job& job)
             wl->set_instance(c);
             sys.bind(c, *wl);
         }
-        return sys.run(job.scale.warmup_records,
-                       job.scale.measure_records);
+        warm_with_checkpoint(
+            ckpt, key,
+            [&] { sys.run_warmup(job.scale.warmup_records, quantum); },
+            [&](sim::Snapshot& s) { sys.checkpoint_warm(s); });
+        return sys.run_measure(job.scale.measure_records, quantum,
+                               job.exec_mode, job.threads);
     }
 
     sim::SingleCoreSystem sys(job.config);
@@ -159,8 +239,18 @@ run_job(const Job& job)
         util::fatal("exec::Job workload_factory returned null ('" +
                     key.workload + "')");
     wl->reset();
-    return sys.run(*wl, job.scale.warmup_records,
-                   job.scale.measure_records);
+    sys.bind(*wl);
+    warm_with_checkpoint(
+        ckpt, key,
+        [&] { sys.run_warmup(job.scale.warmup_records); },
+        [&](sim::Snapshot& s) { sys.checkpoint_warm(s); });
+    return sys.run_measure(job.scale.measure_records);
+}
+
+sim::RunResult
+run_job(const Job& job)
+{
+    return run_job(job, nullptr);
 }
 
 } // namespace triage::exec

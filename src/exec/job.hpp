@@ -63,6 +63,28 @@ struct Job {
     std::uint32_t replica = 0;
 
     /**
+     * Measurement-phase execution mode for multi-core mixes:
+     * ExecMode::Sharded runs each core's quantum on a worker pool
+     * against a frozen shared-state view (sim/multicore.hpp). Sharded
+     * results are deterministic but not bit-identical to Legacy, so
+     * the mode is part of the JobKey. Ignored for single-core jobs.
+     */
+    sim::ExecMode exec_mode = sim::ExecMode::Legacy;
+
+    /**
+     * Worker threads for a Sharded measurement (0 = one per core,
+     * capped at the hardware). NOT part of the JobKey: sharded results
+     * are bit-identical for any thread count.
+     */
+    unsigned threads = 0;
+
+    /**
+     * Multi-core quantum in cycles (0 = the default 1000). Part of the
+     * JobKey — the warmup interleaving depends on it.
+     */
+    sim::Cycle quantum = 0;
+
+    /**
      * Unique tag naming a custom configuration in the JobKey. Required
      * whenever @ref prefetcher_factory or @ref workload_factory is
      * set; otherwise it must stay empty and pf_spec is the identity.
@@ -114,6 +136,11 @@ struct JobKey {
     std::uint64_t warmup_records = 0;
     std::uint64_t measure_records = 0;
     double workload_scale = 1.0;
+    /** Multi-core quantum (0 = default; "|q<N>" only when non-zero,
+     *  so pre-existing key strings are unchanged). */
+    std::uint64_t quantum = 0;
+    /** Sharded measurement phase ("|xs" marker; mixes only). */
+    bool sharded = false;
 
     bool operator==(const JobKey&) const = default;
 
@@ -144,11 +171,30 @@ struct JobKeyHash {
 JobKey key_of(const Job& job);
 
 /**
+ * The warm prefix of @p key: everything the warm state depends on.
+ * The measurement length and execution mode are zeroed out — two jobs
+ * differing only in those share one warm checkpoint (warmup always
+ * runs Legacy serial, and the warm point predates the measurement
+ * window). Its str() doubles as the checkpoint fingerprint.
+ */
+JobKey warm_prefix(const JobKey& key);
+
+class CheckpointStore;
+
+/**
  * Run one job to completion on the calling thread. Self-contained: a
  * fresh SingleCoreSystem/MultiCoreSystem per call, all state local,
  * safe to call from any number of threads concurrently.
  */
 sim::RunResult run_job(const Job& job);
+
+/**
+ * run_job() forking from @p ckpt when possible: the warm prefix is
+ * restored from a cached snapshot (or simulated once and published
+ * for the next job sharing it). Bit-identical to the plain overload.
+ * Null @p ckpt degrades to the plain path.
+ */
+sim::RunResult run_job(const Job& job, CheckpointStore* ckpt);
 
 } // namespace triage::exec
 

@@ -1,5 +1,6 @@
 #include "exec/lab.hpp"
 
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -26,7 +27,18 @@ Lab::Lab(LabOptions opt)
     : n_workers_(opt.jobs != 0
                      ? opt.jobs
                      : std::max(1u, std::thread::hardware_concurrency()))
-{}
+{
+    if (opt.warm_checkpoints) {
+        CheckpointOptions co;
+        co.mem_budget_bytes = opt.ckpt_mem_budget_bytes;
+        co.disk_dir = opt.ckpt_dir;
+        if (co.disk_dir.empty()) {
+            if (const char* env = std::getenv("TRIAGE_CKPT_DIR"))
+                co.disk_dir = env;
+        }
+        ckpt_ = std::make_unique<CheckpointStore>(std::move(co));
+    }
+}
 
 Lab::~Lab()
 {
@@ -57,7 +69,7 @@ Lab::execute(Task& task, unsigned worker_id,
                 .count());
     };
     const auto started = std::chrono::steady_clock::now();
-    sim::RunResult r = run_job(task.job);
+    sim::RunResult r = run_job(task.job, ckpt_.get());
     const auto ended = std::chrono::steady_clock::now();
     lock.lock();
     obs::perfetto::JobSpan span;

@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "exec/checkpoint.hpp"
 #include "exec/job.hpp"
 #include "obs/perfetto.hpp"
 
@@ -33,6 +34,23 @@ namespace triage::exec {
 struct LabOptions {
     /** Worker threads; 0 = std::thread::hardware_concurrency(). */
     unsigned jobs = 0;
+
+    /**
+     * Fork jobs sharing a warm prefix from memoized warm-state
+     * checkpoints instead of re-simulating their warmup
+     * (docs/parallel-runs.md §checkpointing). Bit-identical to cold
+     * warmup; only the wall clock changes.
+     */
+    bool warm_checkpoints = true;
+
+    /** In-memory checkpoint budget in bytes. */
+    std::size_t ckpt_mem_budget_bytes = 512ull << 20;
+
+    /**
+     * On-disk checkpoint cache directory; "" = the TRIAGE_CKPT_DIR
+     * environment variable (no disk tier when that is unset too).
+     */
+    std::string ckpt_dir;
 };
 
 /**
@@ -83,6 +101,11 @@ class Lab
     /** Effective worker count. */
     unsigned workers() const { return n_workers_; }
 
+    /** The warm-checkpoint store (null when warm_checkpoints=false).
+     *  Memoization stays keyed on the full JobKey; the store only
+     *  shares warm prefixes between distinct jobs. */
+    CheckpointStore* checkpoints() { return ckpt_.get(); }
+
     /**
      * Wall-clock span of every executed job (memo hits excluded),
      * timestamped in microseconds since Lab construction — one
@@ -114,6 +137,7 @@ class Lab
     void ensure_workers();
 
     unsigned n_workers_;
+    std::unique_ptr<CheckpointStore> ckpt_;
     const std::chrono::steady_clock::time_point t0_ =
         std::chrono::steady_clock::now();
     std::vector<obs::perfetto::JobSpan> spans_;

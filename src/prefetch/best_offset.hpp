@@ -44,6 +44,19 @@ class BestOffset final : public Prefetcher
     /** Currently selected offset (0 while prefetching is disabled). */
     std::int32_t current_offset() const { return prefetching_on_ ? best_offset_ : 0; }
 
+    void
+    checkpoint(sim::Snapshot& s) override
+    {
+        Prefetcher::checkpoint(s);
+        s.section("pf.bo");
+        s.io_pod_vec(scores_);
+        s.io_pod_vec(rr_table_);
+        s.io(test_index_);
+        s.io(round_);
+        s.io(best_offset_);
+        s.io(prefetching_on_);
+    }
+
   private:
     void rr_insert(sim::Addr block);
     bool rr_contains(sim::Addr block) const;

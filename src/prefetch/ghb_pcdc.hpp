@@ -38,6 +38,24 @@ class GhbPcdc final : public Prefetcher
     void train(const TrainEvent& ev, PrefetchHost& host) override;
     const std::string& name() const override { return name_; }
 
+    void
+    checkpoint(sim::Snapshot& s) override
+    {
+        Prefetcher::checkpoint(s);
+        s.section("pf.ghb_pcdc");
+        s.io_vec(ghb_, [](sim::Snapshot& a, GhbEntry& e) {
+            a.io(e.block);
+            a.io(e.prev);
+            a.io(e.valid);
+        });
+        s.io_vec(index_, [](sim::Snapshot& a, IndexEntry& e) {
+            a.io(e.pc);
+            a.io(e.head);
+            a.io(e.valid);
+        });
+        s.io(next_pos_);
+    }
+
   private:
     struct GhbEntry {
         sim::Addr block = 0;

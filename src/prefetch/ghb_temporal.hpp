@@ -56,6 +56,19 @@ class GhbTemporal final : public Prefetcher
 
     std::uint64_t history_length() const { return next_pos_; }
 
+    void
+    checkpoint(sim::Snapshot& s) override
+    {
+        Prefetcher::checkpoint(s);
+        s.section("pf.ghb_temporal");
+        s.io_pod_vec(ghb_);
+        s.io(next_pos_);
+        s.io_map(index_);
+        s.io(last_trigger_);
+        s.io(have_last_);
+        s.io(appends_);
+    }
+
   private:
     std::uint64_t index_key(sim::Addr block) const;
 

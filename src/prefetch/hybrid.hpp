@@ -48,6 +48,24 @@ class Hybrid final : public Prefetcher
     Prefetcher& child(std::size_t i) { return *children_[i]; }
     std::size_t num_children() const { return children_.size(); }
 
+    void
+    checkpoint(sim::Snapshot& s) override
+    {
+        Prefetcher::checkpoint(s);
+        s.section("pf.hybrid");
+        for (auto& c : children_)
+            c->checkpoint(s);
+    }
+
+    /** Children issue under their own identity; enumerate them too. */
+    void
+    enumerate(std::vector<Prefetcher*>& out) override
+    {
+        out.push_back(this);
+        for (auto& c : children_)
+            c->enumerate(out);
+    }
+
   private:
     std::vector<std::unique_ptr<Prefetcher>> children_;
     std::string name_;

@@ -32,6 +32,22 @@ class Markov final : public Prefetcher
     void train(const TrainEvent& ev, PrefetchHost& host) override;
     const std::string& name() const override { return name_; }
 
+    void
+    checkpoint(sim::Snapshot& s) override
+    {
+        Prefetcher::checkpoint(s);
+        s.section("pf.markov");
+        s.io_vec(table_, [](sim::Snapshot& a, Entry& e) {
+            a.io(e.addr);
+            a.io_pod_vec(e.succ);
+            a.io(e.lru);
+            a.io(e.valid);
+        });
+        s.io(clock_);
+        s.io(last_miss_);
+        s.io(have_last_);
+    }
+
   private:
     struct Entry {
         sim::Addr addr = 0;

@@ -87,6 +87,22 @@ class MetadataCache
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
 
+    void
+    checkpoint(sim::Snapshot& s)
+    {
+        s.section("misb.mdcache");
+        s.io_vec(entries_, [](sim::Snapshot& a, Entry& e) {
+            a.io(e.key);
+            a.io(e.value);
+            a.io(e.lru);
+            a.io(e.dirty);
+            a.io(e.valid);
+        });
+        s.io(clock_);
+        s.io(hits_);
+        s.io(misses_);
+    }
+
   private:
     struct Entry {
         std::uint64_t key = 0;
@@ -115,6 +131,35 @@ class Misb final : public Prefetcher
 
     const MetadataCache& ps_cache() const { return ps_cache_; }
     const MetadataCache& sp_cache() const { return sp_cache_; }
+
+    void
+    checkpoint(sim::Snapshot& s) override
+    {
+        Prefetcher::checkpoint(s);
+        s.section("pf.misb");
+        s.io_map(ps_backing_);
+        s.io_map(sp_backing_);
+        s.io_set(ps_confident_);
+        s.io_set(mapped_);
+        ps_cache_.checkpoint(s);
+        sp_cache_.checkpoint(s);
+        s.io_vec(tu_, [](sim::Snapshot& a, TuEntry& e) {
+            a.io(e.pc);
+            a.io(e.last);
+            a.io(e.lru);
+            a.io(e.valid);
+        });
+        s.io(tu_clock_);
+        s.io_vec(streams_, [](sim::Snapshot& a, ActiveStream& e) {
+            a.io(e.expected_phys);
+            a.io(e.structural);
+            a.io(e.lru);
+            a.io(e.valid);
+        });
+        s.io(stream_clock_);
+        s.io(next_structural_);
+        s.io(pending_dirty_);
+    }
 
   private:
     static constexpr std::uint64_t INVALID = ~std::uint64_t{0};

@@ -15,7 +15,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "sim/snapshot.hpp"
 #include "sim/types.hpp"
 
 namespace triage::obs {
@@ -203,6 +205,34 @@ class Prefetcher
 
     PrefetcherStats& stats() { return stats_; }
     const PrefetcherStats& stats() const { return stats_; }
+
+    // --- Warm-state checkpointing ----------------------------------------
+
+    /**
+     * Save/restore all mutable prediction state through the archive
+     * (docs/parallel-runs.md §checkpointing). The default covers the
+     * shared stats block; stateful prefetchers override, call the base
+     * first, then serialize their tables.
+     */
+    virtual void
+    checkpoint(sim::Snapshot& s)
+    {
+        s.section("pf.stats");
+        s.io_pod(stats_);
+    }
+
+    /**
+     * Append every Prefetcher that can appear as a line's pf_owner to
+     * @p out — i.e. every object whose `this` reaches send(). Leaf
+     * prefetchers push themselves (the default); composites push
+     * themselves and recurse, since hybrid children issue with their
+     * own identity. Feeds cache::PfOwnerCodec.
+     */
+    virtual void
+    enumerate(std::vector<Prefetcher*>& out)
+    {
+        out.push_back(this);
+    }
 
   protected:
     /**

@@ -34,6 +34,30 @@ class Sms final : public Prefetcher
     void train(const TrainEvent& ev, PrefetchHost& host) override;
     const std::string& name() const override { return name_; }
 
+    void
+    checkpoint(sim::Snapshot& s) override
+    {
+        Prefetcher::checkpoint(s);
+        s.section("pf.sms");
+        auto gen = [](sim::Snapshot& a, Generation& g) {
+            a.io(g.region);
+            a.io(g.trigger_pc);
+            a.io(g.trigger_offset);
+            a.io(g.pattern);
+            a.io(g.lru);
+            a.io(g.valid);
+        };
+        s.io_vec(filter_, gen);
+        s.io_vec(accum_, gen);
+        s.io_vec(pht_, [](sim::Snapshot& a, PhtEntry& e) {
+            a.io(e.key);
+            a.io(e.pattern);
+            a.io(e.lru);
+            a.io(e.valid);
+        });
+        s.io(clock_);
+    }
+
   private:
     struct Generation {
         sim::Addr region = 0;

@@ -33,6 +33,20 @@ class StridePrefetcher final : public Prefetcher
     void train(const TrainEvent& ev, PrefetchHost& host) override;
     const std::string& name() const override { return name_; }
 
+    void
+    checkpoint(sim::Snapshot& s) override
+    {
+        Prefetcher::checkpoint(s);
+        s.section("pf.stride");
+        s.io_vec(table_, [](sim::Snapshot& a, Entry& e) {
+            a.io(e.pc);
+            a.io(e.last_block);
+            a.io(e.stride);
+            a.io(e.confidence);
+            a.io(e.valid);
+        });
+    }
+
   private:
     struct Entry {
         sim::Pc pc = 0;

@@ -44,6 +44,15 @@ class Drrip final : public cache::ReplacementPolicy
     /** True when the selector currently favours SRRIP (tests). */
     bool srrip_winning() const { return psel_ <= 0; }
 
+    void
+    checkpoint(sim::Snapshot& s) override
+    {
+        s.section("repl.drrip");
+        s.io_pod_vec(rrpv_);
+        s.io(psel_);
+        rng_.checkpoint(s);
+    }
+
   private:
     enum class SetRole : std::uint8_t { FollowSrrip, LeadSrrip, LeadBrrip };
 

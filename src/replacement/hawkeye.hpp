@@ -51,6 +51,13 @@ class HawkeyePredictor
     /** Raw counter value (tests). */
     std::uint8_t counter(sim::Pc pc) const;
 
+    void
+    checkpoint(sim::Snapshot& s)
+    {
+        s.section("hawkeye.predictor");
+        s.io_pod_vec(table_);
+    }
+
   private:
     std::uint32_t index(sim::Pc pc) const;
     std::vector<std::uint8_t> table_;
@@ -76,6 +83,20 @@ class Hawkeye final : public cache::ReplacementPolicy
 
     /** Fraction of sampled accesses OPT would have hit (diagnostics). */
     double sampled_opt_hit_rate() const;
+
+    void
+    checkpoint(sim::Snapshot& s) override
+    {
+        s.section("repl.hawkeye");
+        predictor_.checkpoint(s);
+        for (auto& sampled : samplers_) {
+            sampled.optgen.checkpoint(s);
+            s.io_map(sampled.last_pc);
+            s.io(sampled.last_prune);
+        }
+        s.io_pod_vec(rrpv_);
+        s.io_pod_vec(line_pcs_);
+    }
 
   private:
     struct SampledSet {

@@ -36,6 +36,14 @@ class Lru final : public cache::ReplacementPolicy
         return true;
     }
 
+    void
+    checkpoint(sim::Snapshot& s) override
+    {
+        s.section("repl.lru");
+        s.io(clock_);
+        s.io_pod_vec(stamps_);
+    }
+
   private:
     std::uint64_t& stamp(std::uint32_t set, std::uint32_t way);
 

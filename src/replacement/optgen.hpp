@@ -23,6 +23,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/snapshot.hpp"
+
 namespace triage::replacement {
 
 /** One OPTgen instance models a single fully-associative set/sandbox. */
@@ -70,6 +72,23 @@ class OptGen
 
     /** Reset only the hit/access counters (start a new measurement epoch). */
     void clear_counters() { accesses_ = 0; hits_ = 0; }
+
+    /**
+     * Save/restore the mutable window state. Geometry (capacity_,
+     * window_, leaves_) is construction-time and must already match.
+     */
+    void
+    checkpoint(sim::Snapshot& s)
+    {
+        s.section("optgen");
+        s.io(now_);
+        s.io_pod_vec(tmax_);
+        s.io_pod_vec(tadd_);
+        s.io_map(last_seen_);
+        s.io(accesses_);
+        s.io(hits_);
+        s.io(last_prune_);
+    }
 
   private:
     // Lazy segment tree over the circular occupancy window. Nodes

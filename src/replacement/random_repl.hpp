@@ -30,6 +30,13 @@ class RandomRepl final : public cache::ReplacementPolicy
 
     const char* name() const override { return "random"; }
 
+    void
+    checkpoint(sim::Snapshot& s) override
+    {
+        s.section("repl.random");
+        rng_.checkpoint(s);
+    }
+
   private:
     util::Rng rng_;
 };

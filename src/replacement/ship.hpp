@@ -40,6 +40,18 @@ class Ship final : public cache::ReplacementPolicy
     /** Counter for a PC signature (tests). */
     std::uint8_t counter_of(sim::Pc pc) const;
 
+    void
+    checkpoint(sim::Snapshot& s) override
+    {
+        s.section("repl.ship");
+        s.io_vec(lines_, [](sim::Snapshot& a, LineState& l) {
+            a.io(l.rrpv);
+            a.io(l.outcome);
+            a.io(l.signature);
+        });
+        s.io_pod_vec(shct_);
+    }
+
   private:
     struct LineState {
         std::uint8_t rrpv;

@@ -26,6 +26,13 @@ class Srrip final : public cache::ReplacementPolicy
                          std::uint32_t way_end) override;
     const char* name() const override { return "srrip"; }
 
+    void
+    checkpoint(sim::Snapshot& s) override
+    {
+        s.section("repl.srrip");
+        s.io_pod_vec(rrpv_);
+    }
+
   private:
     static constexpr std::uint8_t MAX_RRPV = 3;
 

@@ -120,6 +120,7 @@ CoreModel::run_until(Cycle target)
     while (dispatch_cycle_ < target) {
         if (!wl_->next(rec))
             return false;
+        ++wl_records_;
         step(rec);
     }
     return true;
@@ -136,8 +137,25 @@ CoreModel::run_records(std::uint64_t n)
             if (!wl_->next(rec))
                 return; // empty workload
         }
+        ++wl_records_;
         step(rec);
     }
+}
+
+void
+CoreModel::restore_workload_position(std::uint64_t n)
+{
+    TRIAGE_ASSERT(wl_ != nullptr, "no workload bound");
+    wl_->reset();
+    TraceRecord rec;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        if (!wl_->next(rec)) {
+            wl_->reset();
+            if (!wl_->next(rec))
+                break; // empty workload
+        }
+    }
+    wl_records_ = n;
 }
 
 Cycle

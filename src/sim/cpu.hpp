@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "sim/config.hpp"
+#include "sim/snapshot.hpp"
 #include "sim/trace.hpp"
 #include "sim/types.hpp"
 
@@ -81,6 +82,46 @@ class CoreModel
     void clear_stats() { stats_ = {}; }
     unsigned core_id() const { return core_id_; }
 
+    /**
+     * Records successfully pulled from the bound workload since
+     * construction (across passes). This is the core's *workload
+     * cursor*: workloads are deterministic functions of their reset
+     * state, so replaying this many next() calls from reset()
+     * reproduces the cursor exactly — which is how checkpoints restore
+     * workload position without serializing kernel internals.
+     */
+    std::uint64_t workload_records() const { return wl_records_; }
+
+    /**
+     * Re-derive the bound workload's cursor by replaying @p n records
+     * from reset (mirroring run_records' wrap-at-EOF rule), and adopt
+     * @p n as this core's cursor count. The workload must be the same
+     * deterministic program the snapshot was taken with.
+     */
+    void restore_workload_position(std::uint64_t n);
+
+    /** Save/restore timing state, ROB contents and counters. The
+     *  workload cursor travels as a replay count (see above). */
+    void
+    checkpoint(Snapshot& s)
+    {
+        s.section("core");
+        s.io_pod_vec(rob_);
+        s.io(rob_head_);
+        s.io(rob_count_);
+        s.io(dispatch_cycle_);
+        s.io(dispatched_this_cycle_);
+        s.io(retire_cycle_);
+        s.io(retired_this_cycle_);
+        s.io_pod_vec(mem_completions_);
+        s.io(mem_seq_);
+        s.io_pod(stats_);
+        std::uint64_t wl_n = wl_records_;
+        s.io(wl_n);
+        if (s.loading())
+            restore_workload_position(wl_n);
+    }
+
   private:
     void step(const TraceRecord& rec);
     void dispatch_one(Cycle completion);
@@ -105,6 +146,10 @@ class CoreModel
     static constexpr std::uint32_t DEP_RING = 1024;
     std::vector<Cycle> mem_completions_;
     std::uint64_t mem_seq_ = 0;
+
+    /** Successful wl_->next() calls since construction (see
+     *  workload_records()). */
+    std::uint64_t wl_records_ = 0;
 
     CoreStats stats_;
 };

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "sim/config.hpp"
+#include "sim/snapshot.hpp"
 #include "sim/types.hpp"
 
 namespace triage::obs {
@@ -111,6 +112,22 @@ class Dram
 
     /** Bind per-class byte counters into @p reg under @p prefix. */
     void register_stats(obs::Registry& reg, const std::string& prefix) const;
+
+    /** Save/restore channel queues and traffic accounting. */
+    void
+    checkpoint(Snapshot& s)
+    {
+        s.section("dram");
+        s.io_vec(channels_, [](Snapshot& a, Channel& c) {
+            a.io(c.demand_q);
+            a.io(c.bg_q);
+            a.io(c.last_drain);
+            a.io(c.demand_iat);
+            a.io(c.last_demand);
+        });
+        s.io_pod(traffic_);
+        s.io(dropped_prefetches_);
+    }
 
   private:
     struct Channel {

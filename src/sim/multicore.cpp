@@ -1,6 +1,10 @@
 #include "sim/multicore.hpp"
 
 #include <algorithm>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
 
 #include "sim/obs_wiring.hpp"
 #include "sim/system.hpp"
@@ -8,6 +12,116 @@
 #include "util/log.hpp"
 
 namespace triage::sim {
+
+namespace {
+
+/**
+ * Persistent worker pool driving one sharded measurement phase: each
+ * quantum, every core index is dispatched exactly once (static stride
+ * partition — which thread runs which core cannot affect results, the
+ * shards are independent), and run() returns only after all cores hit
+ * the barrier. With one thread the quantum runs inline on the caller,
+ * which is the serial execution the determinism suite compares against.
+ */
+class QuantumCrew
+{
+  public:
+    QuantumCrew(unsigned threads, unsigned cores)
+        : threads_(std::max(1u, std::min(threads, cores))), cores_(cores)
+    {
+        if (threads_ <= 1)
+            return;
+        workers_.reserve(threads_ - 1);
+        for (unsigned t = 1; t < threads_; ++t)
+            workers_.emplace_back([this, t] { worker(t); });
+    }
+
+    ~QuantumCrew()
+    {
+        if (threads_ <= 1)
+            return;
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        for (auto& w : workers_)
+            w.join();
+    }
+
+    unsigned threads() const { return threads_; }
+
+    /** Run fn(core) for every core; returns once all are done. */
+    void
+    run(const std::function<void(unsigned)>& fn)
+    {
+        if (threads_ <= 1) {
+            for (unsigned c = 0; c < cores_; ++c)
+                fn(c);
+            return;
+        }
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            fn_ = &fn;
+            pending_ = threads_ - 1;
+            ++generation_;
+        }
+        cv_.notify_all();
+        slice(0);
+        std::unique_lock<std::mutex> lk(mu_);
+        done_cv_.wait(lk, [&] { return pending_ == 0; });
+        fn_ = nullptr;
+    }
+
+  private:
+    void
+    slice(unsigned id)
+    {
+        for (unsigned c = id; c < cores_; c += threads_)
+            (*fn_)(c);
+    }
+
+    void
+    worker(unsigned id)
+    {
+        std::uint64_t seen = 0;
+        std::unique_lock<std::mutex> lk(mu_);
+        for (;;) {
+            cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+            if (stop_)
+                return;
+            seen = generation_;
+            lk.unlock();
+            slice(id);
+            lk.lock();
+            if (--pending_ == 0)
+                done_cv_.notify_one();
+        }
+    }
+
+    unsigned threads_;
+    unsigned cores_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::condition_variable done_cv_;
+    const std::function<void(unsigned)>* fn_ = nullptr;
+    unsigned pending_ = 0;
+    std::uint64_t generation_ = 0;
+    bool stop_ = false;
+    std::vector<std::thread> workers_;
+};
+
+unsigned
+effective_threads(unsigned requested, unsigned cores)
+{
+    if (requested == 0) {
+        requested =
+            std::min(cores, std::max(1u, std::thread::hardware_concurrency()));
+    }
+    return std::max(1u, std::min(requested, cores));
+}
+
+} // namespace
 
 MultiCoreSystem::MultiCoreSystem(const MachineConfig& cfg, unsigned n_cores)
     : cfg_(cfg), n_cores_(n_cores), mem_(cfg, n_cores),
@@ -17,6 +131,8 @@ MultiCoreSystem::MultiCoreSystem(const MachineConfig& cfg, unsigned n_cores)
     for (unsigned c = 0; c < n_cores; ++c)
         cores_.push_back(std::make_unique<CoreModel>(cfg, mem_, c));
 }
+
+MultiCoreSystem::~MultiCoreSystem() = default;
 
 void
 MultiCoreSystem::set_prefetcher(unsigned core,
@@ -42,23 +158,26 @@ MultiCoreSystem::advance(unsigned core, Cycle target)
     }
 }
 
-RunResult
-MultiCoreSystem::run(std::uint64_t warmup_records,
-                     std::uint64_t measure_records, Cycle quantum)
+void
+MultiCoreSystem::run_warmup(std::uint64_t warmup_records, Cycle quantum)
 {
     for (unsigned c = 0; c < n_cores_; ++c)
         TRIAGE_ASSERT(workloads_[c] != nullptr, "core without workload");
+    TRIAGE_ASSERT(!warmed_, "run_warmup on an already-warm system");
 
     // A 1-program "mix" has no co-runners, so it must be
     // indistinguishable from the single-core system. The quantum-based
     // warmup below overshoots the warm point (it stops at a cycle
     // boundary, not a record boundary), so delegate to the shared
     // record-exact protocol instead (tools/diff_fidelity pins this).
-    if (n_cores_ == 1)
-        return run_one_core(mem_, *cores_[0], warmup_records,
-                            measure_records, obs_);
+    if (n_cores_ == 1) {
+        er_ = std::make_unique<EpochRun>(mem_, *cores_[0]);
+        er_->run_warmup(warmup_records);
+        warmed_ = true;
+        return;
+    }
 
-    // Phase 1: warm until every core has executed warmup_records.
+    // Warm until every core has executed warmup_records.
     Cycle global = quantum;
     auto all_warm = [&] {
         for (unsigned c = 0; c < n_cores_; ++c) {
@@ -72,8 +191,56 @@ MultiCoreSystem::run(std::uint64_t warmup_records,
             advance(c, global);
         global += quantum;
     }
+    warm_global_ = global;
+    warmed_ = true;
+}
+
+void
+MultiCoreSystem::checkpoint_warm(Snapshot& s)
+{
+    for (unsigned c = 0; c < n_cores_; ++c)
+        TRIAGE_ASSERT(workloads_[c] != nullptr, "core without workload");
+    if (s.saving())
+        TRIAGE_ASSERT(warmed_, "checkpoint_warm before run_warmup");
+
+    s.section("multicore.warm");
+    std::uint32_t n = n_cores_;
+    s.io(n);
+    TRIAGE_ASSERT(n == n_cores_, "core-count mismatch on restore");
+    if (n_cores_ == 1) {
+        if (s.loading() && er_ == nullptr)
+            er_ = std::make_unique<EpochRun>(mem_, *cores_[0]);
+        er_->checkpoint(s);
+    } else {
+        s.io(warm_global_);
+        mem_.checkpoint(s);
+        for (auto& c : cores_)
+            c->checkpoint(s);
+    }
+    if (s.loading())
+        warmed_ = true;
+}
+
+RunResult
+MultiCoreSystem::run_measure(std::uint64_t measure_records, Cycle quantum,
+                             ExecMode mode, unsigned threads)
+{
+    TRIAGE_ASSERT(warmed_,
+                  "run_measure needs a warm system (run_warmup or a "
+                  "restoring checkpoint_warm)");
+    warmed_ = false;
+
+    if (n_cores_ == 1) {
+        er_->begin_measure(measure_records, obs_);
+        while (er_->step_epoch()) {
+        }
+        RunResult r = er_->finish();
+        er_.reset();
+        return r;
+    }
 
     // Global measurement start.
+    Cycle global = warm_global_;
     mem_.clear_stats(global);
     std::vector<CoreStats> base(n_cores_);
     std::vector<Cycle> start_cycle(n_cores_);
@@ -91,6 +258,17 @@ MultiCoreSystem::run(std::uint64_t warmup_records,
             core_ptrs.push_back(c.get());
         attach_observability(*obs_, mem_, core_ptrs);
     }
+    const bool sharded = mode == ExecMode::Sharded;
+    if (sharded) {
+        // The registry, sampler and verifier read only at quantum
+        // barriers (main thread) and stay attached; the event trace,
+        // lifecycle tracker and partition timeline are driven from the
+        // access path and cannot cross shard threads.
+        detach_observability(mem_);
+    }
+    QuantumCrew crew(sharded ? effective_threads(threads, n_cores_) : 1,
+                     n_cores_);
+
     const bool sampling = obs_ != nullptr && obs_->sampler.enabled();
     obs::RunVerifier* verifier =
         obs_ != nullptr ? obs_->verifier : nullptr;
@@ -113,11 +291,20 @@ MultiCoreSystem::run(std::uint64_t warmup_records,
         return p;
     };
 
-    // Phase 2: run until every core finishes its measurement window.
+    // Run until every core finishes its measurement window. Each
+    // iteration is one epoch unit per core: a bounded quantum ending at
+    // a barrier where shared-state ops merge (sharded) and the sampler
+    // and verifier observe a consistent system.
     unsigned remaining = n_cores_;
     while (remaining > 0) {
-        for (unsigned c = 0; c < n_cores_; ++c)
-            advance(c, global);
+        if (sharded) {
+            mem_.shard_begin();
+            crew.run([this, global](unsigned c) { advance(c, global); });
+            mem_.shard_merge();
+        } else {
+            for (unsigned c = 0; c < n_cores_; ++c)
+                advance(c, global);
+        }
         global += quantum;
         for (unsigned c = 0; c < n_cores_; ++c) {
             if (done[c])
@@ -179,6 +366,15 @@ MultiCoreSystem::run(std::uint64_t warmup_records,
     if (obs_ != nullptr)
         obs_->freeze();
     return res;
+}
+
+RunResult
+MultiCoreSystem::run(std::uint64_t warmup_records,
+                     std::uint64_t measure_records, Cycle quantum,
+                     ExecMode mode, unsigned threads)
+{
+    run_warmup(warmup_records, quantum);
+    return run_measure(measure_records, quantum, mode, threads);
 }
 
 } // namespace triage::sim

@@ -5,6 +5,14 @@
  * quanta; early-finishing benchmarks restart so every benchmark always
  * observes contention; per-core measurement windows are counted in
  * memory references from the global warm point.
+ *
+ * The run is split into resumable phases: run_warmup() reaches the warm
+ * point, checkpoint_warm() serializes/restores it (exec::Lab forks
+ * sweeps from shared warm snapshots), and run_measure() executes the
+ * measurement window — serially (ExecMode::Legacy) or with per-core
+ * epoch units on a thread pool rendezvousing at quantum barriers
+ * (ExecMode::Sharded, see docs/parallel-runs.md). Sharded results are
+ * bit-identical for any thread count.
  */
 #ifndef TRIAGE_SIM_MULTICORE_HPP
 #define TRIAGE_SIM_MULTICORE_HPP
@@ -16,15 +24,19 @@
 #include "obs/observer.hpp"
 #include "sim/cpu.hpp"
 #include "sim/run_stats.hpp"
+#include "sim/snapshot.hpp"
 #include "sim/trace.hpp"
 
 namespace triage::sim {
+
+class EpochRun;
 
 /** N-core simulation harness. */
 class MultiCoreSystem
 {
   public:
     MultiCoreSystem(const MachineConfig& cfg, unsigned n_cores);
+    ~MultiCoreSystem();
 
     /** Install the L2 prefetcher for @p core (null = none). */
     void set_prefetcher(unsigned core,
@@ -37,9 +49,39 @@ class MultiCoreSystem
      * Warm every core for @p warmup_records references, clear stats,
      * then measure until every core has executed @p measure_records
      * more references. @p quantum bounds cross-core time skew.
+     * Equivalent to run_warmup() followed by run_measure().
      */
     RunResult run(std::uint64_t warmup_records,
-                  std::uint64_t measure_records, Cycle quantum = 1000);
+                  std::uint64_t measure_records, Cycle quantum = 1000,
+                  ExecMode mode = ExecMode::Legacy, unsigned threads = 0);
+
+    /**
+     * Phase 1: advance every core past its warmup window. Warmup always
+     * runs the legacy serial interleaving, so the warm state is
+     * independent of the measurement-phase ExecMode (a warm checkpoint
+     * serves both). @p quantum must match the later run_measure()'s.
+     */
+    void run_warmup(std::uint64_t warmup_records, Cycle quantum = 1000);
+
+    /**
+     * Serialize the warm state (after run_warmup), or restore it into a
+     * freshly constructed, identically configured system with the same
+     * workloads bound. A restoring call leaves the system ready for
+     * run_measure(), bit-identical to having warmed up in-process.
+     */
+    void checkpoint_warm(Snapshot& s);
+
+    /**
+     * Phase 2: the measurement window, from the warm point. Legacy mode
+     * interleaves cores serially; Sharded mode runs each core's quantum
+     * on @p threads workers (0 = one per core, capped at the hardware)
+     * against a frozen view of the shared state, merging logged
+     * operations in fixed core-major order at each quantum barrier.
+     */
+    RunResult run_measure(std::uint64_t measure_records,
+                          Cycle quantum = 1000,
+                          ExecMode mode = ExecMode::Legacy,
+                          unsigned threads = 0);
 
     cache::MemorySystem& memory() { return mem_; }
     unsigned num_cores() const { return n_cores_; }
@@ -48,7 +90,10 @@ class MultiCoreSystem
      * Attach an observability bundle. Epoch progress is the minimum
      * measured-record count across cores, so every core has executed
      * at least [begin, end) records when an epoch closes. Null
-     * detaches.
+     * detaches. Sharded measurement keeps the registry, sampler and
+     * verifier (all driven at quantum barriers) but detaches the event
+     * trace, lifecycle tracker and partition timeline — those observers
+     * cannot be driven from shard threads.
      */
     void set_observability(obs::Observability* o) { obs_ = o; }
 
@@ -62,6 +107,13 @@ class MultiCoreSystem
     std::vector<std::unique_ptr<Workload>> workloads_;
     std::vector<std::unique_ptr<CoreModel>> cores_;
     obs::Observability* obs_ = nullptr;
+
+    /** Record-exact protocol when n_cores_ == 1 (see run_one_core). */
+    std::unique_ptr<EpochRun> er_;
+    /** Global cycle target at the warm point (n_cores_ > 1). */
+    Cycle warm_global_ = 0;
+    /** run_warmup/checkpoint_warm completed; consumed by run_measure. */
+    bool warmed_ = false;
 };
 
 } // namespace triage::sim

@@ -12,19 +12,98 @@
 #include "obs/observer.hpp"
 #include "sim/cpu.hpp"
 #include "sim/run_stats.hpp"
+#include "sim/snapshot.hpp"
 #include "sim/trace.hpp"
 
 namespace triage::sim {
 
 /**
- * The single-core measurement protocol, shared by SingleCoreSystem and
- * by MultiCoreSystem when it runs exactly one core: warm @p core for
- * @p warmup_records references, clear stats, attach @p obs (when
- * non-null), run the measurement window — chunked when the sampler or
- * an attached RunVerifier needs epoch boundaries — drain, and
- * assemble the RunResult. Keeping one implementation is what makes a
- * 1-program mix bit-identical to the single-core system, a property
- * the differential suite (tools/diff_fidelity) pins.
+ * The single-core measurement protocol as an explicit state machine:
+ * warmup, measurement in epoch units, and epoch boundaries a run can
+ * stop at, serialize, and resume from bit-identically.
+ *
+ * Phases advance Fresh -> Warm -> Measuring -> Done:
+ *
+ *   EpochRun er(mem, core);
+ *   er.run_warmup(warmup_records);        // Fresh -> Warm
+ *   er.begin_measure(measure, obs);       // Warm -> Measuring
+ *   while (er.step_epoch()) {}            // Measuring -> Done
+ *   RunResult r = er.finish();
+ *
+ * Chunking the window into epoch units is behavior-identical to one
+ * big run_records() call, so this decomposition reproduces the legacy
+ * protocol byte for byte (tools/diff_fidelity pins it). checkpoint()
+ * serializes the whole run — hierarchy, core, workload cursor, and the
+ * measurement bookkeeping — at the warm point or at any epoch boundary;
+ * restoring into an identically constructed system resumes the run as
+ * if it had never stopped.
+ *
+ * Shared by SingleCoreSystem and by MultiCoreSystem when it runs
+ * exactly one core, which is what makes a 1-program mix bit-identical
+ * to the single-core system.
+ */
+class EpochRun
+{
+  public:
+    enum class Phase : std::uint8_t {
+        Fresh = 0,
+        Warm = 1,
+        Measuring = 2,
+        Done = 3,
+    };
+
+    EpochRun(cache::MemorySystem& mem, CoreModel& core);
+
+    /** Execute the warmup window (Fresh -> Warm). */
+    void run_warmup(std::uint64_t warmup_records);
+
+    /**
+     * Start the measurement window (Warm -> Measuring): clear stats,
+     * capture baselines, attach @p obs (may be null).
+     */
+    void begin_measure(std::uint64_t measure_records,
+                       obs::Observability* obs);
+
+    /**
+     * Run one epoch unit (the sampler's epoch length when sampling,
+     * otherwise the verifier's default), then close the epoch: sample,
+     * run the invariant sweep. @return false once the window is
+     * complete (Measuring -> Done).
+     */
+    bool step_epoch();
+
+    /** Drain and assemble the RunResult (requires Done). */
+    RunResult finish();
+
+    Phase phase() const { return phase_; }
+
+    /**
+     * Save/restore the run at a phase boundary: valid at Warm (warm
+     * forking — exec::Lab's checkpoint sharing) or between step_epoch()
+     * calls with no observability attached (mid-run resume; the
+     * sampler's accumulators are not serializable).
+     */
+    void checkpoint(Snapshot& s);
+
+  private:
+    std::uint64_t epoch_len() const;
+
+    cache::MemorySystem& mem_;
+    CoreModel& core_;
+    obs::Observability* obs_ = nullptr;
+    Phase phase_ = Phase::Fresh;
+    std::uint64_t measure_records_ = 0;
+    std::uint64_t done_ = 0;
+    CoreStats before_{};
+    Cycle start_ = 0;
+};
+
+/**
+ * The legacy single-call protocol: warm @p core for @p warmup_records
+ * references, measure the next @p measure_records, and assemble the
+ * RunResult. Composed from EpochRun — one implementation of the epoch
+ * protocol serves the single-core system, 1-program mixes, and the
+ * checkpoint/resume paths.
  */
 RunResult run_one_core(cache::MemorySystem& mem, CoreModel& core,
                        std::uint64_t warmup_records,
@@ -47,6 +126,25 @@ class SingleCoreSystem
     RunResult run(Workload& wl, std::uint64_t warmup_records,
                   std::uint64_t measure_records);
 
+    // --- Resumable protocol (the phases run() composes) ---------------
+
+    /** Attach the workload without running anything. */
+    void bind(Workload& wl) { core_.bind(&wl); }
+
+    /** Execute the warmup window (requires bind()). */
+    void run_warmup(std::uint64_t warmup_records);
+
+    /**
+     * Save the warm state, or restore it into a freshly constructed,
+     * identically configured system (requires bind(); the workload is
+     * restored by deterministic replay, see CoreModel::checkpoint).
+     */
+    void checkpoint_warm(Snapshot& s);
+
+    /** Measure from the warm point (after run_warmup or a restoring
+     *  checkpoint_warm) and return the result. */
+    RunResult run_measure(std::uint64_t measure_records);
+
     cache::MemorySystem& memory() { return mem_; }
     CoreModel& core() { return core_; }
 
@@ -63,6 +161,7 @@ class SingleCoreSystem
     cache::MemorySystem mem_;
     CoreModel core_;
     obs::Observability* obs_ = nullptr;
+    std::unique_ptr<EpochRun> er_; ///< live between run_warmup and finish
 };
 
 } // namespace triage::sim

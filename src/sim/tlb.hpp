@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/snapshot.hpp"
 #include "sim/types.hpp"
 
 namespace triage::obs {
@@ -49,6 +50,22 @@ class Tlb
 
     /** Bind access/miss/walk counters into @p reg under @p prefix. */
     void register_stats(obs::Registry& reg, const std::string& prefix) const;
+
+    /** Save/restore warm TLB contents (docs/parallel-runs.md). */
+    void
+    checkpoint(Snapshot& s)
+    {
+        s.section("tlb");
+        auto per = [](Snapshot& a, Entry& e) {
+            a.io(e.page);
+            a.io(e.lru);
+            a.io(e.valid);
+        };
+        s.io_vec(l1_, per);
+        s.io_vec(l2_, per);
+        s.io(clock_);
+        s.io_pod(stats_);
+    }
 
   private:
     static constexpr unsigned PAGE_SHIFT = 12;

@@ -76,6 +76,13 @@ class MetaRepl
 
     virtual const char* name() const = 0;
 
+    /**
+     * Save/restore the policy's mutable state (stamps / RRIP +
+     * predictor + samplers). The bound MetaReplStats block is owned and
+     * serialized by the MetadataStore, not here.
+     */
+    virtual void checkpoint(sim::Snapshot& s) = 0;
+
     /** Attach (or detach, with null) externally-owned counters. */
     void bind_stats(MetaReplStats* stats) { stats_ = stats; }
 
@@ -98,6 +105,14 @@ class MetaLru final : public MetaRepl
     void on_invalidate(std::uint32_t set, std::uint32_t way) override;
     std::uint32_t victim(std::uint32_t set) override;
     const char* name() const override { return "lru"; }
+
+    void
+    checkpoint(sim::Snapshot& s) override
+    {
+        s.section("meta_repl.lru");
+        s.io(clock_);
+        s.io_pod_vec(stamps_);
+    }
 
   private:
     std::uint32_t ways_;
@@ -130,6 +145,19 @@ class MetaHawkeye final : public MetaRepl
     const replacement::HawkeyePredictor& predictor() const
     {
         return predictor_;
+    }
+
+    void
+    checkpoint(sim::Snapshot& s) override
+    {
+        s.section("meta_repl.hawkeye");
+        predictor_.checkpoint(s);
+        for (auto& sampled : samplers_) {
+            sampled.optgen.checkpoint(s);
+            s.io_map(sampled.last_pc);
+        }
+        s.io_pod_vec(rrpv_);
+        s.io_pod_vec(pcs_);
     }
 
   private:

@@ -137,6 +137,38 @@ class MetadataStore
     void self_check(
         const std::function<void(const std::string&)>& report) const;
 
+    /**
+     * Save/restore the full store: current capacity (restore rebuilds
+     * the geometry and policy through build() before loading into
+     * them), entries, search keys, replacement + compressor state and
+     * both counter blocks.
+     */
+    void
+    checkpoint(sim::Snapshot& s)
+    {
+        s.section("triage.store");
+        std::uint64_t cap = capacity_bytes_;
+        s.io(cap);
+        if (s.loading() && cap != capacity_bytes_)
+            build(cap);
+        s.io_vec(entries_, [](sim::Snapshot& a, Entry& e) {
+            a.io(e.trigger_ctag);
+            a.io(e.next_ctag);
+            a.io(e.next_set);
+            a.io(e.confident);
+            a.io(e.valid);
+            a.io(e.full_trigger);
+            a.io(e.full_next);
+        });
+        s.io_pod_vec(keys_);
+        s.io(live_entries_);
+        if (repl_ != nullptr)
+            repl_->checkpoint(s);
+        compressor_.checkpoint(s);
+        s.io_pod(stats_);
+        s.io_pod(repl_stats_);
+    }
+
   private:
     struct Entry {
         std::uint16_t trigger_ctag = 0;

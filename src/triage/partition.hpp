@@ -179,6 +179,30 @@ class PartitionController
     void self_check(
         const std::function<void(const std::string&)>& report) const;
 
+    /**
+     * Save/restore sandboxes, rate history, epoch position and the
+     * decision-ladder state. Config is construction-time.
+     */
+    void
+    checkpoint(sim::Snapshot& s)
+    {
+        s.section("triage.partition");
+        for (auto& sb : sandboxes_)
+            sb.checkpoint(s);
+        s.io_pod_vec(last_rates_);
+        s.io(accesses_);
+        s.io(sampled_);
+        s.io(level_);
+        s.io(epochs_);
+        s.io(pending_level_);
+        s.io(pending_count_);
+        s.io(useful_);
+        s.io(issued_);
+        s.io(epochs_at_level_);
+        s.io(cooldown_);
+        s.io_pod(dstats_);
+    }
+
   private:
     void end_epoch();
     /** Decision half of end_epoch(): everything after rate harvest. */

@@ -17,6 +17,7 @@
 #include <optional>
 #include <vector>
 
+#include "sim/snapshot.hpp"
 #include "sim/types.hpp"
 
 namespace triage::core {
@@ -66,6 +67,24 @@ class TagCompressor
 
     std::uint64_t recycles() const { return recycles_; }
     std::uint32_t capacity() const { return 1u << cfg_.id_bits; }
+
+    void
+    checkpoint(sim::Snapshot& s)
+    {
+        s.section("triage.tags");
+        s.io_vec(slots_, [](sim::Snapshot& a, Slot& e) {
+            a.io(e.tag);
+            a.io(e.lru);
+            a.io(e.valid);
+        });
+        s.io_vec(map_, [](sim::Snapshot& a, MapSlot& e) {
+            a.io(e.tag);
+            a.io(e.id);
+            a.io(e.used);
+        });
+        s.io(clock_);
+        s.io(recycles_);
+    }
 
   private:
     struct Slot {

@@ -11,6 +11,7 @@
 #include <optional>
 #include <vector>
 
+#include "sim/snapshot.hpp"
 #include "sim/types.hpp"
 
 namespace triage::core {
@@ -42,6 +43,17 @@ class TrainingUnit
     std::optional<sim::Addr> last_of(sim::Pc pc) const;
 
     std::uint32_t capacity() const { return capacity_; }
+
+    void
+    checkpoint(sim::Snapshot& s)
+    {
+        s.section("triage.tu");
+        s.io(valid_from_);
+        s.io_pod_vec(pcs_);
+        s.io_pod_vec(last_);
+        s.io_pod_vec(lru_);
+        s.io(clock_);
+    }
 
   private:
     std::uint32_t capacity_;

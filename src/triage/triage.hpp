@@ -104,6 +104,19 @@ class Triage final : public prefetch::Prefetcher
         return reuse_counts_;
     }
 
+    void
+    checkpoint(sim::Snapshot& s) override
+    {
+        Prefetcher::checkpoint(s);
+        s.section("pf.triage");
+        tu_.checkpoint(s);
+        store_.checkpoint(s);
+        partition_.checkpoint(s);
+        s.io_map(unlimited_map_);
+        s.io_map(reuse_counts_);
+        s.io(capacity_requested_);
+    }
+
   private:
     /** One chained metadata lookup; returns successor or nullopt. */
     std::optional<sim::Addr> lookup_next(sim::Addr trigger, unsigned core,

@@ -52,6 +52,24 @@ class Rng
      */
     std::uint64_t next_zipf(std::uint64_t n, double s);
 
+    /**
+     * Serialize / restore the full generator state (including the zipf
+     * envelope cache, whose doubles feed subsequent draws) through a
+     * snapshot-style archive. Templated so util stays below sim in the
+     * library graph; ArchiveT is sim::Snapshot.
+     */
+    template <typename ArchiveT>
+    void
+    checkpoint(ArchiveT& ar)
+    {
+        ar.io(state_);
+        ar.io(inc_);
+        ar.io(zipf_n_);
+        ar.io(zipf_s_);
+        ar.io(zipf_hx0_);
+        ar.io(zipf_hn_);
+    }
+
     /** Fisher-Yates shuffle of @p v. */
     template <typename T>
     void

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for sharded (in-run threaded) multicore execution. Registered
+ * with TEST_PREFIX threaded_ so `ctest -R threaded` selects exactly
+ * these — the CI TSan job runs them under ThreadSanitizer to prove the
+ * quantum-barrier protocol is race-free.
+ *
+ * The determinism contract (docs/parallel-runs.md): Sharded results
+ * are a function of the quantum partitioning only — bit-identical for
+ * ANY worker thread count, including 1. They are deliberately NOT
+ * bit-identical to Legacy serial interleaving (a serial core sees
+ * co-runners' intra-quantum LLC mutations; a shard does not), which is
+ * why ExecMode is part of the JobKey.
+ */
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/checkpoint.hpp"
+#include "exec/job.hpp"
+#include "sim/multicore.hpp"
+#include "sim/run_stats.hpp"
+#include "stats/experiment.hpp"
+#include "workloads/spec.hpp"
+
+using namespace triage;
+
+namespace {
+
+constexpr std::uint64_t WARM = 8000;
+constexpr std::uint64_t MEASURE = 30000;
+
+sim::RunResult
+run_mix(const std::vector<std::string>& mix, sim::ExecMode mode,
+        unsigned threads, sim::Cycle quantum = 1000)
+{
+    sim::MachineConfig cfg;
+    auto n = static_cast<unsigned>(mix.size());
+    sim::MultiCoreSystem sys(cfg, n);
+    for (unsigned c = 0; c < n; ++c) {
+        sys.set_prefetcher(c, stats::make_prefetcher("triage_dyn", 4));
+        auto wl = workloads::make_benchmark(mix[c]);
+        wl->set_instance(c);
+        sys.bind(c, *wl);
+    }
+    return sys.run(WARM, MEASURE, quantum, mode, threads);
+}
+
+void
+expect_identical(const sim::RunResult& x, const sim::RunResult& y)
+{
+    ASSERT_EQ(x.per_core.size(), y.per_core.size());
+    for (std::size_t c = 0; c < x.per_core.size(); ++c) {
+        const auto& a = x.per_core[c];
+        const auto& b = y.per_core[c];
+        EXPECT_EQ(a.instructions, b.instructions) << "core " << c;
+        EXPECT_EQ(a.mem_records, b.mem_records) << "core " << c;
+        EXPECT_EQ(a.cycles, b.cycles) << "core " << c;
+        EXPECT_EQ(a.l2.demand_hits, b.l2.demand_hits) << "core " << c;
+        EXPECT_EQ(a.l2.demand_misses, b.l2.demand_misses)
+            << "core " << c;
+        EXPECT_EQ(a.l2pf.issued(), b.l2pf.issued()) << "core " << c;
+        EXPECT_EQ(a.l2pf.useful, b.l2pf.useful) << "core " << c;
+        EXPECT_EQ(a.energy.offchip_accesses, b.energy.offchip_accesses)
+            << "core " << c;
+        EXPECT_EQ(a.avg_metadata_ways, b.avg_metadata_ways)
+            << "core " << c;
+    }
+    EXPECT_EQ(x.llc.demand_hits, y.llc.demand_hits);
+    EXPECT_EQ(x.llc.demand_misses, y.llc.demand_misses);
+    EXPECT_EQ(x.llc.evictions, y.llc.evictions);
+    EXPECT_EQ(x.traffic.total(), y.traffic.total());
+    EXPECT_EQ(x.span, y.span);
+}
+
+TEST(Sharded, BitIdenticalAcrossThreadCounts)
+{
+    const std::vector<std::string> mix = {"mcf", "omnetpp"};
+    const sim::RunResult one = run_mix(mix, sim::ExecMode::Sharded, 1);
+    for (unsigned t : {2u, 0u}) { // 0 = one thread per core
+        expect_identical(one, run_mix(mix, sim::ExecMode::Sharded, t));
+    }
+}
+
+TEST(Sharded, FourCoreMixMatchesSingleThread)
+{
+    const std::vector<std::string> mix = {"mcf", "omnetpp", "bwaves",
+                                          "sphinx3"};
+    expect_identical(run_mix(mix, sim::ExecMode::Sharded, 1),
+                     run_mix(mix, sim::ExecMode::Sharded, 4));
+}
+
+TEST(Sharded, RepeatedRunsAreDeterministic)
+{
+    const std::vector<std::string> mix = {"mcf", "lbm"};
+    expect_identical(run_mix(mix, sim::ExecMode::Sharded, 2),
+                     run_mix(mix, sim::ExecMode::Sharded, 2));
+}
+
+TEST(Sharded, QuantumIsPartOfTheSemantics)
+{
+    // A different quantum is a different (deterministic) result — which
+    // is why the quantum is part of the JobKey.
+    const std::vector<std::string> mix = {"mcf", "omnetpp"};
+    const sim::RunResult q1 =
+        run_mix(mix, sim::ExecMode::Sharded, 2, 1000);
+    const sim::RunResult q2 =
+        run_mix(mix, sim::ExecMode::Sharded, 2, 5000);
+    EXPECT_NE(q1.per_core[0].cycles, q2.per_core[0].cycles);
+}
+
+TEST(Sharded, LegacyModeUnaffectedByThreadRequest)
+{
+    // Legacy ignores the thread request entirely (it is serial by
+    // definition); asking for threads must not change anything.
+    const std::vector<std::string> mix = {"mcf", "omnetpp"};
+    expect_identical(run_mix(mix, sim::ExecMode::Legacy, 1),
+                     run_mix(mix, sim::ExecMode::Legacy, 4));
+}
+
+TEST(Sharded, KeyedSeparatelyFromLegacy)
+{
+    exec::Job j;
+    j.mix = {"mcf", "omnetpp"};
+    j.pf_spec = "triage_dyn";
+    j.scale.warmup_records = WARM;
+    j.scale.measure_records = MEASURE;
+    const exec::JobKey legacy = exec::key_of(j);
+    j.exec_mode = sim::ExecMode::Sharded;
+    const exec::JobKey sharded = exec::key_of(j);
+    EXPECT_NE(legacy, sharded);
+    EXPECT_NE(legacy.str(), sharded.str());
+    // ...but the warm prefix is shared: warmup always runs Legacy
+    // serial, so one warm checkpoint serves both modes.
+    EXPECT_EQ(exec::warm_prefix(legacy).str(),
+              exec::warm_prefix(sharded).str());
+    // The thread count is NOT keyed (results are thread-invariant).
+    j.threads = 8;
+    EXPECT_EQ(sharded, exec::key_of(j));
+}
+
+TEST(Sharded, WarmCheckpointForksIntoShardedMeasure)
+{
+    // Warm once (always Legacy serial), snapshot, then measure the
+    // same warm state under both thread counts: still bit-identical.
+    sim::MachineConfig cfg;
+    const std::vector<std::string> mix = {"mcf", "omnetpp"};
+    const std::string fp = "threaded-warm";
+
+    sim::SnapshotBlob blob;
+    {
+        sim::MultiCoreSystem sys(cfg, 2);
+        for (unsigned c = 0; c < 2; ++c) {
+            sys.set_prefetcher(c,
+                               stats::make_prefetcher("triage_dyn", 4));
+            auto wl = workloads::make_benchmark(mix[c]);
+            wl->set_instance(c);
+            sys.bind(c, *wl);
+        }
+        sys.run_warmup(WARM);
+        sim::Snapshot s;
+        sys.checkpoint_warm(s);
+        blob = s.seal(exec::CKPT_VERSION, fp);
+    }
+
+    auto measure_from_blob = [&](unsigned threads) {
+        sim::MultiCoreSystem sys(cfg, 2);
+        for (unsigned c = 0; c < 2; ++c) {
+            sys.set_prefetcher(c,
+                               stats::make_prefetcher("triage_dyn", 4));
+            auto wl = workloads::make_benchmark(mix[c]);
+            wl->set_instance(c);
+            sys.bind(c, *wl);
+        }
+        sim::Snapshot s =
+            sim::Snapshot::open_or_die(blob, exec::CKPT_VERSION, fp);
+        sys.checkpoint_warm(s);
+        return sys.run_measure(MEASURE, 1000, sim::ExecMode::Sharded,
+                               threads);
+    };
+    expect_identical(measure_from_blob(1), measure_from_blob(2));
+}
+
+} // namespace

@@ -419,6 +419,31 @@ check_bench(const Value& root)
         if (mode == nullptr || !mode->is_string() ||
             (mode->str != "full" && mode->str != "smoke"))
             fail(tag + ".mode must be 'full' or 'smoke'");
+        // Newer runs carry the end-to-end sweep wall clock (cold vs
+        // checkpoint-forked); absent on pre-checkpoint trajectory
+        // entries, validated whenever present.
+        if (const Value* sw = run.get("sweep_wallclock");
+            sw != nullptr) {
+            const std::string stag = tag + ".sweep_wallclock";
+            if (!sw->is_object()) {
+                fail(stag + " not an object");
+            } else {
+                const Value* name = sw->get("sweep");
+                if (name == nullptr || !name->is_string() ||
+                    name->str.empty())
+                    fail(stag + ".sweep missing or empty");
+                for (const char* key :
+                     {"jobs", "cold_seconds", "ckpt_seconds",
+                      "speedup"}) {
+                    const Value* v = sw->get(key);
+                    if (v == nullptr || !v->is_number() ||
+                        !std::isfinite(v->number) || v->number <= 0.0)
+                        fail(stag + "." + key +
+                             " missing or not a finite positive "
+                             "number");
+                }
+            }
+        }
         const Value* results = run.get("results");
         if (results == nullptr || !results->is_array() ||
             results->array.empty()) {

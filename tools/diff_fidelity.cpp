@@ -12,7 +12,11 @@
  *   split    trace replay split at arbitrary record boundaries vs the
  *            unsplit trace;
  *   jobs     a sweep executed on a parallel lab (--jobs=N) vs the same
- *            sweep run serially.
+ *            sweep run serially;
+ *   ckpt     a run forked from a memoized warm-state checkpoint vs the
+ *            same run warming up cold (single-core and 2-core mix);
+ *   threaded a Sharded-mode mix on N worker threads vs the same mix on
+ *            one thread (sharded results are thread-count invariant).
  *
  * Exit status 0 iff every selected pair matches; mismatching fields
  * are printed one per line.
@@ -24,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/checkpoint.hpp"
 #include "exec/job.hpp"
 #include "exec/lab.hpp"
 #include "sim/config.hpp"
@@ -50,8 +55,8 @@ usage(const char* argv0)
 {
     std::printf(
         "usage: %s [options]\n"
-        "  --pair=P        degree0 | mix1 | split | jobs | all "
-        "(default all)\n"
+        "  --pair=P        degree0 | mix1 | split | jobs | ckpt | "
+        "threaded | all (default all)\n"
         "  --benchmark=B   benchmark analog (default mcf)\n"
         "  --warmup=N      warmup records per run (default 100000)\n"
         "  --measure=N     measured records per run (default 400000)\n"
@@ -249,6 +254,76 @@ pair_jobs(const Options& o)
     return ok;
 }
 
+/**
+ * A measurement forked from a memoized warm checkpoint must be
+ * bit-identical to one that warmed up cold in the same process.
+ * Covers both system kinds: a single-core run and a 2-core mix. Each
+ * sub-pair runs three times — cold (no store), producing (cold warmup
+ * + snapshot publish), and forked (restore from the published blob) —
+ * and both store-backed runs must match the cold one.
+ */
+bool
+pair_ckpt(const Options& o)
+{
+    bool ok = true;
+    auto check = [&](const char* name, exec::Job j) {
+        const sim::RunResult cold = exec::run_job(j);
+        exec::CheckpointStore store; // memory tier only
+        const sim::RunResult produced = exec::run_job(j, &store);
+        const sim::RunResult forked = exec::run_job(j, &store);
+        ok &= report(std::string("ckpt-produce-") + name,
+                     verify::diff_results(cold, produced));
+        ok &= report(std::string("ckpt-fork-") + name,
+                     verify::diff_results(cold, forked));
+        const auto st = store.stats();
+        if (st.misses != 1 || st.mem_hits != 1) {
+            std::printf("FAIL ckpt-stats-%s (misses=%llu mem_hits=%llu, "
+                        "want 1/1)\n",
+                        name,
+                        static_cast<unsigned long long>(st.misses),
+                        static_cast<unsigned long long>(st.mem_hits));
+            ok = false;
+        }
+    };
+
+    exec::Job single = base_job(o);
+    single.pf_spec = "triage_dyn";
+    single.degree = o.degree;
+    check("single", single);
+
+    exec::Job mix = base_job(o);
+    mix.benchmark.clear();
+    mix.mix = {o.benchmark, "omnetpp"};
+    mix.pf_spec = "triage_dyn";
+    mix.degree = o.degree;
+    check("mix2", mix);
+    return ok;
+}
+
+/** Sharded measurement must be bit-identical for any thread count. */
+bool
+pair_threaded(const Options& o)
+{
+    exec::Job j = base_job(o);
+    j.benchmark.clear();
+    // Core counts stay powers of two so the scaled LLC keeps a pow2
+    // set count (the paper's mixes are 2/4/8/16-core for this reason).
+    j.mix = {o.benchmark, "omnetpp", "bwaves", "sphinx3"};
+    j.pf_spec = "triage_dyn";
+    j.degree = o.degree;
+    j.exec_mode = sim::ExecMode::Sharded;
+
+    j.threads = 1;
+    const sim::RunResult serial = exec::run_job(j);
+    bool ok = true;
+    for (unsigned t : {2u, 3u}) {
+        j.threads = t;
+        ok &= report("threaded[x" + std::to_string(t) + "]",
+                     verify::diff_results(serial, exec::run_job(j)));
+    }
+    return ok;
+}
+
 } // namespace
 
 int
@@ -267,8 +342,13 @@ main(int argc, char** argv)
         ok &= pair_split(o);
     if (all || o.pair == "jobs")
         ok &= pair_jobs(o);
+    if (all || o.pair == "ckpt")
+        ok &= pair_ckpt(o);
+    if (all || o.pair == "threaded")
+        ok &= pair_threaded(o);
     if (!all && o.pair != "degree0" && o.pair != "mix1" &&
-        o.pair != "split" && o.pair != "jobs") {
+        o.pair != "split" && o.pair != "jobs" && o.pair != "ckpt" &&
+        o.pair != "threaded") {
         std::fprintf(stderr, "unknown pair: %s\n", o.pair.c_str());
         return 2;
     }

@@ -5,17 +5,26 @@
  * configuration from a curated pow2-safe space, a prefetcher spec and
  * a benchmark, runs a short window with an InvariantSuite attached,
  * and fails on any invariant violation. A trace save/load round-trip
- * with a random record count rides along. Intended for the CI verify
- * job under ASan/UBSan (fixed --seed; --smoke shrinks the windows).
+ * with a random record count rides along, as does a warm-snapshot
+ * round-trip: a randomly configured, randomly warmed system must
+ * resave byte-identically after restore, and the sealed blob must be
+ * rejected under a flipped byte, a wrong version, or a mismatched
+ * fingerprint. Intended for the CI verify job under ASan/UBSan (fixed
+ * --seed; --smoke shrinks the windows).
  */
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "exec/checkpoint.hpp"
 #include "exec/job.hpp"
 #include "sim/config.hpp"
+#include "sim/snapshot.hpp"
+#include "sim/system.hpp"
+#include "stats/experiment.hpp"
 #include "util/rng.hpp"
 #include "verify/invariants.hpp"
 #include "workloads/spec.hpp"
@@ -177,6 +186,85 @@ fuzz_trace_roundtrip(util::Rng& rng, unsigned iter)
     return ok;
 }
 
+/**
+ * Warm-snapshot round-trip under a random geometry, prefetcher and
+ * warmup length: save(A) -> restore(B) -> save(B) must be byte-equal,
+ * and the sealed frame must reject corruption and mismatched
+ * version/fingerprint (docs/parallel-runs.md §checkpointing).
+ */
+bool
+fuzz_snapshot_roundtrip(util::Rng& rng, const Options& o, unsigned iter)
+{
+    static const char* specs[] = {"none",      "bo",     "sms",
+                                  "markov",    "stms",   "domino",
+                                  "ghb_pcdc",  "misb",   "next_line",
+                                  "triage_dyn", "triage_unlimited"};
+    static const char* benches[] = {"mcf", "omnetpp", "soplex_k",
+                                    "sphinx3", "milc"};
+    const sim::MachineConfig cfg = random_config(rng);
+    const std::string spec = specs[rng.next_below(11)];
+    const std::string bench = benches[rng.next_below(5)];
+    const auto degree =
+        static_cast<std::uint32_t>(rng.next_range(1, 8));
+    const std::uint64_t warm =
+        (o.smoke ? 2000 : 10000) + rng.next_below(10000);
+
+    auto build = [&]() {
+        auto sys = std::make_unique<sim::SingleCoreSystem>(cfg);
+        sys->set_prefetcher(stats::make_prefetcher(spec, degree));
+        return sys;
+    };
+    const std::string fp = spec + "|" + bench + "|warm";
+
+    auto wl_a = workloads::make_benchmark(bench);
+    wl_a->reset();
+    auto a = build();
+    a->bind(*wl_a);
+    a->run_warmup(warm);
+    sim::Snapshot save;
+    a->checkpoint_warm(save);
+    const sim::SnapshotBlob blob = save.seal(exec::CKPT_VERSION, fp);
+
+    bool ok = true;
+    auto fail = [&](const char* what) {
+        std::printf("iter %u: snapshot %s / %s degree %u warm %llu: "
+                    "%s\n",
+                    iter, bench.c_str(), spec.c_str(), degree,
+                    static_cast<unsigned long long>(warm), what);
+        ok = false;
+    };
+
+    auto wl_b = workloads::make_benchmark(bench);
+    wl_b->reset();
+    auto b = build();
+    b->bind(*wl_b);
+    sim::Snapshot load;
+    if (!sim::Snapshot::open(blob, exec::CKPT_VERSION, fp, load)) {
+        fail("own blob failed to open");
+        return false;
+    }
+    b->checkpoint_warm(load);
+    if (!load.exhausted())
+        fail("payload not fully consumed on restore");
+    sim::Snapshot resave;
+    b->checkpoint_warm(resave);
+    if (resave.seal(exec::CKPT_VERSION, fp) != blob)
+        fail("resave not byte-identical");
+
+    // Every sealed frame rejects tampering and mismatched identity.
+    sim::Snapshot probe;
+    sim::SnapshotBlob corrupt = blob;
+    corrupt[rng.next_below(static_cast<std::uint32_t>(corrupt.size()))] ^=
+        static_cast<std::uint8_t>(1u << rng.next_below(8));
+    if (sim::Snapshot::open(corrupt, exec::CKPT_VERSION, fp, probe))
+        fail("accepted a corrupted blob");
+    if (sim::Snapshot::open(blob, exec::CKPT_VERSION + 1, fp, probe))
+        fail("accepted a mismatched version");
+    if (sim::Snapshot::open(blob, exec::CKPT_VERSION, fp + "!", probe))
+        fail("accepted a mismatched fingerprint");
+    return ok;
+}
+
 } // namespace
 
 int
@@ -190,6 +278,7 @@ main(int argc, char** argv)
     for (unsigned i = 0; i < o.iters; ++i) {
         ok &= fuzz_run(rng, o, i);
         ok &= fuzz_trace_roundtrip(rng, i);
+        ok &= fuzz_snapshot_roundtrip(rng, o, i);
     }
     std::printf("%s\n", ok ? "fuzz clean" : "FUZZ FAILURES");
     return ok ? 0 : 1;
