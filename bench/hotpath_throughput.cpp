@@ -35,6 +35,7 @@
 #include "exec/job.hpp"
 #include "exec/lab.hpp"
 #include "obs/json.hpp"
+#include "obs/profile.hpp"
 #include "sim/config.hpp"
 #include "stats/table.hpp"
 #include "workloads/mixes.hpp"
@@ -60,6 +61,12 @@ struct Result {
     double seconds = 0.0;       ///< best-of-reps wall time
     double accesses_per_sec = 0.0;
     double ns_per_access = 0.0;
+    /// Host hardware-counter rates for the best rep (obs::prof
+    /// HwStopwatch; TSC cycles + zero instructions under the software
+    /// fallback). Absent from trajectory entries before pr8.
+    double cycles_per_access = 0.0;
+    double instructions_per_access = 0.0;
+    bool has_hw_rates = false;
 };
 
 /** End-to-end sweep wall clock, cold vs checkpoint-forked + threaded. */
@@ -121,15 +128,29 @@ measure(const Job& job, const std::string& config,
         static_cast<std::uint64_t>(cores) *
         (job.scale.warmup_records + job.scale.measure_records);
     double best = 0.0;
+    triage::obs::prof::HwStopwatch hw;
+    triage::obs::prof::HwSample best_hw;
     for (unsigned r = 0; r < reps; ++r) {
+        hw.start();
         auto t0 = std::chrono::steady_clock::now();
         (void)triage::exec::run_job(job);
         auto t1 = std::chrono::steady_clock::now();
+        const triage::obs::prof::HwSample sample = hw.stop();
         double s = std::chrono::duration<double>(t1 - t0).count();
-        if (r == 0 || s < best)
+        if (r == 0 || s < best) {
             best = s;
+            best_hw = sample;
+        }
     }
     res.seconds = best;
+    if (res.accesses > 0) {
+        const double n = static_cast<double>(res.accesses);
+        res.cycles_per_access =
+            static_cast<double>(best_hw.cycles) / n;
+        res.instructions_per_access =
+            static_cast<double>(best_hw.instructions) / n;
+        res.has_hw_rates = true;
+    }
     res.accesses_per_sec =
         best > 0.0 ? static_cast<double>(res.accesses) / best : 0.0;
     res.ns_per_access =
@@ -227,7 +248,14 @@ emit_result(std::ostream& os, const Result& r, int indent)
        << pad << " \"seconds\": " << std::setprecision(6) << r.seconds
        << ", \"accesses_per_sec\": " << std::setprecision(8)
        << r.accesses_per_sec << ", \"ns_per_access\": "
-       << std::setprecision(6) << r.ns_per_access << "}";
+       << std::setprecision(6) << r.ns_per_access;
+    if (r.has_hw_rates) {
+        os << ",\n"
+           << pad << " \"cycles_per_access\": " << std::setprecision(6)
+           << r.cycles_per_access << ", \"instructions_per_access\": "
+           << std::setprecision(6) << r.instructions_per_access;
+    }
+    os << "}";
 }
 
 /** Re-emit one previously parsed run object (fixed schema). */
@@ -276,6 +304,14 @@ emit_parsed_run(std::ostream& os, const triage::obs::json::Value& run)
                 r.accesses_per_sec = v->number;
             if (const auto* v = e.get("ns_per_access"); v != nullptr)
                 r.ns_per_access = v->number;
+            if (const auto* v = e.get("cycles_per_access");
+                v != nullptr) {
+                r.cycles_per_access = v->number;
+                r.has_hw_rates = true;
+            }
+            if (const auto* v = e.get("instructions_per_access");
+                v != nullptr)
+                r.instructions_per_access = v->number;
             emit_result(os, r, 4);
             os << (i + 1 < results->array.size() ? ",\n" : "\n");
         }
@@ -387,17 +423,25 @@ main(int argc, char** argv)
     }
 
     triage::stats::Table t({"config", "workload", "cores", "accesses",
-                            "sec", "acc/s", "ns/access"});
+                            "sec", "acc/s", "ns/access", "cyc/access"});
     for (const auto& r : results) {
-        std::ostringstream rate, ns, sec;
+        std::ostringstream rate, ns, sec, cyc;
         rate << std::fixed << std::setprecision(0) << r.accesses_per_sec;
         ns << std::fixed << std::setprecision(1) << r.ns_per_access;
         sec << std::fixed << std::setprecision(3) << r.seconds;
+        cyc << std::fixed << std::setprecision(1) << r.cycles_per_access;
         t.row({r.config, r.workload, std::to_string(r.cores),
                std::to_string(r.accesses), sec.str(), rate.str(),
-               ns.str()});
+               ns.str(), cyc.str()});
     }
     t.print(std::cout);
+    {
+        triage::obs::prof::HwStopwatch probe;
+        std::cout << "hw counters: "
+                  << triage::obs::prof::Profiler::backend_name(
+                         probe.backend())
+                  << " backend\n";
+    }
 
     std::cerr << "  running fig17-smoke sweep (cold vs checkpointed)\n";
     const SweepWallclock sweep = measure_sweep(o.smoke);

@@ -1,5 +1,6 @@
 #include "exec/checkpoint.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -69,16 +70,22 @@ CheckpointStore::acquire(const std::string& key)
         if (it != entries_.end() && it->second.producing) {
             // Another worker is warming this prefix; piggyback on it.
             ++stats_.waits;
+            const auto t0 = std::chrono::steady_clock::now();
             ready_cv_.wait(lock, [&] {
                 auto e = entries_.find(key);
                 return e == entries_.end() || !e->second.producing;
             });
+            stats_.lease_wait_ns += static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
             continue; // re-examine: ready (hit) or abandoned (produce)
         }
         // Memory miss: try the disk tier before becoming a producer.
         sim::SnapshotBlob blob;
         if (load_from_disk(key, blob)) {
             ++stats_.disk_hits;
+            stats_.bytes_disk_read += blob.size();
             Entry& e = entries_[key];
             e.ready = true;
             e.blob = blob;
@@ -98,7 +105,7 @@ void
 CheckpointStore::do_publish(const std::string& key,
                                 sim::SnapshotBlob blob)
 {
-    store_to_disk(key, blob);
+    const bool wrote = store_to_disk(key, blob);
     std::unique_lock<std::mutex> lock(mu_);
     Entry& e = entries_[key];
     TRIAGE_ASSERT(e.producing && !e.ready,
@@ -110,6 +117,9 @@ CheckpointStore::do_publish(const std::string& key,
     e.lru_pos = lru_.begin();
     mem_bytes_ += e.blob.size();
     ++stats_.produces;
+    stats_.bytes_published += e.blob.size();
+    if (wrote)
+        stats_.bytes_disk_written += e.blob.size();
     evict_to_budget_locked();
     lock.unlock();
     ready_cv_.notify_all();
@@ -183,13 +193,13 @@ CheckpointStore::load_from_disk(const std::string& key,
     return true;
 }
 
-void
+bool
 CheckpointStore::store_to_disk(const std::string& key,
                                const sim::SnapshotBlob& blob)
 {
     const std::string path = disk_path(key);
     if (path.empty())
-        return;
+        return false;
     std::error_code ec;
     std::filesystem::create_directories(opt_.disk_dir, ec);
     // Write-then-rename so a concurrent reader never sees a torn file.
@@ -197,15 +207,18 @@ CheckpointStore::store_to_disk(const std::string& key,
     {
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
         if (!out)
-            return; // disk tier is best-effort
+            return false; // disk tier is best-effort
         out.write(reinterpret_cast<const char*>(blob.data()),
                   static_cast<std::streamsize>(blob.size()));
         if (!out)
-            return;
+            return false;
     }
     std::filesystem::rename(tmp, path, ec);
-    if (ec)
+    if (ec) {
         std::filesystem::remove(tmp, ec);
+        return false;
+    }
+    return true;
 }
 
 void
@@ -219,7 +232,9 @@ CheckpointStore::Stats
 CheckpointStore::stats() const
 {
     std::unique_lock<std::mutex> lock(mu_);
-    return stats_;
+    Stats s = stats_;
+    s.bytes_mem = mem_bytes_;
+    return s;
 }
 
 } // namespace triage::exec

@@ -57,7 +57,9 @@ class CheckpointStore
 {
   public:
     /** Hit/miss counters (tests and the cache-smoke tool assert on
-     *  these; disk_hits > 0 proves cross-process reuse). */
+     *  these; disk_hits > 0 proves cross-process reuse). The Lab
+     *  exports them under profile.ckpt.* when profiling is on
+     *  (docs/observability.md §10). */
     struct Stats {
         std::uint64_t mem_hits = 0;
         std::uint64_t disk_hits = 0;
@@ -65,6 +67,11 @@ class CheckpointStore
         std::uint64_t produces = 0;  ///< blobs published
         std::uint64_t waits = 0;     ///< blocked on a concurrent producer
         std::uint64_t evictions = 0; ///< LRU evictions (memory tier)
+        std::uint64_t lease_wait_ns = 0; ///< total time blocked in waits
+        std::uint64_t bytes_published = 0;  ///< sum of published blobs
+        std::uint64_t bytes_mem = 0;        ///< memory tier, current
+        std::uint64_t bytes_disk_read = 0;  ///< disk-tier blob loads
+        std::uint64_t bytes_disk_written = 0; ///< disk-tier blob writes
     };
 
     /**
@@ -144,7 +151,8 @@ class CheckpointStore
     void touch_locked(const std::string& key, Entry& e);
     void evict_to_budget_locked();
     bool load_from_disk(const std::string& key, sim::SnapshotBlob& out);
-    void store_to_disk(const std::string& key,
+    /** Returns true when the blob reached the disk tier. */
+    bool store_to_disk(const std::string& key,
                        const sim::SnapshotBlob& blob);
 
     CheckpointOptions opt_;

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "exec/checkpoint.hpp"
+#include "obs/profile.hpp"
 #include "sim/multicore.hpp"
 #include "sim/system.hpp"
 #include "util/log.hpp"
@@ -162,6 +163,7 @@ warm_with_checkpoint(CheckpointStore* ckpt, const JobKey& key,
     auto now = std::chrono::steady_clock::now;
     if (lease.hit()) {
         auto t0 = now();
+        obs::prof::ProfScope prof("snapshot.restore");
         // The store validated the frame; a mismatch here means the
         // blob rotted between acquire and open — fail loudly.
         sim::Snapshot s =
@@ -177,8 +179,13 @@ warm_with_checkpoint(CheckpointStore* ckpt, const JobKey& key,
     warm();
     auto t1 = now();
     sim::Snapshot s;
-    checkpoint(s);
-    lease.publish(s.seal(CKPT_VERSION, wk));
+    {
+        // Serialize + seal + publish (the publish includes the disk
+        // write when a cache dir is configured).
+        obs::prof::ProfScope prof("snapshot.save");
+        checkpoint(s);
+        lease.publish(s.seal(CKPT_VERSION, wk));
+    }
     auto t2 = now();
     if (timing)
         std::cerr << "warm "

@@ -69,9 +69,26 @@ Lab::execute(Task& task, unsigned worker_id,
                 .count());
     };
     const auto started = std::chrono::steady_clock::now();
-    sim::RunResult r = run_job(task.job, ckpt_.get());
+    sim::RunResult r;
+    {
+        // Top-level profile phase: every sim phase (warmup, measure,
+        // snapshot save/restore) nests under "job.", so summed job
+        // time is the wall-clock the Lab's workers spent simulating.
+        obs::prof::ProfScope prof("job");
+        r = run_job(task.job, ckpt_.get());
+    }
     const auto ended = std::chrono::steady_clock::now();
     lock.lock();
+    if (worker_stats_.size() < static_cast<std::size_t>(n_workers_))
+        worker_stats_.resize(n_workers_);
+    auto& ws = worker_stats_[worker_id];
+    ws.worker = worker_id;
+    ws.jobs += 1;
+    ws.busy_ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(ended -
+                                                             started)
+            .count());
+    ws.peak_rss_kb = obs::prof::peak_rss_kb();
     obs::perfetto::JobSpan span;
     span.worker = worker_id;
     span.label = task.key.workload + " / " + task.key.pf;
@@ -190,6 +207,41 @@ Lab::job_spans() const
 {
     std::unique_lock<std::mutex> lock(mu_);
     return spans_;
+}
+
+std::vector<obs::prof::Profiler::WorkerAccounting>
+Lab::worker_stats() const
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    std::vector<obs::prof::Profiler::WorkerAccounting> out;
+    for (const auto& ws : worker_stats_)
+        if (ws.jobs > 0)
+            out.push_back(ws);
+    return out;
+}
+
+void
+Lab::publish_profile() const
+{
+    auto& prof = obs::prof::Profiler::instance();
+    for (const auto& ws : worker_stats())
+        prof.set_worker(ws);
+    if (ckpt_ == nullptr)
+        return;
+    const CheckpointStore::Stats s = ckpt_->stats();
+    auto d = [](std::uint64_t v) { return static_cast<double>(v); };
+    prof.set_counter("ckpt.mem_hits", d(s.mem_hits));
+    prof.set_counter("ckpt.disk_hits", d(s.disk_hits));
+    prof.set_counter("ckpt.misses", d(s.misses));
+    prof.set_counter("ckpt.produces", d(s.produces));
+    prof.set_counter("ckpt.waits", d(s.waits));
+    prof.set_counter("ckpt.evictions", d(s.evictions));
+    prof.set_counter("ckpt.lease_wait_seconds",
+                     d(s.lease_wait_ns) * 1e-9);
+    prof.set_counter("ckpt.bytes_published", d(s.bytes_published));
+    prof.set_counter("ckpt.bytes_mem", d(s.bytes_mem));
+    prof.set_counter("ckpt.bytes_disk_read", d(s.bytes_disk_read));
+    prof.set_counter("ckpt.bytes_disk_written", d(s.bytes_disk_written));
 }
 
 unsigned

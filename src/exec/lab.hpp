@@ -27,6 +27,7 @@
 #include "exec/checkpoint.hpp"
 #include "exec/job.hpp"
 #include "obs/perfetto.hpp"
+#include "obs/profile.hpp"
 
 namespace triage::exec {
 
@@ -115,6 +116,24 @@ class Lab
     std::vector<obs::perfetto::JobSpan> job_spans() const;
 
     /**
+     * Per-worker resource accounting (jobs run, busy wall-clock).
+     * Rows exist only for workers that executed at least one job;
+     * peak RSS is process-wide (sampled after each job), reported on
+     * every row. Snapshot; call after wait_all() for final numbers.
+     */
+    std::vector<obs::prof::Profiler::WorkerAccounting>
+    worker_stats() const;
+
+    /**
+     * Push this Lab's telemetry into the host profiler: worker
+     * accounting rows plus the CheckpointStore counters under
+     * "ckpt.*" (docs/observability.md §10). Call after wait_all()
+     * when profiling is enabled; a disarmed profiler still accepts
+     * the counters (they are summary data, not phase timings).
+     */
+    void publish_profile() const;
+
+    /**
      * Parse `--jobs=N` from a CLI argument list. Returns the effective
      * worker count: N when given, hardware_concurrency (min 1) when
      * the flag is absent or N=0.
@@ -141,6 +160,7 @@ class Lab
     const std::chrono::steady_clock::time_point t0_ =
         std::chrono::steady_clock::now();
     std::vector<obs::perfetto::JobSpan> spans_;
+    std::vector<obs::prof::Profiler::WorkerAccounting> worker_stats_;
     mutable std::mutex mu_;
     std::condition_variable work_ready_;
     std::condition_variable task_done_;

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "obs/observer.hpp"
+#include "obs/profile.hpp"
 
 namespace triage::obs::perfetto {
 
@@ -14,6 +15,7 @@ namespace {
 constexpr int PID_LAB = 1;
 constexpr int PID_SIM = 2;
 constexpr int PID_EPOCH = 3;
+constexpr int PID_PROF = 4;
 
 /** Minimal JSON string escaping for names/labels. */
 std::string
@@ -184,6 +186,57 @@ write_epoch_spans(EventWriter& w, const EpochSampler& sampler)
     }
 }
 
+void
+write_profile_slices(EventWriter& w)
+{
+    auto& prof = prof::Profiler::instance();
+    const auto slices = prof.slices();
+    if (slices.empty())
+        return;
+    w.process(PID_PROF, "host profiler (wall-clock us)");
+    bool named[64] = {};
+    for (const auto& s : slices) {
+        const unsigned tid = s.tid < 64 ? s.tid : 63;
+        if (!named[tid]) {
+            w.thread(PID_PROF, static_cast<int>(tid),
+                     "host thread " + std::to_string(tid));
+            named[tid] = true;
+        }
+        const std::uint64_t ts = s.start_ns / 1000;
+        const std::uint64_t dur = std::max<std::uint64_t>(
+            1, s.dur_ns / 1000);
+        w.begin() << "{\"name\": \"" << escape(s.path)
+                  << "\", \"ph\": \"X\", \"ts\": " << ts
+                  << ", \"dur\": " << dur << ", \"pid\": " << PID_PROF
+                  << ", \"tid\": " << tid << "}";
+        // Counter samples at slice end: each point is the slice's
+        // counter delta, making hot phases visible as spikes on the
+        // hw.* tracks (all zero only when no backend produced data).
+        if (s.has_hw) {
+            w.begin() << "{\"name\": \"hw.cycles\", \"ph\": \"C\", "
+                         "\"ts\": "
+                      << ts + dur << ", \"pid\": " << PID_PROF
+                      << ", \"tid\": " << tid << ", \"args\": {\"cycles\": " << s.hw.cycles
+                      << "}}";
+            w.begin() << "{\"name\": \"hw.instructions\", \"ph\": "
+                         "\"C\", \"ts\": "
+                      << ts + dur << ", \"pid\": " << PID_PROF
+                      << ", \"tid\": " << tid << ", \"args\": {\"instructions\": "
+                      << s.hw.instructions << "}}";
+            w.begin() << "{\"name\": \"hw.llc_misses\", \"ph\": \"C\", "
+                         "\"ts\": "
+                      << ts + dur << ", \"pid\": " << PID_PROF
+                      << ", \"tid\": " << tid << ", \"args\": {\"llc_misses\": "
+                      << s.hw.llc_misses << "}}";
+            w.begin() << "{\"name\": \"hw.branch_misses\", \"ph\": "
+                         "\"C\", \"ts\": "
+                      << ts + dur << ", \"pid\": " << PID_PROF
+                      << ", \"tid\": " << tid << ", \"args\": {\"branch_misses\": "
+                      << s.hw.branch_misses << "}}";
+        }
+    }
+}
+
 } // namespace
 
 void
@@ -202,6 +255,8 @@ write_trace(std::ostream& os, const Observability* obs,
         if (!obs->sampler.epochs().empty())
             write_epoch_spans(w, obs->sampler);
     }
+    if (opt.include_profile)
+        write_profile_slices(w);
     os << (w.empty() ? "]" : "\n]") << "}\n";
 }
 

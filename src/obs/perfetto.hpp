@@ -14,7 +14,12 @@
  *    trace — partition epochs/decisions, OPTgen verdicts, metadata
  *    resizes — one thread per core (ts in simulated cycles);
  *  - pid 3 "epochs": one complete span per sampler epoch carrying
- *    every probe value as args (ts in measured records).
+ *    every probe value as args (ts in measured records);
+ *  - pid 4 "host profiler": phase slices recorded by the host
+ *    profiler (obs/profile.hpp), one thread per profiled host
+ *    thread, plus hw.* counter tracks (cycles, instructions, LLC and
+ *    branch misses) sampled at each slice end (ts in real
+ *    microseconds since the profiler was enabled).
  *
  * Reuses the event_trace plumbing: nothing new is recorded during the
  * run; the exporter is a pure sink over EventTrace, EpochSampler and
@@ -51,6 +56,9 @@ struct TraceOptions {
     unsigned n_workers = 0;
     /** Kinds of simulation instants to include (see perfetto.cpp). */
     bool include_simulation_events = true;
+    /** Include the host profiler's phase slices + counter tracks when
+     *  it recorded any (a disarmed profiler contributes nothing). */
+    bool include_profile = true;
 };
 
 /**

@@ -1,11 +1,13 @@
 #include "sim/multicore.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <functional>
 #include <mutex>
 #include <thread>
 
+#include "obs/profile.hpp"
 #include "sim/obs_wiring.hpp"
 #include "sim/system.hpp"
 
@@ -68,10 +70,30 @@ class QuantumCrew
         }
         cv_.notify_all();
         slice(0);
+        // The wait below is the quantum barrier: the main thread has
+        // finished its own slice and stalls for the slowest worker.
+        // That stall is the sharding speedup ceiling, so the profiler
+        // accounts it separately (profile phase measure.barrier_stall).
+        if (obs::prof::Profiler::armed()) {
+            const auto t0 = std::chrono::steady_clock::now();
+            std::unique_lock<std::mutex> lk(mu_);
+            done_cv_.wait(lk, [&] { return pending_ == 0; });
+            fn_ = nullptr;
+            stall_ns_ += static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
+            ++stalls_;
+            return;
+        }
         std::unique_lock<std::mutex> lk(mu_);
         done_cv_.wait(lk, [&] { return pending_ == 0; });
         fn_ = nullptr;
     }
+
+    /** Main-thread barrier-stall totals (profiling runs only). */
+    std::uint64_t stall_ns() const { return stall_ns_; }
+    std::uint64_t stalls() const { return stalls_; }
 
   private:
     void
@@ -107,6 +129,8 @@ class QuantumCrew
     const std::function<void(unsigned)>* fn_ = nullptr;
     unsigned pending_ = 0;
     std::uint64_t generation_ = 0;
+    std::uint64_t stall_ns_ = 0;
+    std::uint64_t stalls_ = 0;
     bool stop_ = false;
     std::vector<std::thread> workers_;
 };
@@ -178,6 +202,7 @@ MultiCoreSystem::run_warmup(std::uint64_t warmup_records, Cycle quantum)
     }
 
     // Warm until every core has executed warmup_records.
+    obs::prof::ProfScope prof("warmup");
     Cycle global = quantum;
     auto all_warm = [&] {
         for (unsigned c = 0; c < n_cores_; ++c) {
@@ -229,6 +254,7 @@ MultiCoreSystem::run_measure(std::uint64_t measure_records, Cycle quantum,
                   "run_measure needs a warm system (run_warmup or a "
                   "restoring checkpoint_warm)");
     warmed_ = false;
+    obs::prof::ProfScope prof("measure");
 
     if (n_cores_ == 1) {
         er_->begin_measure(measure_records, obs_);
@@ -300,6 +326,9 @@ MultiCoreSystem::run_measure(std::uint64_t measure_records, Cycle quantum,
         if (sharded) {
             mem_.shard_begin();
             crew.run([this, global](unsigned c) { advance(c, global); });
+            // hw=false: one weave per quantum, and two counter-read
+            // syscalls per quantum would dominate what is measured.
+            obs::prof::ProfScope weave("weave", /*hw=*/false);
             mem_.shard_merge();
         } else {
             for (unsigned c = 0; c < n_cores_; ++c)
@@ -328,6 +357,10 @@ MultiCoreSystem::run_measure(std::uint64_t measure_records, Cycle quantum,
                 next_verify += obs::RunVerifier::DEFAULT_EPOCH_RECORDS;
             }
         }
+    }
+    if (crew.stalls() > 0) {
+        obs::prof::Profiler::instance().add_external(
+            "measure.barrier_stall", crew.stall_ns(), crew.stalls());
     }
     if (sampling)
         obs_->sampler.finalize(measure_records);

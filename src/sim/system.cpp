@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/profile.hpp"
 #include "sim/obs_wiring.hpp"
 #include "util/log.hpp"
 
@@ -27,6 +28,7 @@ void
 EpochRun::run_warmup(std::uint64_t warmup_records)
 {
     TRIAGE_ASSERT(phase_ == Phase::Fresh, "EpochRun: warmup ran twice");
+    obs::prof::ProfScope prof("warmup");
     core_.run_records(warmup_records);
     phase_ = Phase::Warm;
 }
@@ -72,6 +74,7 @@ EpochRun::step_epoch()
         phase_ = Phase::Done;
         return false;
     }
+    obs::prof::ProfScope prof("epoch");
     const std::uint64_t chunk =
         std::min(epoch_len(), measure_records_ - done_);
     core_.run_records(chunk);
@@ -156,6 +159,7 @@ run_one_core(cache::MemorySystem& mem, CoreModel& core,
 {
     EpochRun er(mem, core);
     er.run_warmup(warmup_records);
+    obs::prof::ProfScope prof("measure");
     er.begin_measure(measure_records, obs);
     while (er.step_epoch()) {
     }
@@ -185,6 +189,7 @@ SingleCoreSystem::run_measure(std::uint64_t measure_records)
     TRIAGE_ASSERT(er_ != nullptr && er_->phase() == EpochRun::Phase::Warm,
                   "run_measure needs a warm system (run_warmup or a "
                   "restoring checkpoint_warm)");
+    obs::prof::ProfScope prof("measure");
     er_->begin_measure(measure_records, obs_);
     while (er_->step_epoch()) {
     }

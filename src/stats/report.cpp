@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "obs/observer.hpp"
+#include "obs/profile.hpp"
 
 namespace triage::stats {
 
@@ -96,6 +97,13 @@ write_stats_json(std::ostream& os, const sim::RunResult& r,
             os << ",\n\"verify\": ";
             obs->verifier->write_json(os, 1);
         }
+    }
+    // Strictly gated on the profiler being armed: golden runs compare
+    // the whole JSON tree byte-for-byte, so the block must not appear
+    // unless --profile asked for it.
+    if (obs::prof::Profiler::armed()) {
+        os << ",\n\"profile\": ";
+        obs::prof::Profiler::instance().write_json(os, 1);
     }
     os << "\n}\n";
 }

@@ -1,5 +1,7 @@
 #include "util/log.hpp"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,6 +39,17 @@ level_ref()
     return level;
 }
 
+bool&
+timestamps_ref()
+{
+    static bool on = [] {
+        const char* env = std::getenv("TRIAGE_LOG_TIMESTAMPS");
+        return env != nullptr && *env != '\0' &&
+               std::strcmp(env, "0") != 0;
+    }();
+    return on;
+}
+
 const char*
 prefix_of(LogLevel level)
 {
@@ -69,11 +82,54 @@ log_enabled(LogLevel level)
     return level >= level_ref() && level != LogLevel::Silent;
 }
 
+bool
+log_timestamps()
+{
+    return timestamps_ref();
+}
+
+void
+set_log_timestamps(bool on)
+{
+    timestamps_ref() = on;
+}
+
+std::string
+log_timestamp_prefix()
+{
+    using clock = std::chrono::steady_clock;
+    // Epoch = the first timestamped line; deltas chain atomically so
+    // concurrent worker logs each report the gap to the line printed
+    // just before them.
+    static const std::uint64_t t0 = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            clock::now().time_since_epoch())
+            .count());
+    static std::atomic<std::uint64_t> last{t0};
+    const std::uint64_t now = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            clock::now().time_since_epoch())
+            .count());
+    const std::uint64_t prev =
+        last.exchange(now, std::memory_order_relaxed);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "[t=%.3fms +%.3fms] ",
+                  static_cast<double>(now - t0) * 1e-6,
+                  static_cast<double>(now - (prev < now ? prev : now)) *
+                      1e-6);
+    return buf;
+}
+
 void
 log(LogLevel level, const std::string& msg)
 {
     if (!log_enabled(level))
         return;
+    if (log_timestamps()) {
+        std::fprintf(stderr, "%s: %s%s\n", prefix_of(level),
+                     log_timestamp_prefix().c_str(), msg.c_str());
+        return;
+    }
     std::fprintf(stderr, "%s: %s\n", prefix_of(level), msg.c_str());
 }
 

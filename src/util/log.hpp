@@ -32,6 +32,25 @@ LogLevel log_level();
 /** Override the threshold programmatically (tests). */
 void set_log_level(LogLevel level);
 
+/**
+ * Are timestamp prefixes on? Parsed once from TRIAGE_LOG_TIMESTAMPS
+ * (any value except "" / "0" enables). Default off: expected/golden
+ * outputs compare log lines byte-for-byte, and wall-clock prefixes
+ * would never reproduce.
+ */
+bool log_timestamps();
+
+/** Override timestamp prefixes programmatically (tests). */
+void set_log_timestamps(bool on);
+
+/**
+ * The prefix log() prepends when timestamps are on:
+ * "[t=<ms since first log> +<ms since previous log>] ". Monotonic
+ * (steady clock); the delta makes inter-line gaps — a stalled worker,
+ * a long warmup — readable without subtracting by hand.
+ */
+std::string log_timestamp_prefix();
+
 /** Would a message at @p level be printed? */
 bool log_enabled(LogLevel level);
 

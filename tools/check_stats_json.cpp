@@ -20,13 +20,21 @@
  *   - with --require-partition-timeline: "partition_timeline" is an
  *     object with a numeric "dropped" and one per-core sample array
  *     (possibly empty) of well-formed, epoch-monotonic samples;
+ *   - with --require-profile: "profile" is the host profiler block
+ *     (backend, wall/attributed seconds, a non-empty phase table with
+ *     warmup and measure phases, checkpoint counters, worker rows);
+ *     --min-attributed=F additionally requires attributed_frac >= F
+ *     and --expect-backend=NAME pins the counter backend
+ *     ("perf_event" or "software");
  *   - each --require-key=PATH names a dotted path that must exist.
  *
  * A second mode, --perfetto, validates a --trace-perfetto output
  * instead: "traceEvents" must be a non-empty array of well-formed
  * Chrome trace events containing at least one epoch span and one
  * partition instant; --expect-workers=N additionally requires worker
- * thread-name metadata for at least N lab workers.
+ * thread-name metadata for at least N lab workers, and
+ * --expect-profile requires host-profiler phase slices and at least
+ * one hw.* counter sample (pid 4).
  *
  * A third mode, --golden=FILE, compares the input against a checked-in
  * golden dump: every leaf (numbers exact, strings, bools) must match,
@@ -268,9 +276,138 @@ check_partition_timeline(const Value& root)
     }
 }
 
+/**
+ * Validate the host-profiler block written by triagesim --profile.
+ * @p min_attributed < 0 skips the attribution-floor check;
+ * @p expect_backend empty accepts either backend.
+ */
+void
+check_profile(const Value& root, double min_attributed,
+              const std::string& expect_backend)
+{
+    const Value* p = root.get("profile");
+    if (p == nullptr || !p->is_object()) {
+        fail("profile block missing — rerun triagesim with --profile");
+        return;
+    }
+    const Value* enabled = p->get("enabled");
+    if (enabled == nullptr || !enabled->is_bool() || !enabled->boolean)
+        fail("profile.enabled missing or false");
+    const Value* backend = p->get("backend");
+    if (backend == nullptr || !backend->is_string() ||
+        (backend->str != "perf_event" && backend->str != "software")) {
+        fail("profile.backend must be 'perf_event' or 'software'");
+    } else if (!expect_backend.empty() &&
+               backend->str != expect_backend) {
+        fail("profile.backend is '" + backend->str + "', expected '" +
+             expect_backend + "'");
+    }
+    for (const char* key :
+         {"wall_seconds", "attributed_seconds", "attributed_frac"}) {
+        const Value* v = p->get(key);
+        if (v == nullptr || !v->is_number() ||
+            !std::isfinite(v->number) || v->number < 0.0)
+            fail(std::string("profile.") + key +
+                 " missing or not a finite non-negative number");
+    }
+    const Value* wall = p->get("wall_seconds");
+    if (wall != nullptr && wall->is_number() && wall->number <= 0.0)
+        fail("profile.wall_seconds is not positive");
+    if (min_attributed >= 0.0) {
+        const Value* frac = p->get("attributed_frac");
+        if (frac != nullptr && frac->is_number() &&
+            frac->number < min_attributed) {
+            fail("profile.attributed_frac " +
+                 std::to_string(frac->number) + " < required " +
+                 std::to_string(min_attributed));
+        }
+    }
+
+    const Value* phases = p->get("phases");
+    if (phases == nullptr || !phases->is_object() ||
+        phases->object.empty()) {
+        fail("profile.phases missing or empty");
+        return;
+    }
+    bool saw_warmup = false;
+    bool saw_measure = false;
+    for (const auto& [name, ph] : phases->object) {
+        const std::string tag = "profile.phases['" + name + "']";
+        if (!ph.is_object()) {
+            fail(tag + " not an object");
+            continue;
+        }
+        const Value* count = ph.get("count");
+        if (count == nullptr || !count->is_number() ||
+            count->number <= 0.0)
+            fail(tag + ".count missing or not positive");
+        for (const char* key : {"seconds", "hw_samples", "cycles",
+                                "instructions", "llc_misses",
+                                "branch_misses"}) {
+            const Value* v = ph.get(key);
+            if (v == nullptr || !v->is_number() ||
+                !std::isfinite(v->number) || v->number < 0.0)
+                fail(tag + "." + key +
+                     " missing or not a finite non-negative number");
+        }
+        // Phase keys are dotted call paths ("job.measure.epoch");
+        // warmup and measure must appear somewhere in the tree.
+        if (name == "warmup" ||
+            (name.size() >= 7 &&
+             name.compare(name.size() - 7, 7, ".warmup") == 0))
+            saw_warmup = true;
+        if (name == "measure" ||
+            (name.size() >= 8 &&
+             name.compare(name.size() - 8, 8, ".measure") == 0))
+            saw_measure = true;
+    }
+    if (!saw_warmup)
+        fail("profile.phases has no warmup phase");
+    if (!saw_measure)
+        fail("profile.phases has no measure phase");
+
+    const Value* ckpt = root.find_path("profile.counters.ckpt");
+    if (ckpt == nullptr || !ckpt->is_object()) {
+        fail("profile.counters.ckpt missing (Lab checkpoint telemetry)");
+    } else {
+        for (const char* key :
+             {"mem_hits", "disk_hits", "misses", "produces", "waits",
+              "evictions", "lease_wait_seconds", "bytes_published",
+              "bytes_mem", "bytes_disk_read", "bytes_disk_written"}) {
+            const Value* v = ckpt->get(key);
+            if (v == nullptr || !v->is_number() ||
+                !std::isfinite(v->number) || v->number < 0.0)
+                fail(std::string("profile.counters.ckpt.") + key +
+                     " missing or not a finite non-negative number");
+        }
+    }
+
+    const Value* workers = p->get("workers");
+    if (workers == nullptr || !workers->is_array() ||
+        workers->array.empty()) {
+        fail("profile.workers missing or empty");
+    } else {
+        for (std::size_t i = 0; i < workers->array.size(); ++i) {
+            const Value& w = workers->array[i];
+            const std::string tag =
+                "profile.workers[" + std::to_string(i) + "]";
+            for (const char* key :
+                 {"worker", "jobs", "busy_seconds", "peak_rss_kb"}) {
+                const Value* v = w.get(key);
+                if (v == nullptr || !v->is_number() ||
+                    !std::isfinite(v->number) || v->number < 0.0)
+                    fail(tag + "." + key +
+                         " missing or not a finite non-negative "
+                         "number");
+            }
+        }
+    }
+}
+
 /** Validate a --trace-perfetto Chrome trace-event file. */
 void
-check_perfetto(const Value& root, int expect_workers)
+check_perfetto(const Value& root, int expect_workers,
+               bool expect_profile)
 {
     const Value* events = root.get("traceEvents");
     if (events == nullptr || !events->is_array() ||
@@ -280,6 +417,8 @@ check_perfetto(const Value& root, int expect_workers)
     }
     bool saw_epoch = false;
     bool saw_partition = false;
+    bool saw_prof_slice = false;
+    bool saw_prof_counter = false;
     int workers = 0;
     for (std::size_t i = 0; i < events->array.size(); ++i) {
         const Value& e = events->array[i];
@@ -308,6 +447,13 @@ check_perfetto(const Value& root, int expect_workers)
         if (ph->str == "M" && name->str == "thread_name" &&
             pid != nullptr && pid->is_number() && pid->number == 1.0)
             ++workers;
+        // Host profiler track is pid 4 (see obs/perfetto.hpp).
+        if (pid != nullptr && pid->is_number() && pid->number == 4.0) {
+            if (ph->str == "X")
+                saw_prof_slice = true;
+            if (ph->str == "C" && name->str.rfind("hw.", 0) == 0)
+                saw_prof_counter = true;
+        }
     }
     if (!saw_epoch)
         fail("no epoch event in traceEvents");
@@ -317,6 +463,10 @@ check_perfetto(const Value& root, int expect_workers)
         fail("expected >= " + std::to_string(expect_workers) +
              " lab worker tracks, found " + std::to_string(workers));
     }
+    if (expect_profile && !saw_prof_slice)
+        fail("no host-profiler phase slice (pid 4) in traceEvents");
+    if (expect_profile && !saw_prof_counter)
+        fail("no hw.* counter sample (pid 4) in traceEvents");
 }
 
 /** Type name for golden-mismatch messages. */
@@ -468,6 +618,18 @@ check_bench(const Value& root)
                     fail(rtag + "." + key +
                          " missing or not a finite positive number");
             }
+            // Hardware-counter rates (pr8 onwards): absent on older
+            // trajectory entries, validated whenever present. Zero is
+            // legal — the software fallback reports 0 instructions.
+            for (const char* key :
+                 {"cycles_per_access", "instructions_per_access"}) {
+                if (const Value* v = r.get(key); v != nullptr) {
+                    if (!v->is_number() || !std::isfinite(v->number) ||
+                        v->number < 0.0)
+                        fail(rtag + "." + key +
+                             " not a finite non-negative number");
+                }
+            }
         }
     }
 }
@@ -522,7 +684,11 @@ main(int argc, char** argv)
     bool require_lifecycle = false;
     bool require_partition_timeline = false;
     bool require_verify_clean = false;
+    bool require_profile = false;
+    double min_attributed = -1.0;
+    std::string expect_backend;
     bool perfetto = false;
+    bool expect_profile = false;
     bool bench = false;
     std::string golden_path;
     int expect_workers = 0;
@@ -539,8 +705,18 @@ main(int argc, char** argv)
             require_partition_timeline = true;
         } else if (a == "--require-verify-clean") {
             require_verify_clean = true;
+        } else if (a == "--require-profile") {
+            require_profile = true;
+        } else if (a.rfind("--min-attributed=", 0) == 0) {
+            min_attributed =
+                std::stod(a.substr(std::strlen("--min-attributed=")));
+        } else if (a.rfind("--expect-backend=", 0) == 0) {
+            expect_backend =
+                a.substr(std::strlen("--expect-backend="));
         } else if (a == "--perfetto") {
             perfetto = true;
+        } else if (a == "--expect-profile") {
+            expect_profile = true;
         } else if (a == "--bench") {
             bench = true;
         } else if (a.rfind("--golden=", 0) == 0) {
@@ -557,9 +733,11 @@ main(int argc, char** argv)
                          " [--require-stats] [--require-lifecycle]"
                          " [--require-partition-timeline]"
                          " [--require-verify-clean]"
+                         " [--require-profile [--min-attributed=F]"
+                         " [--expect-backend=NAME]]"
                          " [--require-key=PATH]...\n"
                          "       check_stats_json FILE --perfetto"
-                         " [--expect-workers=N]\n"
+                         " [--expect-workers=N] [--expect-profile]\n"
                          "       check_stats_json FILE --golden=GOLDEN\n"
                          "       check_stats_json FILE --bench\n";
             return 2;
@@ -603,7 +781,7 @@ main(int argc, char** argv)
     } else if (bench) {
         check_bench(*root);
     } else if (perfetto) {
-        check_perfetto(*root, expect_workers);
+        check_perfetto(*root, expect_workers, expect_profile);
     } else {
         check_run(*root);
         if (require_epochs)
@@ -616,6 +794,8 @@ main(int argc, char** argv)
             check_partition_timeline(*root);
         if (require_verify_clean)
             check_verify(*root);
+        if (require_profile)
+            check_profile(*root, min_attributed, expect_backend);
         for (const auto& key : require_keys) {
             if (root->find_path(key) == nullptr)
                 fail("required key '" + key + "' missing");

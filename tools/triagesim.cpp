@@ -15,6 +15,7 @@
  *   triagesim --list
  */
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -24,6 +25,7 @@
 
 #include "exec/lab.hpp"
 #include "obs/observer.hpp"
+#include "obs/profile.hpp"
 #include "verify/invariants.hpp"
 
 #include "sim/multicore.hpp"
@@ -67,6 +69,7 @@ struct Options {
     bool verify = false;
 #endif
     // Observability.
+    bool profile = false;
     std::string stats_json_path;
     std::string trace_events_path;
     std::string trace_perfetto_path;
@@ -101,6 +104,14 @@ usage()
         "                         (default: hardware concurrency;\n"
         "                         results are identical at any N)\n"
         "  --json                 emit the report as JSON\n"
+        "  --profile              profile the simulator itself: phase\n"
+        "                         timers (warmup/measure/epoch/weave/\n"
+        "                         snapshot), hardware counters where\n"
+        "                         perf_event_open works (TSC fallback\n"
+        "                         otherwise), worker + checkpoint-store\n"
+        "                         telemetry; adds a \"profile\" block\n"
+        "                         to --stats-json and host-profiler\n"
+        "                         tracks to --trace-perfetto\n"
         "  --stats-json=FILE      write the full stats registry, epoch\n"
         "                         series and run summary as JSON\n"
         "  --trace-events=FILE    write the structured event trace\n"
@@ -146,6 +157,8 @@ parse(int argc, char** argv, Options& o)
             o.baseline = false;
         } else if (a == "--json") {
             o.json = true;
+        } else if (a == "--profile") {
+            o.profile = true;
         } else if (a == "--verify") {
             o.verify = true;
         } else if (a == "--no-verify") {
@@ -269,6 +282,56 @@ wants_observability(const Options& o)
            !o.trace_perfetto_path.empty() || o.epoch > 0;
 }
 
+/**
+ * Post-run profile wiring: pull the Lab's worker/checkpoint telemetry
+ * into the profiler and mirror the checkpoint counters into the stats
+ * registry under profile.ckpt.* (integer view of the same numbers the
+ * profile block reports; docs/observability.md §10).
+ */
+void
+finish_profile(const Options& o, obs::Observability& obs,
+               exec::Lab& lab)
+{
+    lab.publish_profile();
+    if (wants_observability(o)) {
+        exec::CheckpointStore* ckpt = lab.checkpoints();
+        if (ckpt != nullptr) {
+            const exec::CheckpointStore::Stats s = ckpt->stats();
+            auto put = [&](const char* leaf, std::uint64_t v,
+                           const char* desc) {
+                obs.registry
+                    .counter(std::string("profile.ckpt.") + leaf, desc)
+                    .add(v);
+            };
+            put("mem_hits", s.mem_hits, "warm forks from the memory tier");
+            put("disk_hits", s.disk_hits, "warm forks from the disk tier");
+            put("misses", s.misses, "acquires that became producers");
+            put("produces", s.produces, "warm snapshots published");
+            put("waits", s.waits, "acquires blocked on a producer");
+            put("evictions", s.evictions, "memory-tier LRU evictions");
+            put("lease_wait_ns", s.lease_wait_ns,
+                "total ns blocked on producer leases");
+            put("bytes_published", s.bytes_published,
+                "bytes of published warm snapshots");
+            put("bytes_mem", s.bytes_mem, "memory tier bytes, at exit");
+            put("bytes_disk_read", s.bytes_disk_read,
+                "bytes loaded from the disk tier");
+            put("bytes_disk_written", s.bytes_disk_written,
+                "bytes written to the disk tier");
+        }
+    }
+    if (!o.json) {
+        auto& prof = obs::prof::Profiler::instance();
+        const double wall = prof.wall_seconds();
+        const double frac =
+            wall > 0.0 ? prof.attributed_seconds() / wall : 0.0;
+        std::cout << "profile: " << static_cast<int>(frac * 100.0 + 0.5)
+                  << "% of " << wall << "s wall attributed, backend "
+                  << obs::prof::Profiler::backend_name(prof.backend())
+                  << "\n";
+    }
+}
+
 /** Write --stats-json / --trace-events / --trace-perfetto outputs. */
 int
 emit_observability(const Options& o, const sim::RunResult& r,
@@ -371,6 +434,12 @@ main(int argc, char** argv)
         return n > 0 ? 0 : 1;
     }
 
+    // Arm before any simulation work so wall_seconds covers the whole
+    // run and the ≥95% attribution target is judged honestly.
+    if (o.profile)
+        obs::prof::Profiler::instance().enable();
+    const auto prof_t0 = std::chrono::steady_clock::now();
+
     sim::MachineConfig cfg;
     cfg.l2_mshrs = o.mshrs;
     cfg.model_tlb = o.tlb;
@@ -442,6 +511,16 @@ main(int argc, char** argv)
         return j;
     };
 
+    // Config / workload-table / Lab construction ran outside any
+    // scope; attribute it so short runs still clear the ≥95% target.
+    if (o.profile)
+        obs::prof::Profiler::instance().add_external(
+            "startup",
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - prof_t0)
+                    .count()));
+
     std::optional<exec::Lab::JobId> base_id;
     if (o.baseline)
         base_id = lab.submit(make_job("none", false));
@@ -450,10 +529,15 @@ main(int argc, char** argv)
     const sim::RunResult* base =
         base_id ? &lab.result(*base_id) : nullptr;
     const auto& r = lab.result(main_id);
-    if (o.json)
-        stats::write_json(std::cout, r);
-    else
-        report(label, r, base);
+    {
+        obs::prof::ProfScope prof_report("report");
+        if (o.json)
+            stats::write_json(std::cout, r);
+        else
+            report(label, r, base);
+    }
+    if (o.profile)
+        finish_profile(o, obs, lab);
     int rc = emit_observability(o, r, obs, lab);
     if (o.verify) {
         if (!o.json) {
