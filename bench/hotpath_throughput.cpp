@@ -8,11 +8,19 @@
  * single-core and 4-core mixes across prefetcher configurations
  * (no prefetcher, Triage, BO+Triage hybrid).
  *
- * Each configuration runs `--reps` times (best-of, to shed scheduler
- * noise) through exec::run_job — the same entry point the Lab and every
- * fig* bench use — so the numbers track the real experiment hot path:
- * workload generation, core model, cache hierarchy, prefetcher
- * training and metadata maintenance.
+ * Each configuration runs `--reps` times through exec::run_job — the
+ * same entry point the Lab and every fig* bench use — so the numbers
+ * track the real experiment hot path: workload generation, core model,
+ * cache hierarchy, prefetcher training and metadata maintenance.
+ *
+ * Noise protocol (docs/performance.md §Measurement protocol): the
+ * reported throughput is the **median** rep, with the min/max spread
+ * recorded alongside so a trajectory entry carries its own noise bar.
+ * Earlier entries (pre hot-path v2) reported best-of-reps and carry no
+ * spread fields. Host counter rates are emitted only when a live
+ * perf_event sample was actually scheduled (see HwStopwatch::stop);
+ * the TSC fallback still yields cycles_per_access but never an
+ * instructions_per_access, which a PMU-less host cannot measure.
  *
  * Output: a table on stdout plus a JSON trajectory file
  * (BENCH_hotpath.json). `--merge-into=FILE` appends this run to an
@@ -23,6 +31,7 @@
  *   hotpath_throughput --smoke              # seconds-long CI smoke
  *   hotpath_throughput --label=post-change --merge-into=BENCH_hotpath.json
  */
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <fstream>
@@ -58,12 +67,18 @@ struct Result {
     std::string workload; ///< "single:mcf" or "mix4:..."
     unsigned cores = 1;
     std::uint64_t accesses = 0; ///< simulated memory accesses stepped
-    double seconds = 0.0;       ///< best-of-reps wall time
+    double seconds = 0.0;       ///< median-of-reps wall time
     double accesses_per_sec = 0.0;
     double ns_per_access = 0.0;
-    /// Host hardware-counter rates for the best rep (obs::prof
-    /// HwStopwatch; TSC cycles + zero instructions under the software
-    /// fallback). Absent from trajectory entries before pr8.
+    /// Rep spread (noise bar); absent from pre-hot-path-v2 entries,
+    /// signalled by reps == 0 when parsed back.
+    double seconds_min = 0.0;
+    double seconds_max = 0.0;
+    unsigned reps = 0;
+    /// Host hardware-counter rates for the median rep (obs::prof
+    /// HwStopwatch). cycles_per_access falls back to the TSC;
+    /// instructions_per_access is emitted only when a live perf_event
+    /// sample was scheduled (has_hw_rates) — never a fabricated zero.
     double cycles_per_access = 0.0;
     double instructions_per_access = 0.0;
     bool has_hw_rates = false;
@@ -112,7 +127,12 @@ parse_args(int argc, char** argv, Options& o)
     return true;
 }
 
-/** Time one job, best of @p reps, and fill a Result row. */
+/**
+ * Time one job @p reps times and fill a Result row from the median rep
+ * (lower-middle for even rep counts, so the reported numbers are
+ * always an actually-observed rep, never an interpolation). The min
+ * and max land in the row as the noise bar.
+ */
 Result
 measure(const Job& job, const std::string& config,
         const std::string& workload, unsigned reps)
@@ -127,35 +147,51 @@ measure(const Job& job, const std::string& config,
     res.accesses =
         static_cast<std::uint64_t>(cores) *
         (job.scale.warmup_records + job.scale.measure_records);
-    double best = 0.0;
+    struct Rep {
+        double sec = 0.0;
+        triage::obs::prof::HwSample hw;
+        bool hw_valid = false;
+    };
+    std::vector<Rep> runs;
+    runs.reserve(reps);
     triage::obs::prof::HwStopwatch hw;
-    triage::obs::prof::HwSample best_hw;
     for (unsigned r = 0; r < reps; ++r) {
+        Rep rep;
         hw.start();
         auto t0 = std::chrono::steady_clock::now();
         (void)triage::exec::run_job(job);
         auto t1 = std::chrono::steady_clock::now();
-        const triage::obs::prof::HwSample sample = hw.stop();
-        double s = std::chrono::duration<double>(t1 - t0).count();
-        if (r == 0 || s < best) {
-            best = s;
-            best_hw = sample;
-        }
+        rep.hw = hw.stop(&rep.hw_valid);
+        rep.sec = std::chrono::duration<double>(t1 - t0).count();
+        runs.push_back(rep);
     }
-    res.seconds = best;
+    std::sort(runs.begin(), runs.end(),
+              [](const Rep& a, const Rep& b) { return a.sec < b.sec; });
+    const Rep& med = runs[(runs.size() - 1) / 2];
+    res.seconds = med.sec;
+    res.seconds_min = runs.front().sec;
+    res.seconds_max = runs.back().sec;
+    res.reps = reps;
     if (res.accesses > 0) {
         const double n = static_cast<double>(res.accesses);
-        res.cycles_per_access =
-            static_cast<double>(best_hw.cycles) / n;
-        res.instructions_per_access =
-            static_cast<double>(best_hw.instructions) / n;
-        res.has_hw_rates = true;
+        res.cycles_per_access = static_cast<double>(med.hw.cycles) / n;
+        // Instruction rates only from a genuinely scheduled perf
+        // sample: the TSC fallback and a never-co-scheduled group both
+        // read 0 instructions, and emitting that as a rate is exactly
+        // the "instructions_per_access": 0 artifact this gate removes.
+        if (med.hw_valid) {
+            res.instructions_per_access =
+                static_cast<double>(med.hw.instructions) / n;
+            res.has_hw_rates = true;
+        }
     }
-    res.accesses_per_sec =
-        best > 0.0 ? static_cast<double>(res.accesses) / best : 0.0;
+    res.accesses_per_sec = med.sec > 0.0
+                               ? static_cast<double>(res.accesses) /
+                                     med.sec
+                               : 0.0;
     res.ns_per_access =
         res.accesses > 0
-            ? best * 1e9 / static_cast<double>(res.accesses)
+            ? med.sec * 1e9 / static_cast<double>(res.accesses)
             : 0.0;
     return res;
 }
@@ -249,10 +285,21 @@ emit_result(std::ostream& os, const Result& r, int indent)
        << ", \"accesses_per_sec\": " << std::setprecision(8)
        << r.accesses_per_sec << ", \"ns_per_access\": "
        << std::setprecision(6) << r.ns_per_access;
-    if (r.has_hw_rates) {
+    if (r.reps > 0) {
+        os << ",\n"
+           << pad << " \"seconds_min\": " << std::setprecision(6)
+           << r.seconds_min << ", \"seconds_max\": "
+           << std::setprecision(6) << r.seconds_max
+           << ", \"reps\": " << r.reps;
+    }
+    if (r.cycles_per_access > 0.0) {
         os << ",\n"
            << pad << " \"cycles_per_access\": " << std::setprecision(6)
-           << r.cycles_per_access << ", \"instructions_per_access\": "
+           << r.cycles_per_access;
+    }
+    if (r.has_hw_rates) {
+        os << ",\n"
+           << pad << " \"instructions_per_access\": "
            << std::setprecision(6) << r.instructions_per_access;
     }
     os << "}";
@@ -269,7 +316,11 @@ emit_parsed_run(std::ostream& os, const triage::obs::json::Value& run)
        << (label != nullptr && label->is_string() ? label->str : "?")
        << "\", \"mode\": \""
        << (mode != nullptr && mode->is_string() ? mode->str : "full")
-       << "\",\n";
+       << "\",";
+    if (const auto* hb = run.get("hw_backend");
+        hb != nullptr && hb->is_string())
+        os << " \"hw_backend\": \"" << hb->str << "\",";
+    os << "\n";
     if (const auto* sw = run.get("sweep_wallclock");
         sw != nullptr && sw->is_object()) {
         SweepWallclock s;
@@ -304,14 +355,22 @@ emit_parsed_run(std::ostream& os, const triage::obs::json::Value& run)
                 r.accesses_per_sec = v->number;
             if (const auto* v = e.get("ns_per_access"); v != nullptr)
                 r.ns_per_access = v->number;
-            if (const auto* v = e.get("cycles_per_access");
-                v != nullptr) {
+            if (const auto* v = e.get("seconds_min"); v != nullptr)
+                r.seconds_min = v->number;
+            if (const auto* v = e.get("seconds_max"); v != nullptr)
+                r.seconds_max = v->number;
+            if (const auto* v = e.get("reps"); v != nullptr)
+                r.reps = static_cast<unsigned>(v->number);
+            if (const auto* v = e.get("cycles_per_access"); v != nullptr)
                 r.cycles_per_access = v->number;
+            // Same gate as fresh results: a 0 here is the
+            // never-scheduled-counter artifact, not a rate — drop it
+            // on re-emit rather than carrying it forward forever.
+            if (const auto* v = e.get("instructions_per_access");
+                v != nullptr && v->number > 0.0) {
+                r.instructions_per_access = v->number;
                 r.has_hw_rates = true;
             }
-            if (const auto* v = e.get("instructions_per_access");
-                v != nullptr)
-                r.instructions_per_access = v->number;
             emit_result(os, r, 4);
             os << (i + 1 < results->array.size() ? ",\n" : "\n");
         }
@@ -356,8 +415,11 @@ write_trajectory(const Options& o, const std::vector<Result>& results,
         emit_parsed_run(f, run);
         f << ",\n";
     }
+    triage::obs::prof::HwStopwatch probe;
     f << "  {\"label\": \"" << o.label << "\", \"mode\": \""
-      << (o.smoke ? "smoke" : "full") << "\",\n";
+      << (o.smoke ? "smoke" : "full") << "\", \"hw_backend\": \""
+      << triage::obs::prof::Profiler::backend_name(probe.backend())
+      << "\",\n";
     emit_sweep(f, sweep);
     f << "   \"results\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
@@ -423,16 +485,19 @@ main(int argc, char** argv)
     }
 
     triage::stats::Table t({"config", "workload", "cores", "accesses",
-                            "sec", "acc/s", "ns/access", "cyc/access"});
+                            "sec(med)", "sec(min..max)", "acc/s",
+                            "ns/access", "cyc/access"});
     for (const auto& r : results) {
-        std::ostringstream rate, ns, sec, cyc;
+        std::ostringstream rate, ns, sec, spread, cyc;
         rate << std::fixed << std::setprecision(0) << r.accesses_per_sec;
         ns << std::fixed << std::setprecision(1) << r.ns_per_access;
         sec << std::fixed << std::setprecision(3) << r.seconds;
+        spread << std::fixed << std::setprecision(3) << r.seconds_min
+               << ".." << r.seconds_max;
         cyc << std::fixed << std::setprecision(1) << r.cycles_per_access;
         t.row({r.config, r.workload, std::to_string(r.cores),
-               std::to_string(r.accesses), sec.str(), rate.str(),
-               ns.str(), cyc.str()});
+               std::to_string(r.accesses), sec.str(), spread.str(),
+               rate.str(), ns.str(), cyc.str()});
     }
     t.print(std::cout);
     {

@@ -3,6 +3,8 @@
 #include "obs/registry.hpp"
 #include "util/bitops.hpp"
 #include "util/log.hpp"
+#include "util/mem.hpp"
+#include "util/simd_probe.hpp"
 
 namespace triage::cache {
 
@@ -18,7 +20,13 @@ SetAssocCache::SetAssocCache(const CacheGeometry& geom,
         geom.size_bytes / (sim::BLOCK_SIZE * geom.assoc));
     TRIAGE_ASSERT(util::is_pow2(sets_), "set count must be a power of two");
     tags_.assign(static_cast<std::size_t>(sets_) * assoc_, INVALID_TAG);
-    state_.assign(static_cast<std::size_t>(sets_) * assoc_, LineState{});
+    hot_.assign(static_cast<std::size_t>(sets_) * assoc_, 0);
+    owners_.assign(static_cast<std::size_t>(sets_) * assoc_, nullptr);
+    // LLC-sized tag/state arrays see hashed-set random rows; back them
+    // with huge pages so probes don't each pay a dTLB walk (no-op for
+    // the small L1/L2 arrays — see util/mem.hpp).
+    util::hint_hugepages(tags_);
+    util::hint_hugepages(hot_);
     TRIAGE_ASSERT(repl_ != nullptr);
     if (!repl_->lru_fast_view(&lru_))
         lru_ = {};
@@ -34,13 +42,10 @@ std::uint32_t
 SetAssocCache::find_way(std::size_t base, sim::Addr block) const
 {
     // Invalid ways hold INVALID_TAG (never a real block), so validity
-    // needs no separate test: one compare per way, vectorizable.
-    const sim::Addr* row = tags_.data() + base;
-    for (std::uint32_t w = 0; w < data_ways_; ++w) {
-        if (row[w] == block)
-            return w;
-    }
-    return NO_WAY;
+    // needs no separate test: one compare per way, SIMD-probed
+    // (util/simd_probe.hpp; NPOS and NO_WAY are both all-ones).
+    return util::simd::find_first_eq(tags_.data() + base, data_ways_,
+                                     block);
 }
 
 LookupResult
@@ -58,27 +63,27 @@ SetAssocCache::access(sim::Addr block, sim::Pc pc, sim::Cycle now,
         repl_miss(set, block, pc);
         return {};
     }
-    LineState& st = state_[base + way];
-    LookupResult res{true, false, false, st.ready_time, nullptr};
+    std::uint64_t& h = hot_[base + way];
+    LookupResult res{true, false, false, h & HOT_READY_MASK, nullptr};
     if (is_prefetch_probe) {
         ++stats_.pf_probe_hits;
         repl_touch(set, way, block, pc, true, false);
         return res;
     }
     ++stats_.demand_hits;
-    if (st.prefetched) {
+    if ((h & HOT_PREFETCHED) != 0) {
         ++stats_.prefetch_hits;
         res.first_prefetch_use = true;
-        res.pf_owner = st.pf_owner;
-        if (st.ready_time > now) {
+        res.pf_owner = owners_[base + way];
+        if ((h & HOT_READY_MASK) > now) {
             ++stats_.late_prefetch_hits;
             res.late_prefetch = true;
         }
-        st.prefetched = false;
-        st.pf_owner = nullptr;
+        h &= ~HOT_PREFETCHED;
+        owners_[base + way] = nullptr;
     }
     if (is_write)
-        st.dirty = true;
+        h |= HOT_DIRTY;
     repl_touch(set, way, block, pc, false, false);
     return res;
 }
@@ -99,7 +104,9 @@ SetAssocCache::peek(sim::Addr block) const
     const std::uint32_t way = find_way(base, block);
     if (way == NO_WAY)
         return std::nullopt;
-    return state_[base + way];
+    const std::uint64_t h = hot_[base + way];
+    return LineState{(h & HOT_DIRTY) != 0, (h & HOT_PREFETCHED) != 0,
+                     h & HOT_READY_MASK, owners_[base + way]};
 }
 
 bool
@@ -110,7 +117,7 @@ SetAssocCache::mark_dirty(sim::Addr block)
     const std::uint32_t way = find_way(base, block);
     if (way == NO_WAY)
         return false;
-    state_[base + way].dirty = true;
+    hot_[base + way] |= HOT_DIRTY;
     return true;
 }
 
@@ -123,49 +130,56 @@ SetAssocCache::insert(sim::Addr block, sim::Pc pc, sim::Cycle ready_time,
     const std::size_t base = static_cast<std::size_t>(set) * assoc_;
     sim::Addr* row = tags_.data() + base;
 
-    // One pass finds both the resident way (re-insertion refresh) and
-    // the first invalid way (preferred fill target).
+    // Re-insertion of a resident block just refreshes its state; only
+    // a miss needs the first invalid way (preferred fill target). One
+    // fused tag-or-invalid scan covers the steady state (full set, no
+    // holes); only when a hole precedes the probe point can the block
+    // still sit behind it, needing a second look at the tail.
     std::uint32_t resident = NO_WAY;
-    std::uint32_t invalid_way = NO_WAY;
-    for (std::uint32_t w = 0; w < data_ways_; ++w) {
-        if (row[w] == block) {
-            resident = w;
-            break;
+    std::uint32_t victim_way = NO_WAY;
+    const std::uint32_t probe = util::simd::find_first_eq_either(
+        row, data_ways_, block, INVALID_TAG);
+    if (probe != NO_WAY) {
+        if (row[probe] == block) {
+            resident = probe;
+        } else {
+            victim_way = probe;
+            const std::uint32_t rest = util::simd::find_first_eq(
+                row + probe + 1, data_ways_ - probe - 1, block);
+            if (rest != NO_WAY)
+                resident = probe + 1 + rest;
         }
-        if (row[w] == INVALID_TAG && invalid_way == NO_WAY)
-            invalid_way = w;
     }
-
-    // Re-insertion of a resident block just refreshes its state.
     if (resident != NO_WAY) {
-        LineState& st = state_[base + resident];
-        st.dirty |= dirty;
-        if (ready_time < st.ready_time)
-            st.ready_time = ready_time;
+        std::uint64_t& h = hot_[base + resident];
+        if (dirty)
+            h |= HOT_DIRTY;
+        if (ready_time < (h & HOT_READY_MASK))
+            h = (h & ~HOT_READY_MASK) | ready_time;
         return {};
     }
 
-    std::uint32_t victim_way = invalid_way;
     Eviction ev;
     if (victim_way == NO_WAY) {
         victim_way = repl_victim(set, 0, data_ways_);
         TRIAGE_ASSERT(victim_way < data_ways_, "victim outside partition");
-        const LineState& v = state_[base + victim_way];
+        const std::uint64_t v = hot_[base + victim_way];
         ev.valid = true;
         ev.block = row[victim_way];
-        ev.dirty = v.dirty;
-        ev.prefetched = v.prefetched;
+        ev.dirty = (v & HOT_DIRTY) != 0;
+        ev.prefetched = (v & HOT_PREFETCHED) != 0;
         ++stats_.evictions;
-        if (v.dirty)
+        if (ev.dirty)
             ++stats_.dirty_evictions;
-        if (v.prefetched)
+        if (ev.prefetched)
             ++stats_.unused_prefetch_evictions;
         repl_invalidate(set, victim_way);
         --live_lines_;
     }
     row[victim_way] = block;
-    state_[base + victim_way] = {dirty, is_prefetch, ready_time,
-                                 is_prefetch ? pf_owner : nullptr};
+    hot_[base + victim_way] = ready_time | (dirty ? HOT_DIRTY : 0) |
+                              (is_prefetch ? HOT_PREFETCHED : 0);
+    owners_[base + victim_way] = is_prefetch ? pf_owner : nullptr;
     ++live_lines_;
     repl_touch(set, victim_way, block, pc, is_prefetch, true);
     return ev;
@@ -197,7 +211,7 @@ SetAssocCache::set_data_ways(std::uint32_t n, std::uint64_t* flushed_dirty)
                 static_cast<std::size_t>(set) * assoc_;
             for (std::uint32_t w = n; w < data_ways_; ++w) {
                 if (tags_[base + w] != INVALID_TAG) {
-                    if (state_[base + w].dirty)
+                    if ((hot_[base + w] & HOT_DIRTY) != 0)
                         ++dirty_count;
                     repl_invalidate(set, w);
                     tags_[base + w] = INVALID_TAG;
@@ -316,17 +330,27 @@ SetAssocCache::checkpoint(sim::Snapshot& s, const PfOwnerCodec& codec)
     s.io(data_ways_);
     s.io_pod_vec(tags_);
     s.io(live_lines_);
-    std::uint64_t n = state_.size();
+    std::uint64_t n = hot_.size();
     s.io(n);
-    TRIAGE_ASSERT(n == state_.size(), "cache state size mismatch");
-    for (auto& st : state_) {
-        s.io(st.dirty);
-        s.io(st.prefetched);
-        s.io(st.ready_time);
-        std::uint32_t owner = s.saving() ? codec.encode(st.pf_owner) : 0;
+    TRIAGE_ASSERT(n == hot_.size(), "cache state size mismatch");
+    // Field-for-field the same stream as the old LineState loop (bool
+    // dirty, bool prefetched, u64 ready_time, u32 owner id), so
+    // snapshots written before the hot/cold split load unchanged.
+    for (std::size_t i = 0; i < hot_.size(); ++i) {
+        bool dirty = (hot_[i] & HOT_DIRTY) != 0;
+        bool prefetched = (hot_[i] & HOT_PREFETCHED) != 0;
+        sim::Cycle ready_time = hot_[i] & HOT_READY_MASK;
+        s.io(dirty);
+        s.io(prefetched);
+        s.io(ready_time);
+        std::uint32_t owner = s.saving() ? codec.encode(owners_[i]) : 0;
         s.io(owner);
-        if (s.loading())
-            st.pf_owner = codec.decode(owner);
+        if (s.loading()) {
+            hot_[i] = (ready_time & HOT_READY_MASK) |
+                      (dirty ? HOT_DIRTY : 0) |
+                      (prefetched ? HOT_PREFETCHED : 0);
+            owners_[i] = codec.decode(owner);
+        }
     }
     repl_->checkpoint(s);
     s.io_pod(stats_);

@@ -26,6 +26,7 @@
 
 #include "cache/replacement.hpp"
 #include "sim/types.hpp"
+#include "util/simd_probe.hpp"
 
 namespace triage::prefetch {
 class Prefetcher;
@@ -38,8 +39,13 @@ class Registry;
 namespace triage::cache {
 
 /**
- * Cold per-line bookkeeping, only read or written on a hit or insert
- * (never by the tag scan).
+ * Per-line bookkeeping, only read or written on a hit or insert (never
+ * by the tag scan). This is the *value type* handed across the cache
+ * API (peek(), shard overlays); internally SetAssocCache stores the
+ * frequently-touched fields packed one 64-bit word per line (see
+ * `hot_`), with the rarely-read prefetch-owner pointer in a parallel
+ * cold array, so a 16-way set's hot state spans two host cache lines
+ * instead of six.
  */
 struct LineState {
     bool dirty = false;
@@ -175,6 +181,12 @@ class SetAssocCache
             __builtin_prefetch(row + 8);
         if (lru_.stamps != nullptr)
             __builtin_prefetch(lru_.stamps + set * lru_.assoc);
+        // The packed hot-state row is written by every fill and read on
+        // hit; at one word per way it is fully covered by two lines.
+        const std::uint64_t* hrow = hot_.data() + set * assoc_;
+        __builtin_prefetch(hrow, 1);
+        if (assoc_ > 8)
+            __builtin_prefetch(hrow + 8, 1);
     }
 
     /** Cold-state snapshot of a resident line (no side effects). */
@@ -243,6 +255,16 @@ class SetAssocCache
     /** find_way() result meaning "not resident". */
     static constexpr std::uint32_t NO_WAY = ~std::uint32_t{0};
 
+    // Packed hot line state, one word per way: ready_time in the low
+    // 62 bits (cycle counts never approach 2^62), dirty and prefetched
+    // in the top two. The pf-owner pointer lives in the parallel cold
+    // `owners_` array, mirrored field-for-field with the old LineState
+    // semantics (including stale values on invalidated ways) so
+    // snapshots stay byte-identical.
+    static constexpr std::uint64_t HOT_DIRTY = std::uint64_t{1} << 62;
+    static constexpr std::uint64_t HOT_PREFETCHED = std::uint64_t{1} << 63;
+    static constexpr std::uint64_t HOT_READY_MASK = HOT_DIRTY - 1;
+
     std::uint32_t set_of(sim::Addr block) const;
     /** Scan the data partition of the set at @p base for @p block. */
     std::uint32_t find_way(std::size_t base, sim::Addr block) const;
@@ -291,17 +313,13 @@ class SetAssocCache
                 std::uint32_t way_end)
     {
         if (lru_.stamps != nullptr) {
+            // First-minimum stamp scan, SIMD-probed; ties resolve to
+            // the lowest way exactly like the scalar `<` update did.
             const std::uint64_t* row =
                 lru_.stamps + static_cast<std::size_t>(set) * lru_.assoc;
-            std::uint32_t best = way_begin;
-            std::uint64_t best_stamp = row[way_begin];
-            for (std::uint32_t w = way_begin + 1; w < way_end; ++w) {
-                if (row[w] < best_stamp) {
-                    best_stamp = row[w];
-                    best = w;
-                }
-            }
-            return best;
+            return way_begin +
+                   util::simd::min_index(row + way_begin,
+                                         way_end - way_begin);
         }
         return repl_->victim(set, way_begin, way_end);
     }
@@ -311,7 +329,8 @@ class SetAssocCache
     std::uint32_t assoc_;
     std::uint32_t data_ways_;
     std::vector<sim::Addr> tags_;    ///< sets_ x assoc_, row-major
-    std::vector<LineState> state_;   ///< parallel cold state
+    std::vector<std::uint64_t> hot_; ///< packed ready/dirty/prefetched
+    std::vector<prefetch::Prefetcher*> owners_; ///< cold pf-owner slots
     std::uint64_t live_lines_ = 0;
     std::unique_ptr<ReplacementPolicy> repl_;
     LruFastView lru_; ///< aliases repl_'s state iff it is plain LRU

@@ -120,16 +120,33 @@ MemorySystem::claim_mshr(PerCore& pcs, sim::Cycle issue,
 {
     if (cfg_.l2_mshrs == 0)
         return issue;
-    // Retire MSHRs whose fills completed.
-    while (!pcs.mshrs.empty() && *pcs.mshrs.begin() <= issue)
-        pcs.mshrs.erase(pcs.mshrs.begin());
+    // Batched drain: retire every fill completed by issue time in one
+    // head advance (cache/mshr_queue.hpp).
+    pcs.mshrs.retire_until(issue);
     if (pcs.mshrs.size() >= cfg_.l2_mshrs) {
         // Full: the request leaves when the oldest fill returns.
-        issue = *pcs.mshrs.begin();
-        pcs.mshrs.erase(pcs.mshrs.begin());
+        issue = pcs.mshrs.front();
+        pcs.mshrs.pop_front();
     }
     pcs.mshrs.insert(std::max(completion_estimate, issue));
     return issue;
+}
+
+void
+MemorySystem::lookahead_hint(unsigned core, sim::Addr byte_addr)
+{
+    PerCore& pcs = cores_[core];
+    const sim::Addr block = sim::block_of(byte_addr);
+    pcs.l1->prefetch_hint(block);
+    pcs.l2->prefetch_hint(block);
+    llc_->prefetch_hint(block);
+    if (pcs.l2pf != nullptr)
+        pcs.l2pf->pre_train_hint(block);
+    // Remember the hinted block so the in-access hints (the fallback
+    // for drivers without lookahead, e.g. the multicore quantum loop)
+    // skip the duplicate work. Host-only state: never checkpointed.
+    pcs.hinted_prev = pcs.hinted_block;
+    pcs.hinted_block = block;
 }
 
 sim::Cycle
@@ -150,9 +167,13 @@ MemorySystem::access(unsigned core, sim::Pc pc, sim::Addr byte_addr,
     // (the ones that are slow to simulate) nearly every access reaches
     // those structures; on hit-heavy streams the wasted hints are
     // cheap. Wall-clock only, no simulated effect (docs/performance.md).
-    llc_->prefetch_hint(block);
-    if (pcs.l2pf != nullptr)
-        pcs.l2pf->pre_train_hint(block);
+    // Skipped when the run loop's one-record lookahead already hinted
+    // this block with far more lead time.
+    if (block != pcs.hinted_block && block != pcs.hinted_prev) {
+        llc_->prefetch_hint(block);
+        if (pcs.l2pf != nullptr)
+            pcs.l2pf->pre_train_hint(block);
+    }
 
     // Address translation (optional Table 1 TLBs): latency only.
     if (pcs.tlb != nullptr)
@@ -227,9 +248,7 @@ MemorySystem::fetch_into_l2(unsigned core, sim::Pc pc, sim::Addr block,
         if (is_prefetch) {
             // Prefetches never stall on MSHRs; a full file drops them.
             if (cfg_.l2_mshrs != 0) {
-                while (!pcs.mshrs.empty() &&
-                       *pcs.mshrs.begin() <= issue)
-                    pcs.mshrs.erase(pcs.mshrs.begin());
+                pcs.mshrs.retire_until(issue);
                 if (pcs.mshrs.size() >= cfg_.l2_mshrs) {
                     if (outcome != nullptr)
                         *outcome = prefetch::PfOutcome::DroppedBandwidth;
@@ -272,7 +291,7 @@ MemorySystem::fetch_into_l2(unsigned core, sim::Pc pc, sim::Addr block,
         if (sh != nullptr) {
             // Mirror insert() for this core's view; the canonical fill
             // (and its eviction + writeback) happens at replay.
-            sh->overlay[block] = LineState{
+            sh->overlay.ref(block) = LineState{
                 false, is_prefetch, completion,
                 is_prefetch ? owner : nullptr};
             sh->ops.push_back({.kind = ShardOp::Kind::LlcInsert,
@@ -318,7 +337,7 @@ MemorySystem::writeback_to_llc(unsigned core, sim::Addr block,
             st->dirty = true;
             return;
         }
-        sh.overlay.emplace(block, LineState{true, false, now, nullptr});
+        sh.overlay.ref(block) = LineState{true, false, now, nullptr};
         return;
     }
     (void)core;
@@ -605,10 +624,7 @@ MemorySystem::checkpoint(sim::Snapshot& s)
         if (c.tlb)
             c.tlb->checkpoint(s);
         s.section("mem.core");
-        std::vector<sim::Cycle> mshrs(c.mshrs.begin(), c.mshrs.end());
-        s.io_pod_vec(mshrs);
-        if (s.loading())
-            c.mshrs = std::multiset<sim::Cycle>(mshrs.begin(), mshrs.end());
+        c.mshrs.checkpoint(s);
         s.io_pod(c.energy);
         s.io(c.meta_bytes);
         s.io(c.way_integral);
@@ -623,13 +639,12 @@ MemorySystem::checkpoint(sim::Snapshot& s)
 LineState*
 MemorySystem::shard_line(Shard& sh, sim::Addr block)
 {
-    auto it = sh.overlay.find(block);
-    if (it != sh.overlay.end())
-        return &it->second;
+    if (LineState* hit = sh.overlay.find(block))
+        return hit;
     if (std::optional<LineState> base = llc_->peek(block)) {
-        auto [it2, ins] = sh.overlay.emplace(block, *base);
-        (void)ins;
-        return &it2->second;
+        LineState& st = sh.overlay.ref(block);
+        st = *base;
+        return &st;
     }
     return nullptr;
 }

@@ -14,12 +14,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
-#include <set>
-
 #include "cache/cache.hpp"
+#include "cache/mshr_queue.hpp"
+#include "util/flat_map.hpp"
 #include "prefetch/prefetcher.hpp"
 #include "prefetch/stride.hpp"
 #include "sim/config.hpp"
@@ -92,7 +91,9 @@ struct Shard {
     explicit Shard(const sim::Dram& d) : dram(d) {}
 
     sim::Dram dram;                                   ///< re-seeded per quantum
-    std::unordered_map<sim::Addr, LineState> overlay; ///< this core's LLC view
+    /** This core's LLC view — an arena-backed flat map whose capacity
+     *  survives the per-quantum clear() (util/flat_map.hpp). */
+    util::FlatMap<sim::Addr, LineState> overlay;
     std::vector<ShardOp> ops;                         ///< replayed core-major
     std::uint64_t meta_bytes = 0;                     ///< deferred partition view
 };
@@ -123,6 +124,17 @@ class MemorySystem final : public prefetch::PrefetchHost
      */
     sim::Cycle access(unsigned core, sim::Pc pc, sim::Addr byte_addr,
                       bool is_write, sim::Cycle now);
+
+    /**
+     * Wall-clock-only hint for an access that will be simulated soon:
+     * pull the L1/L2/LLC tag rows and the prefetcher's metadata rows
+     * toward the host cache. CoreModel::run_records issues this one
+     * record ahead, which buys the fetches a whole record's worth of
+     * simulation work to complete under — the in-access hints alone
+     * fire only a few dozen instructions before the rows are read
+     * (docs/performance.md §Hot-path v2). No simulated effect.
+     */
+    void lookahead_hint(unsigned core, sim::Addr byte_addr);
 
     // --- PrefetchHost interface -----------------------------------------
     prefetch::PfOutcome issue_prefetch(unsigned core, sim::Addr block,
@@ -223,8 +235,15 @@ class MemorySystem final : public prefetch::PrefetchHost
         std::unique_ptr<prefetch::StridePrefetcher> stride;
         std::unique_ptr<prefetch::Prefetcher> l2pf;
         std::unique_ptr<sim::Tlb> tlb; ///< null unless cfg.model_tlb
-        /** Completion times of outstanding off-chip fills (MSHRs). */
-        std::multiset<sim::Cycle> mshrs;
+        /** Completion times of outstanding off-chip fills (MSHRs),
+         *  retired in batched drains (cache/mshr_queue.hpp). */
+        MshrQueue mshrs;
+        /** Last two blocks pushed by lookahead_hint(); access() skips
+         *  its own (shorter-lead) host-cache hints for them. Two-deep
+         *  because the run loop hints record i+1 before it simulates
+         *  record i. Wall-clock only — never checkpointed. */
+        sim::Addr hinted_block = ~sim::Addr{0};
+        sim::Addr hinted_prev = ~sim::Addr{0};
         MetadataEnergy energy;
         std::uint64_t meta_bytes = 0;
         // Time-weighted integral of this core's metadata ways.

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * MshrQueue: completion times of outstanding off-chip fills, kept as a
+ * sorted ring over a flat vector (docs/performance.md §Hot-path v2).
+ *
+ * Every L2-miss demand access retires completed fills and registers a
+ * new one; the prefetch path does the same minus the stall. The
+ * previous `std::multiset<Cycle>` paid a node allocation/free and a
+ * tree rebalance per event. Completion times are near-monotonic (DRAM
+ * estimates only exceed the running maximum by bounded reordering), so
+ * a sorted vector insert is almost always a push_back, and retiring
+ * completed fills is a *batched drain*: advance a head index over the
+ * leading run of completed entries — no per-element structure work at
+ * all. The dead prefix is compacted lazily (a memmove of the few live
+ * entries) so the vector never grows unboundedly.
+ *
+ * Semantics match the multiset exactly: duplicates allowed, front() is
+ * the minimum, and the serialized form is the same ascending sequence.
+ */
+#ifndef TRIAGE_CACHE_MSHR_QUEUE_HPP
+#define TRIAGE_CACHE_MSHR_QUEUE_HPP
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "sim/snapshot.hpp"
+#include "sim/types.hpp"
+
+namespace triage::cache {
+
+class MshrQueue
+{
+  public:
+    bool empty() const { return head_ == q_.size(); }
+    std::size_t size() const { return q_.size() - head_; }
+
+    /** Earliest outstanding completion. @pre !empty(). */
+    sim::Cycle front() const { return q_[head_]; }
+
+    void
+    pop_front()
+    {
+        ++head_;
+        maybe_compact();
+    }
+
+    /** Batched drain: retire every fill completed by @p now. */
+    void
+    retire_until(sim::Cycle now)
+    {
+        while (head_ < q_.size() && q_[head_] <= now)
+            ++head_;
+        maybe_compact();
+    }
+
+    void
+    insert(sim::Cycle completion)
+    {
+        q_.insert(std::upper_bound(q_.begin() +
+                                       static_cast<std::ptrdiff_t>(head_),
+                                   q_.end(), completion),
+                  completion);
+    }
+
+    void
+    clear()
+    {
+        q_.clear();
+        head_ = 0;
+    }
+
+    void
+    checkpoint(sim::Snapshot& s)
+    {
+        std::vector<sim::Cycle> live(
+            q_.begin() + static_cast<std::ptrdiff_t>(head_), q_.end());
+        s.io_pod_vec(live);
+        if (s.loading()) {
+            q_ = std::move(live);
+            head_ = 0;
+        }
+    }
+
+  private:
+    void
+    maybe_compact()
+    {
+        if (head_ == q_.size()) {
+            q_.clear();
+            head_ = 0;
+        } else if (head_ >= 256) {
+            q_.erase(q_.begin(),
+                     q_.begin() + static_cast<std::ptrdiff_t>(head_));
+            head_ = 0;
+        }
+    }
+
+    std::vector<sim::Cycle> q_; ///< ascending in [head_, q_.size())
+    std::size_t head_ = 0;      ///< completed prefix already drained
+};
+
+} // namespace triage::cache
+
+#endif // TRIAGE_CACHE_MSHR_QUEUE_HPP

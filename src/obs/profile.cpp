@@ -146,8 +146,71 @@ struct PerfGroup {
         }
         ::ioctl(fd, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
         ::ioctl(fd, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+        // A four-counter group can exceed the PMU's programmable
+        // budget (NMI watchdog pinning a counter, older PMUs): the
+        // opens all succeed but the group is never co-scheduled, and
+        // every read reports time_running == 0 with all-zero values —
+        // which used to reach the stats JSON as a plausible-looking
+        // "instructions_per_access": 0. Probe after enabling; if the
+        // group never runs, drop the optional cache/branch siblings
+        // and retry, and if even the cycles+instructions pair cannot
+        // schedule, fall back to the software backend for good.
+        if (!probe_scheduled() && n_open > 2) {
+            drop_optional_siblings();
+            ::ioctl(fd, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+            ::ioctl(fd, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+        }
+        if (!probe_scheduled()) {
+            close_all();
+            tried = true; // stay software; don't re-probe every scope
+        }
 #endif
     }
+
+#if defined(TRIAGE_HAVE_PERF_EVENT)
+    /**
+     * True once a read shows time_running > 0. A couple of brief spin
+     * rounds give the scheduler a chance to host the group; a group
+     * that stays unscheduled across them never will be (it is wider
+     * than the PMU).
+     */
+    bool
+    probe_scheduled()
+    {
+        std::uint64_t raw[6];
+        for (int round = 0; round < 4; ++round) {
+            volatile std::uint64_t sink = 0;
+            for (std::uint64_t i = 0; i < 4096; ++i)
+                sink = sink + i;
+            if (read_raw(raw) && raw[5] > 0)
+                return true;
+        }
+        return false;
+    }
+
+    /** Close the cache/branch-miss siblings, keeping cycles+instrs. */
+    void
+    drop_optional_siblings()
+    {
+        std::vector<int> keep;
+        unsigned slot = 1;
+        for (int i = 1; i < 4; ++i) {
+            if (slot_of[i] < 0)
+                continue;
+            const int sfd =
+                sibling_fds[static_cast<std::size_t>(slot_of[i] - 1)];
+            if (i >= 2) {
+                ::close(sfd);
+                slot_of[i] = -1;
+            } else {
+                keep.push_back(sfd);
+                slot_of[i] = static_cast<int>(slot++);
+            }
+        }
+        sibling_fds = std::move(keep);
+        n_open = slot;
+    }
+#endif
 
     /**
      * Raw group read into @p out: [v0..v3 by counter index] + enabled
@@ -180,28 +243,28 @@ struct PerfGroup {
 };
 
 /**
- * Delta of two raw group reads, multiplex-scaled: when the PMU ran the
- * group for only part of the interval (time_running < time_enabled),
- * extrapolate by the ratio, which is the standard perf estimate.
+ * Delta of two raw group reads, multiplex-scaled via multiplex_scale.
+ * Returns false — leaving @p out zeroed — when the group was enabled
+ * but never scheduled: those all-zero deltas are an artifact of the
+ * PMU not hosting the group, not a measurement of zero work.
  */
-HwSample
-scale_delta(const std::uint64_t a[6], const std::uint64_t b[6])
+bool
+scale_delta(const std::uint64_t a[6], const std::uint64_t b[6],
+            HwSample& out)
 {
-    double scale = 1.0;
-    const std::uint64_t d_en = b[4] - a[4];
-    const std::uint64_t d_run = b[5] - a[5];
-    if (d_run > 0 && d_en > d_run)
-        scale = static_cast<double>(d_en) / static_cast<double>(d_run);
+    out = HwSample{};
+    const double scale = multiplex_scale(b[4] - a[4], b[5] - a[5]);
+    if (scale == 0.0)
+        return false;
     auto d = [&](int i) {
         return static_cast<std::uint64_t>(
             static_cast<double>(b[i] - a[i]) * scale);
     };
-    HwSample s;
-    s.cycles = d(0);
-    s.instructions = d(1);
-    s.llc_misses = d(2);
-    s.branch_misses = d(3);
-    return s;
+    out.cycles = d(0);
+    out.instructions = d(1);
+    out.llc_misses = d(2);
+    out.branch_misses = d(3);
+    return true;
 }
 
 /** Per-thread profiling state: the scope stack and the counter group. */
@@ -243,6 +306,17 @@ split_segments(const std::string& name)
 }
 
 } // namespace
+
+double
+multiplex_scale(std::uint64_t d_enabled, std::uint64_t d_running)
+{
+    if (d_running == 0)
+        return d_enabled == 0 ? 1.0 : 0.0;
+    if (d_enabled > d_running)
+        return static_cast<double>(d_enabled) /
+               static_cast<double>(d_running);
+    return 1.0;
+}
 
 std::atomic<bool> Profiler::armed_{false};
 
@@ -613,10 +687,8 @@ ProfScope::end()
     if (hw_) {
         if (hw_live_) {
             std::uint64_t hw1[6];
-            if (ts.group.read_raw(hw1)) {
-                hw = scale_delta(hw0_, hw1);
-                has_hw = true;
-            }
+            if (ts.group.read_raw(hw1))
+                has_hw = scale_delta(hw0_, hw1, hw);
         } else {
             const std::uint64_t c1 = tsc_now();
             if (c1 > hw0_[0] && hw0_[0] != 0) {
@@ -668,18 +740,21 @@ HwStopwatch::start()
 }
 
 HwSample
-HwStopwatch::stop()
+HwStopwatch::stop(bool* hw_valid)
 {
     HwSample s;
+    bool valid = false;
     if (impl_->group.live()) {
         std::uint64_t raw1[6];
         if (impl_->group.read_raw(raw1))
-            s = scale_delta(impl_->raw0, raw1);
+            valid = scale_delta(impl_->raw0, raw1, s);
     } else {
         const std::uint64_t c1 = tsc_now();
         if (impl_->tsc0 != 0 && c1 > impl_->tsc0)
             s.cycles = c1 - impl_->tsc0;
     }
+    if (hw_valid != nullptr)
+        *hw_valid = valid;
     return s;
 }
 

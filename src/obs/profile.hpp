@@ -62,6 +62,18 @@ struct HwSample {
     std::uint64_t branch_misses = 0;
 };
 
+/**
+ * Multiplex scale factor for a counter interval, from the group's
+ * time_enabled / time_running deltas. Returns the standard perf
+ * extrapolation ratio (>= 1.0) when the PMU ran the group for part of
+ * the interval, 1.0 for a fully-scheduled (or empty) interval, and
+ * **0.0 when the group was enabled but never scheduled** — the case
+ * where every counter delta reads zero not because nothing executed
+ * but because the PMU never hosted the group. Callers must treat a
+ * 0.0 scale as "no sample", not as a measurement of zero.
+ */
+double multiplex_scale(std::uint64_t d_enabled, std::uint64_t d_running);
+
 /** Where the counter numbers come from. */
 enum class Backend : std::uint8_t {
     Unresolved, ///< no thread has tried to open counters yet
@@ -252,8 +264,15 @@ class HwStopwatch
     Backend backend() const;
 
     void start();
-    /** Counter deltas since start() (cycles-only under the fallback). */
-    HwSample stop();
+    /**
+     * Counter deltas since start() (cycles-only under the fallback).
+     * @p hw_valid, when non-null, is set true only when a live
+     * perf_event sample was actually scheduled during the interval —
+     * false under the TSC fallback *and* when the group never ran
+     * (multiplex_scale() == 0), where instructions/misses are
+     * meaningless zeros rather than measurements.
+     */
+    HwSample stop(bool* hw_valid = nullptr);
 
   private:
     struct Impl;

@@ -91,18 +91,18 @@ void
 Hawkeye::sample_access(std::uint32_t set, sim::Addr tag, sim::Pc pc)
 {
     SampledSet& s = sampler_for(set);
-    auto it = s.last_pc.find(tag);
+    sim::Pc* it = s.last_pc.find(tag);
     bool opt_hit = s.optgen.access(tag);
-    if (it != s.last_pc.end()) {
+    if (it != nullptr) {
         // OPT's verdict trains the PC that last touched this line: that
         // load decided whether keeping the line would have paid off.
         if (opt_hit)
-            predictor_.train_positive(it->second);
+            predictor_.train_positive(*it);
         else
-            predictor_.train_negative(it->second);
-        it->second = pc;
+            predictor_.train_negative(*it);
+        *it = pc;
     } else {
-        s.last_pc.emplace(tag, pc);
+        s.last_pc.ref(tag) = pc;
     }
     // Bound the last-PC map (entries older than the OPTgen window are
     // dead weight; a size cap keeps memory honest without timestamps).

@@ -14,7 +14,7 @@
 #define TRIAGE_REPLACEMENT_HAWKEYE_HPP
 
 #include <cstdint>
-#include <unordered_map>
+#include "util/flat_map.hpp"
 #include <vector>
 
 #include "cache/replacement.hpp"
@@ -91,7 +91,7 @@ class Hawkeye final : public cache::ReplacementPolicy
         predictor_.checkpoint(s);
         for (auto& sampled : samplers_) {
             sampled.optgen.checkpoint(s);
-            s.io_map(sampled.last_pc);
+            s.io_flat_map(sampled.last_pc);
             s.io(sampled.last_prune);
         }
         s.io_pod_vec(rrpv_);
@@ -102,7 +102,7 @@ class Hawkeye final : public cache::ReplacementPolicy
     struct SampledSet {
         OptGen optgen;
         /** addr -> PC of the most recent access (the training target). */
-        std::unordered_map<std::uint64_t, sim::Pc> last_pc;
+        util::FlatMap<std::uint64_t, sim::Pc> last_pc;
         std::uint64_t last_prune = 0;
 
         explicit SampledSet(std::uint32_t assoc, std::uint32_t factor)

@@ -98,9 +98,9 @@ OptGen::access(std::uint64_t key)
                 static_cast<std::uint32_t>(now_ % window_), 0);
 
     bool hit = false;
-    auto it = last_seen_.find(key);
-    if (it != last_seen_.end() && now_ - it->second < window_) {
-        std::uint64_t prev = it->second;
+    std::uint64_t* it = last_seen_.find(key);
+    if (it != nullptr && now_ - *it < window_) {
+        std::uint64_t prev = *it;
         // OPT keeps the line iff no slot in [prev, now) is full. The
         // absolute interval maps to at most two contiguous index
         // ranges of the circular window.
@@ -125,20 +125,17 @@ OptGen::access(std::uint64_t key)
             ++hits_;
         }
     }
-    if (it != last_seen_.end())
-        it->second = now_;
+    if (it != nullptr)
+        *it = now_;
     else
-        last_seen_.emplace(key, now_);
+        last_seen_.ref(key) = now_;
     ++now_;
 
     // Periodically drop stale last-seen entries so the map stays O(window).
     if (now_ - last_prune_ > 4ULL * window_) {
-        for (auto i = last_seen_.begin(); i != last_seen_.end();) {
-            if (now_ - i->second >= window_)
-                i = last_seen_.erase(i);
-            else
-                ++i;
-        }
+        last_seen_.erase_if([&](std::uint64_t, std::uint64_t seen) {
+            return now_ - seen >= window_;
+        });
         last_prune_ = now_;
     }
     return hit;

@@ -20,7 +20,7 @@
 #define TRIAGE_REPLACEMENT_OPTGEN_HPP
 
 #include <cstdint>
-#include <unordered_map>
+#include "util/flat_map.hpp"
 #include <vector>
 
 #include "sim/snapshot.hpp"
@@ -84,7 +84,7 @@ class OptGen
         s.io(now_);
         s.io_pod_vec(tmax_);
         s.io_pod_vec(tadd_);
-        s.io_map(last_seen_);
+        s.io_flat_map(last_seen_);
         s.io(accesses_);
         s.io(hits_);
         s.io(last_prune_);
@@ -113,7 +113,7 @@ class OptGen
     std::uint32_t leaves_ = 1;        ///< power of two >= window_
     std::vector<std::uint32_t> tmax_; ///< 2*leaves_ max values
     std::vector<std::uint32_t> tadd_; ///< leaves_ pending adds
-    std::unordered_map<std::uint64_t, std::uint64_t> last_seen_;
+    util::FlatMap<std::uint64_t, std::uint64_t> last_seen_;
     std::uint64_t accesses_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t last_prune_ = 0;

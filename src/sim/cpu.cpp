@@ -130,14 +130,38 @@ void
 CoreModel::run_records(std::uint64_t n)
 {
     TRIAGE_ASSERT(wl_ != nullptr, "no workload bound");
-    TraceRecord rec;
+    // One-record lookahead: pull record i+1 and hint its cache/metadata
+    // rows *before* simulating record i, so the host-memory fetches for
+    // the next access overlap a full record's worth of work. The pull
+    // order and wrap-at-EOF rule are unchanged (the cursor replayed by
+    // restore_workload_position stays exact), and no record is buffered
+    // across calls — only wall clock moves (docs/performance.md).
+    TraceRecord rec, ahead;
+    bool have_ahead = false;
     for (std::uint64_t i = 0; i < n; ++i) {
-        if (!wl_->next(rec)) {
-            wl_->reset();
-            if (!wl_->next(rec))
-                return; // empty workload
+        if (have_ahead) {
+            rec = ahead;
+            have_ahead = false;
+        } else {
+            if (!wl_->next(rec)) {
+                wl_->reset();
+                if (!wl_->next(rec))
+                    return; // empty workload
+            }
+            ++wl_records_;
         }
-        ++wl_records_;
+        if (i + 1 < n) {
+            if (!wl_->next(ahead)) {
+                wl_->reset();
+                have_ahead = wl_->next(ahead);
+            } else {
+                have_ahead = true;
+            }
+            if (have_ahead) {
+                ++wl_records_;
+                mem_.lookahead_hint(core_id_, ahead.addr);
+            }
+        }
         step(rec);
     }
 }

@@ -4,9 +4,12 @@ namespace triage::sim {
 
 namespace {
 
-/** Archive format magic ("TRSN") + layout version. */
+/** Archive format magic ("TRSN") + layout version. Version 3: flat
+ *  hot-path maps serialize as sorted (key, value) pairs and the
+ *  tag-compressor probe table is rebuilt on load instead of stored
+ *  (docs/performance.md §Hot-path v2). */
 constexpr std::uint32_t MAGIC = 0x5452534eu;
-constexpr std::uint32_t FORMAT_VERSION = 2;
+constexpr std::uint32_t FORMAT_VERSION = 3;
 
 /**
  * FNV-1a folded over 8-byte words (byte-wise tail). Warm blobs run to

@@ -35,6 +35,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "util/flat_map.hpp"
 #include "util/log.hpp"
 
 namespace triage::sim {
@@ -181,6 +182,42 @@ class Snapshot
                 io_pod(k);
                 io_pod(v);
                 m.emplace(k, v);
+            }
+        }
+    }
+
+    /**
+     * Flat hot-path map (util::FlatMap), serialized exactly like
+     * io_map: count, then (key, value) pairs in sorted-key order.
+     * Slot order is an artifact of the operation history, so sorting
+     * keeps the byte-determinism property (two logically equal maps
+     * always serialize identically, whatever their table layouts).
+     */
+    template <typename K, typename V>
+    void
+    io_flat_map(util::FlatMap<K, V>& m)
+    {
+        std::uint64_t n = m.size();
+        io(n);
+        if (saving()) {
+            std::vector<K> keys;
+            keys.reserve(m.size());
+            m.for_each([&](K k, const V&) { keys.push_back(k); });
+            std::sort(keys.begin(), keys.end());
+            for (K k : keys) {
+                V v = *m.find(k);
+                io_pod(k);
+                io_pod(v);
+            }
+        } else {
+            m.clear();
+            m.reserve(static_cast<std::size_t>(n));
+            for (std::uint64_t i = 0; i < n; ++i) {
+                K k{};
+                V v{};
+                io_pod(k);
+                io_pod(v);
+                m.ref(k) = v;
             }
         }
     }

@@ -2,6 +2,7 @@
 
 #include "util/bitops.hpp"
 #include "util/log.hpp"
+#include "util/mem.hpp"
 
 namespace triage::core {
 
@@ -75,6 +76,10 @@ MetaHawkeye::MetaHawkeye(std::uint32_t sets, std::uint32_t ways,
     samplers_.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i)
         samplers_.emplace_back(ways_, history_factor_);
+    // Hashed-set random rows, same story as the store's key/entry
+    // arrays (util/mem.hpp; no-op below the 2 MB huge-page threshold).
+    util::hint_hugepages(rrpv_);
+    util::hint_hugepages(pcs_);
 }
 
 bool
@@ -102,15 +107,15 @@ MetaHawkeye::sample(std::uint32_t set, std::uint64_t key, sim::Pc pc)
     bool opt_hit = s.optgen.access(key);
     if (stats_ != nullptr)
         ++(opt_hit ? stats_->optgen_hits : stats_->optgen_misses);
-    auto it = s.last_pc.find(key);
-    if (it != s.last_pc.end()) {
+    sim::Pc* it = s.last_pc.find(key);
+    if (it != nullptr) {
         if (opt_hit)
-            predictor_.train_positive(it->second);
+            predictor_.train_positive(*it);
         else
-            predictor_.train_negative(it->second);
-        it->second = pc;
+            predictor_.train_negative(*it);
+        *it = pc;
     } else {
-        s.last_pc.emplace(key, pc);
+        s.last_pc.ref(key) = pc;
     }
     if (s.last_pc.size() > 16ULL * ways_ * history_factor_)
         s.last_pc.clear();

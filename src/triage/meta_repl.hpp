@@ -15,7 +15,7 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
+#include "util/flat_map.hpp"
 #include <vector>
 
 #include "replacement/hawkeye.hpp"
@@ -77,6 +77,13 @@ class MetaRepl
     virtual const char* name() const = 0;
 
     /**
+     * Wall-clock-only hint: pull the policy's per-set rows toward the
+     * host cache ahead of an access to @p set (the metadata-store
+     * prefetch hint fans out here). No simulated effect.
+     */
+    virtual void prefetch_hint(std::uint32_t set) const { (void)set; }
+
+    /**
      * Save/restore the policy's mutable state (stamps / RRIP +
      * predictor + samplers). The bound MetaReplStats block is owned and
      * serialized by the MetadataStore, not here.
@@ -105,6 +112,12 @@ class MetaLru final : public MetaRepl
     void on_invalidate(std::uint32_t set, std::uint32_t way) override;
     std::uint32_t victim(std::uint32_t set) override;
     const char* name() const override { return "lru"; }
+
+    void
+    prefetch_hint(std::uint32_t set) const override
+    {
+        __builtin_prefetch(stamps_.data() + std::size_t{set} * ways_, 1);
+    }
 
     void
     checkpoint(sim::Snapshot& s) override
@@ -142,6 +155,16 @@ class MetaHawkeye final : public MetaRepl
     std::uint32_t victim(std::uint32_t set) override;
     const char* name() const override { return "hawkeye"; }
 
+    void
+    prefetch_hint(std::uint32_t set) const override
+    {
+        // Every on_hit/on_miss/on_insert reads this set's RRPV row and
+        // most write the PC row; both live in megabyte-scale arrays
+        // indexed by a hashed set, so they are rarely host-resident.
+        __builtin_prefetch(rrpv_.data() + std::size_t{set} * ways_, 1);
+        __builtin_prefetch(pcs_.data() + std::size_t{set} * ways_, 1);
+    }
+
     const replacement::HawkeyePredictor& predictor() const
     {
         return predictor_;
@@ -154,7 +177,7 @@ class MetaHawkeye final : public MetaRepl
         predictor_.checkpoint(s);
         for (auto& sampled : samplers_) {
             sampled.optgen.checkpoint(s);
-            s.io_map(sampled.last_pc);
+            s.io_flat_map(sampled.last_pc);
         }
         s.io_pod_vec(rrpv_);
         s.io_pod_vec(pcs_);
@@ -165,7 +188,7 @@ class MetaHawkeye final : public MetaRepl
 
     struct SampledSet {
         replacement::OptGen optgen;
-        std::unordered_map<std::uint64_t, sim::Pc> last_pc;
+        util::FlatMap<std::uint64_t, sim::Pc> last_pc;
 
         SampledSet(std::uint32_t ways, std::uint32_t factor)
             : optgen(ways, factor)

@@ -4,6 +4,8 @@
 
 #include "util/bitops.hpp"
 #include "util/log.hpp"
+#include "util/mem.hpp"
+#include "util/simd_probe.hpp"
 
 namespace triage::core {
 
@@ -35,6 +37,10 @@ MetadataStore::build(std::uint64_t bytes)
                     Entry{});
     keys_.assign(static_cast<std::size_t>(sets_) * cfg_.line_entries,
                  INVALID_KEY);
+    // Hashed-set indexing makes every probe a random row; huge pages
+    // keep those from each costing a dTLB walk (util/mem.hpp).
+    util::hint_hugepages(entries_);
+    util::hint_hugepages(keys_);
     repl_ = make_meta_repl(cfg_.repl, sets_, cfg_.line_entries);
     // Counters live in the store so the policy rebuild keeps them.
     repl_->bind_stats(&repl_stats_);
@@ -49,12 +55,10 @@ MetadataStore::set_of(sim::Addr trigger) const
 std::uint32_t
 MetadataStore::find_way(std::size_t base, std::uint64_t key) const
 {
-    const std::uint64_t* row = keys_.data() + base;
-    for (std::uint32_t w = 0; w < cfg_.line_entries; ++w) {
-        if (row[w] == key)
-            return w;
-    }
-    return NO_WAY;
+    // SIMD probe over the packed key row (NPOS and NO_WAY are both
+    // all-ones), matching the cache tag scan (docs/performance.md).
+    return util::simd::find_first_eq(keys_.data() + base,
+                                     cfg_.line_entries, key);
 }
 
 std::uint64_t
@@ -72,12 +76,21 @@ MetadataStore::prefetch_hint(sim::Addr trigger) const
 {
     if (sets_ == 0)
         return;
+    const std::uint32_t set = set_of(trigger);
     const std::size_t base =
-        static_cast<std::size_t>(set_of(trigger)) * cfg_.line_entries;
+        static_cast<std::size_t>(set) * cfg_.line_entries;
     const std::uint64_t* row = keys_.data() + base;
     __builtin_prefetch(row);
     if (cfg_.line_entries > 8) // a 16-entry key row spans two 64 B lines
         __builtin_prefetch(row + 8);
+    // A probe hit or update dereferences the matching Entry; the way is
+    // unknown until the key scan, so pull the front of the entry row
+    // (32-byte entries: the first two lines cover ways 0-3).
+    const Entry* erow = entries_.data() + base;
+    __builtin_prefetch(erow, 1);
+    __builtin_prefetch(reinterpret_cast<const char*>(erow) + 64, 1);
+    if (repl_ != nullptr)
+        repl_->prefetch_hint(set);
     if (cfg_.compressed_tags)
         compressor_.prefetch_hint(compressor_.tag_of(trigger));
 }

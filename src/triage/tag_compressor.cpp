@@ -2,15 +2,22 @@
 
 #include "util/bitops.hpp"
 #include "util/log.hpp"
+#include "util/mem.hpp"
+#include "util/simd_probe.hpp"
 
 namespace triage::core {
 
 TagCompressor::TagCompressor(TagCompressorConfig cfg)
     : cfg_(cfg), slots_(1u << cfg.id_bits),
-      map_(std::size_t{1} << (cfg.id_bits + 2))
+      map_tags_(std::size_t{1} << (cfg.id_bits + 2), MAP_EMPTY),
+      map_ids_(std::size_t{1} << (cfg.id_bits + 2), 0)
 {
     TRIAGE_ASSERT(cfg.id_bits >= 1 && cfg.id_bits <= 16);
-    map_mask_ = map_.size() - 1;
+    map_mask_ = map_tags_.size() - 1;
+    // The probe table is hash-indexed, so touches are random rows;
+    // huge pages spare each one a dTLB walk (util/mem.hpp).
+    util::hint_hugepages(map_tags_);
+    util::hint_hugepages(slots_);
 }
 
 std::size_t
@@ -20,64 +27,96 @@ TagCompressor::map_home(std::uint64_t tag) const
 }
 
 std::size_t
-TagCompressor::map_find(std::uint64_t tag) const
+TagCompressor::map_probe(std::uint64_t tag) const
 {
-    std::size_t i = map_home(tag);
-    while (map_[i].used) {
-        if (map_[i].tag == tag)
-            return i;
-        i = (i + 1) & map_mask_;
-    }
-    return map_.size();
+    // Linear probe == "first slot holding my tag or the empty
+    // sentinel, scanning from home with wraparound" — one SIMD
+    // find-first-of-two per contiguous region (at most two regions).
+    const std::uint64_t* t = map_tags_.data();
+    const std::size_t n = map_tags_.size();
+    const std::size_t home = map_home(tag);
+    std::uint32_t r = util::simd::find_first_eq_either(
+        t + home, static_cast<std::uint32_t>(n - home), tag, MAP_EMPTY);
+    if (r != util::simd::NPOS)
+        return home + r;
+    r = util::simd::find_first_eq_either(
+        t, static_cast<std::uint32_t>(home), tag, MAP_EMPTY);
+    TRIAGE_ASSERT(r != util::simd::NPOS,
+                  "probe table full (load is capped at 25%)");
+    return r;
+}
+
+const std::uint16_t*
+TagCompressor::id_lookup(std::uint64_t tag) const
+{
+    if (tag == MAP_EMPTY)
+        return empty_tag_valid_ ? &empty_tag_id_ : nullptr;
+    const std::size_t i = map_probe(tag);
+    return map_tags_[i] == tag ? &map_ids_[i] : nullptr;
 }
 
 void
 TagCompressor::map_insert(std::uint64_t tag, std::uint16_t id)
 {
-    std::size_t i = map_home(tag);
-    while (map_[i].used) {
-        if (map_[i].tag == tag) {
-            map_[i].id = id;
-            return;
-        }
-        i = (i + 1) & map_mask_;
+    if (tag == MAP_EMPTY) { // side slot: sentinel-valued tag
+        empty_tag_valid_ = true;
+        empty_tag_id_ = id;
+        return;
     }
-    map_[i] = {tag, id, true};
+    const std::size_t i = map_probe(tag);
+    map_tags_[i] = tag;
+    map_ids_[i] = id;
 }
 
 void
 TagCompressor::map_erase(std::uint64_t tag)
 {
-    std::size_t i = map_find(tag);
-    if (i == map_.size())
+    if (tag == MAP_EMPTY) {
+        empty_tag_valid_ = false;
         return;
+    }
+    const std::size_t i0 = map_probe(tag);
+    if (map_tags_[i0] != tag)
+        return;
+    std::size_t i = i0;
     // Backward-shift deletion (Knuth 6.4 R): pull later cluster
     // members whose home slot precedes the hole back over it, so
     // probes never need tombstones.
     std::size_t j = i;
     while (true) {
-        map_[i].used = false;
+        map_tags_[i] = MAP_EMPTY;
         std::size_t home;
         do {
             j = (j + 1) & map_mask_;
-            if (!map_[j].used)
+            if (map_tags_[j] == MAP_EMPTY)
                 return;
-            home = map_home(map_[j].tag);
+            home = map_home(map_tags_[j]);
         } while (i <= j ? (i < home && home <= j)
                         : (i < home || home <= j));
-        map_[i] = map_[j];
+        map_tags_[i] = map_tags_[j];
+        map_ids_[i] = map_ids_[j];
         i = j;
+    }
+}
+
+void
+TagCompressor::map_rebuild()
+{
+    map_tags_.assign(map_tags_.size(), MAP_EMPTY);
+    map_ids_.assign(map_ids_.size(), 0);
+    empty_tag_valid_ = false;
+    for (std::size_t id = 0; id < slots_.size(); ++id) {
+        if (slots_[id].valid)
+            map_insert(slots_[id].tag, static_cast<std::uint16_t>(id));
     }
 }
 
 std::uint16_t
 TagCompressor::compress(std::uint64_t tag)
 {
-    std::size_t pos = map_find(tag);
-    if (pos != map_.size()) {
-        std::uint16_t id = map_[pos].id;
-        slots_[id].lru = ++clock_;
-        return id;
+    if (const std::uint16_t* hit = id_lookup(tag)) {
+        slots_[*hit].lru = ++clock_;
+        return *hit;
     }
     // Recycle the LRU id.
     std::uint16_t victim = 0;
@@ -101,10 +140,9 @@ TagCompressor::compress(std::uint64_t tag)
 std::optional<std::uint16_t>
 TagCompressor::find(std::uint64_t tag) const
 {
-    std::size_t pos = map_find(tag);
-    if (pos == map_.size())
-        return std::nullopt;
-    return map_[pos].id;
+    if (const std::uint16_t* hit = id_lookup(tag))
+        return *hit;
+    return std::nullopt;
 }
 
 std::uint64_t

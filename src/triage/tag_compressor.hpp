@@ -59,7 +59,7 @@ class TagCompressor
     void
     prefetch_hint(std::uint64_t tag) const
     {
-        __builtin_prefetch(map_.data() + map_home(tag));
+        __builtin_prefetch(map_tags_.data() + map_home(tag));
     }
 
     /** Expand an id back to whatever full tag currently owns it. */
@@ -77,13 +77,14 @@ class TagCompressor
             a.io(e.lru);
             a.io(e.valid);
         });
-        s.io_vec(map_, [](sim::Snapshot& a, MapSlot& e) {
-            a.io(e.tag);
-            a.io(e.id);
-            a.io(e.used);
-        });
         s.io(clock_);
         s.io(recycles_);
+        // The probe table is pure acceleration state over slots_
+        // (tag -> id for every valid slot), so it is rebuilt rather
+        // than serialized: lookups are layout-independent, and the
+        // snapshot stays smaller and trivially byte-deterministic.
+        if (s.loading())
+            map_rebuild();
     }
 
   private:
@@ -97,25 +98,36 @@ class TagCompressor
      * tag -> id direction, an open-addressing linear-probe table
      * (docs/performance.md): find() is on the metadata lookup hot
      * path and a flat probe sequence beats the node-based
-     * unordered_map it replaced. Sized at 4x id capacity, so load
-     * stays under 25% and probes terminate quickly; erase uses the
-     * classic backward-shift so no tombstones accumulate.
+     * unordered_map it replaced. Structure-of-arrays: the packed tag
+     * array (MAP_EMPTY all-ones sentinel for free slots) is what the
+     * SIMD probe scans for tag-or-empty in one pass; ids sit in a
+     * parallel array read only on a match. The all-ones tag itself —
+     * unreachable from real block addresses but legal through the
+     * public API, and the property suite compresses it — lives in a
+     * one-entry side slot instead of the probe array, so every 64-bit
+     * tag stays representable. Sized at 4x id
+     * capacity, so load stays under 25% and probes terminate quickly;
+     * erase uses the classic backward-shift so no tombstones
+     * accumulate.
      */
-    struct MapSlot {
-        std::uint64_t tag = 0;
-        std::uint16_t id = 0;
-        bool used = false;
-    };
+    static constexpr std::uint64_t MAP_EMPTY = ~std::uint64_t{0};
 
     std::size_t map_home(std::uint64_t tag) const;
-    /** Slot index of @p tag, or the table size if absent. */
-    std::size_t map_find(std::uint64_t tag) const;
+    /** Index of the first probe slot holding @p tag or MAP_EMPTY. */
+    std::size_t map_probe(std::uint64_t tag) const;
+    /** Pointer to @p tag's id, or nullptr when unmapped. */
+    const std::uint16_t* id_lookup(std::uint64_t tag) const;
     void map_insert(std::uint64_t tag, std::uint16_t id);
     void map_erase(std::uint64_t tag);
+    /** Repopulate the probe table from the valid slots_ entries. */
+    void map_rebuild();
 
     TagCompressorConfig cfg_;
-    std::vector<Slot> slots_;   ///< id -> tag
-    std::vector<MapSlot> map_;  ///< tag -> id
+    std::vector<Slot> slots_;             ///< id -> tag
+    std::vector<std::uint64_t> map_tags_; ///< probe array (hot)
+    std::vector<std::uint16_t> map_ids_;  ///< parallel ids (cold)
+    bool empty_tag_valid_ = false;  ///< side slot: the all-ones tag
+    std::uint16_t empty_tag_id_ = 0;
     std::size_t map_mask_ = 0;
     std::uint64_t clock_ = 0;
     std::uint64_t recycles_ = 0;

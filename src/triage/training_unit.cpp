@@ -1,6 +1,7 @@
 #include "triage/training_unit.hpp"
 
 #include "util/log.hpp"
+#include "util/simd_probe.hpp"
 
 namespace triage::core {
 
@@ -15,28 +16,26 @@ std::optional<sim::Addr>
 TrainingUnit::update(sim::Pc pc, sim::Addr block)
 {
     // At most one live slot holds this PC (inserts only happen after a
-    // full-miss scan), so the first match is the only match.
-    const sim::Pc* row = pcs_.data();
-    for (std::uint32_t i = valid_from_; i < capacity_; ++i) {
-        if (row[i] == pc) {
-            sim::Addr prev = last_[i];
-            last_[i] = block;
-            lru_[i] = ++clock_;
-            if (prev == block)
-                return std::nullopt; // same line: no new correlation
-            return prev;
-        }
+    // full-miss scan), so the first match is the only match — a SIMD
+    // probe over the live suffix of the packed PC array.
+    const std::uint32_t hit = util::simd::find_first_eq(
+        pcs_.data() + valid_from_, capacity_ - valid_from_, pc);
+    if (hit != util::simd::NPOS) {
+        const std::uint32_t i = valid_from_ + hit;
+        sim::Addr prev = last_[i];
+        last_[i] = block;
+        lru_[i] = ++clock_;
+        if (prev == block)
+            return std::nullopt; // same line: no new correlation
+        return prev;
     }
-    // Miss: fill the last empty slot, else replace the LRU entry.
+    // Miss: fill the last empty slot, else replace the LRU entry
+    // (first-minimum stamp, exactly the scalar scan's tie-break).
     std::uint32_t victim;
     if (valid_from_ > 0) {
         victim = --valid_from_;
     } else {
-        victim = 0;
-        for (std::uint32_t i = 1; i < capacity_; ++i) {
-            if (lru_[i] < lru_[victim])
-                victim = i;
-        }
+        victim = util::simd::min_index(lru_.data(), capacity_);
     }
     pcs_[victim] = pc;
     last_[victim] = block;
@@ -47,10 +46,10 @@ TrainingUnit::update(sim::Pc pc, sim::Addr block)
 std::optional<sim::Addr>
 TrainingUnit::last_of(sim::Pc pc) const
 {
-    for (std::uint32_t i = valid_from_; i < capacity_; ++i) {
-        if (pcs_[i] == pc)
-            return last_[i];
-    }
+    const std::uint32_t hit = util::simd::find_first_eq(
+        pcs_.data() + valid_from_, capacity_ - valid_from_, pc);
+    if (hit != util::simd::NPOS)
+        return last_[valid_from_ + hit];
     return std::nullopt;
 }
 

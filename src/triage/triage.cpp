@@ -70,10 +70,10 @@ Triage::lookup_next(sim::Addr trigger, unsigned core,
                     prefetch::PrefetchHost& host)
 {
     if (cfg_.unlimited) {
-        auto it = unlimited_map_.find(trigger);
-        if (it == unlimited_map_.end())
+        const sim::Addr* next = unlimited_map_.find(trigger);
+        if (next == nullptr)
             return std::nullopt;
-        return it->second;
+        return *next;
     }
     ++stats_.meta_onchip_reads;
     host.count_metadata_llc_access(core, false);
@@ -119,7 +119,7 @@ Triage::train(const prefetch::TrainEvent& ev, prefetch::PrefetchHost& host)
             if (!next.has_value())
                 break;
             if (cfg_.track_reuse)
-                ++reuse_counts_[cur];
+                ++reuse_counts_.ref(cur);
             send(ev, host, *next,
                  ev.now + d * host.llc_latency());
             cur = *next;
@@ -132,7 +132,7 @@ Triage::train(const prefetch::TrainEvent& ev, prefetch::PrefetchHost& host)
         // exists precisely to mute entries whose successor is in flux.
         if (first_lk.hit && first_lk.confident) {
             if (cfg_.track_reuse)
-                ++reuse_counts_[ev.block];
+                ++reuse_counts_.ref(ev.block);
             prefetch::PfOutcome out =
                 send(ev, host, first_lk.next,
                      ev.now + host.llc_latency());
@@ -162,7 +162,7 @@ Triage::train(const prefetch::TrainEvent& ev, prefetch::PrefetchHost& host)
     auto prev = tu_.update(ev.pc, ev.block);
     if (prev.has_value()) {
         if (cfg_.unlimited) {
-            unlimited_map_[*prev] = ev.block;
+            unlimited_map_.ref(*prev) = ev.block;
         } else {
             ++stats_.meta_onchip_writes;
             host.count_metadata_llc_access(ev.core, true);

@@ -22,7 +22,7 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
+#include "util/flat_map.hpp"
 #include <vector>
 
 #include "prefetch/prefetcher.hpp"
@@ -98,7 +98,7 @@ class Triage final : public prefetch::Prefetcher
     std::uint64_t current_store_bytes() const;
 
     /** Per-trigger reuse histogram (only with cfg.track_reuse). */
-    const std::unordered_map<sim::Addr, std::uint32_t>&
+    const util::FlatMap<sim::Addr, std::uint32_t>&
     reuse_counts() const
     {
         return reuse_counts_;
@@ -112,8 +112,8 @@ class Triage final : public prefetch::Prefetcher
         tu_.checkpoint(s);
         store_.checkpoint(s);
         partition_.checkpoint(s);
-        s.io_map(unlimited_map_);
-        s.io_map(reuse_counts_);
+        s.io_flat_map(unlimited_map_);
+        s.io_flat_map(reuse_counts_);
         s.io(capacity_requested_);
     }
 
@@ -129,8 +129,8 @@ class Triage final : public prefetch::Prefetcher
     MetadataStore store_;
     PartitionController partition_;
     /** Unlimited-metadata mode table. */
-    std::unordered_map<sim::Addr, sim::Addr> unlimited_map_;
-    std::unordered_map<sim::Addr, std::uint32_t> reuse_counts_;
+    util::FlatMap<sim::Addr, sim::Addr> unlimited_map_;
+    util::FlatMap<sim::Addr, std::uint32_t> reuse_counts_;
     bool capacity_requested_ = false;
     std::string name_;
 };

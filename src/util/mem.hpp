@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Host-memory layout helpers for the hot-path tables.
+ *
+ * The simulator's working set is dominated by a handful of MB-scale
+ * arrays (metadata entries/keys, Hawkeye RRPV/PC rows, compressor
+ * tables) that are indexed by *hashed* keys, so nearly every touch is a
+ * random row. Under 4 KB pages that is a dTLB miss per touch — and a
+ * software prefetch whose translation misses the TLB is silently
+ * dropped, which defeats the lookahead-hint pipeline exactly where it
+ * matters most. Backing those arrays with 2 MB transparent huge pages
+ * removes most of the walks (docs/performance.md §Hot-path v2).
+ *
+ * Wall-clock only: none of this changes simulated behavior, and all of
+ * it degrades to a no-op off Linux or when THP is unavailable.
+ */
+#ifndef TRIAGE_UTIL_MEM_HPP
+#define TRIAGE_UTIL_MEM_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#include <sys/prctl.h>
+#endif
+
+namespace triage::util {
+
+/**
+ * Ask the kernel to back [p, p+bytes) with transparent huge pages.
+ *
+ * Safe to call on any heap range (the range is trimmed to interior page
+ * boundaries, so neighboring allocations are unaffected) and after the
+ * range is already populated: MADV_COLLAPSE (Linux 6.1+) synchronously
+ * merges existing 4 KB pages in place, so callers just build the table
+ * and then advise it. Errors are ignored — this is a hint.
+ *
+ * No-op for ranges under 2 MB (nothing to collapse) and on non-Linux
+ * hosts.
+ */
+inline void
+hint_hugepages(const void* p, std::size_t bytes)
+{
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+    constexpr std::uintptr_t PAGE = 4096;
+    constexpr std::size_t HUGE = std::size_t{2} << 20;
+    if (p == nullptr || bytes < HUGE)
+        return;
+    // Container inits commonly launch everything under
+    // PR_SET_THP_DISABLE, which the process inherits and which makes
+    // every madvise below a no-op; clear it once for this process.
+#ifdef PR_SET_THP_DISABLE
+    static const bool thp_enabled =
+        prctl(PR_SET_THP_DISABLE, 0, 0, 0, 0) == 0;
+    (void)thp_enabled;
+#endif
+    std::uintptr_t lo = reinterpret_cast<std::uintptr_t>(p);
+    std::uintptr_t hi = lo + bytes;
+    lo = (lo + PAGE - 1) & ~(PAGE - 1);
+    hi &= ~(PAGE - 1);
+    if (hi <= lo)
+        return;
+    void* base = reinterpret_cast<void*>(lo);
+    (void)madvise(base, hi - lo, MADV_HUGEPAGE);
+#ifdef MADV_COLLAPSE
+    (void)madvise(base, hi - lo, MADV_COLLAPSE);
+#else
+    // Headers predating Linux 6.1 lack the constant; the value is ABI.
+    (void)madvise(base, hi - lo, 25);
+#endif
+#else
+    (void)p;
+    (void)bytes;
+#endif
+}
+
+/** Convenience overload for contiguous containers (vector, etc.). */
+template <typename Vec>
+inline void
+hint_hugepages(const Vec& v)
+{
+    hint_hugepages(v.data(), v.size() * sizeof(*v.data()));
+}
+
+} // namespace triage::util
+
+#endif // TRIAGE_UTIL_MEM_HPP

@@ -1,0 +1,270 @@
+#include "util/simd_probe.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) && !defined(TRIAGE_SIMD_DISABLED)
+#define TRIAGE_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define TRIAGE_SIMD_X86 0
+#endif
+
+namespace triage::util::simd {
+
+// ---------------------------------------------------------------------
+// Scalar reference kernels. These are the semantics; every vector
+// kernel must be indistinguishable from them (first-match index).
+// ---------------------------------------------------------------------
+
+std::uint32_t
+find_first_eq_scalar(const std::uint64_t* row, std::uint32_t n,
+                     std::uint64_t key)
+{
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (row[i] == key)
+            return i;
+    }
+    return NPOS;
+}
+
+std::uint32_t
+find_first_eq_either_scalar(const std::uint64_t* row, std::uint32_t n,
+                            std::uint64_t key_a, std::uint64_t key_b)
+{
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (row[i] == key_a || row[i] == key_b)
+            return i;
+    }
+    return NPOS;
+}
+
+std::uint32_t
+min_index_scalar(const std::uint64_t* row, std::uint32_t n)
+{
+    std::uint32_t best = 0;
+    for (std::uint32_t i = 1; i < n; ++i) {
+        if (row[i] < row[best])
+            best = i;
+    }
+    return best;
+}
+
+#if TRIAGE_SIMD_X86
+
+// ---------------------------------------------------------------------
+// AVX2: 4 x 64-bit lanes per compare.
+// ---------------------------------------------------------------------
+
+__attribute__((target("avx2"))) static std::uint32_t
+find_first_eq_avx2(const std::uint64_t* row, std::uint32_t n,
+                   std::uint64_t key)
+{
+    const __m256i k =
+        _mm256_set1_epi64x(static_cast<long long>(key));
+    std::uint32_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(row + i));
+        const int m = _mm256_movemask_pd(
+            _mm256_castsi256_pd(_mm256_cmpeq_epi64(v, k)));
+        if (m != 0)
+            return i + static_cast<std::uint32_t>(__builtin_ctz(
+                           static_cast<unsigned>(m)));
+    }
+    for (; i < n; ++i) {
+        if (row[i] == key)
+            return i;
+    }
+    return NPOS;
+}
+
+__attribute__((target("avx2"))) static std::uint32_t
+find_first_eq_either_avx2(const std::uint64_t* row, std::uint32_t n,
+                          std::uint64_t key_a, std::uint64_t key_b)
+{
+    const __m256i ka =
+        _mm256_set1_epi64x(static_cast<long long>(key_a));
+    const __m256i kb =
+        _mm256_set1_epi64x(static_cast<long long>(key_b));
+    std::uint32_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(row + i));
+        const __m256i eq = _mm256_or_si256(_mm256_cmpeq_epi64(v, ka),
+                                           _mm256_cmpeq_epi64(v, kb));
+        const int m = _mm256_movemask_pd(_mm256_castsi256_pd(eq));
+        if (m != 0)
+            return i + static_cast<std::uint32_t>(__builtin_ctz(
+                           static_cast<unsigned>(m)));
+    }
+    for (; i < n; ++i) {
+        if (row[i] == key_a || row[i] == key_b)
+            return i;
+    }
+    return NPOS;
+}
+
+__attribute__((target("avx2"))) static std::uint32_t
+min_index_avx2(const std::uint64_t* row, std::uint32_t n)
+{
+    if (n < 8)
+        return min_index_scalar(row, n);
+    // Pass 1: the minimum value. AVX2 has no unsigned 64-bit min, so
+    // compare with the sign bit flipped (maps unsigned order onto
+    // signed order).
+    const __m256i bias = _mm256_set1_epi64x(
+        static_cast<long long>(0x8000000000000000ull));
+    __m256i vmin = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(row));
+    std::uint32_t i = 4;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(row + i));
+        const __m256i gt = _mm256_cmpgt_epi64(
+            _mm256_xor_si256(vmin, bias), _mm256_xor_si256(v, bias));
+        vmin = _mm256_blendv_epi8(vmin, v, gt);
+    }
+    alignas(32) std::uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), vmin);
+    std::uint64_t m = lanes[0];
+    for (int l = 1; l < 4; ++l) {
+        if (lanes[l] < m)
+            m = lanes[l];
+    }
+    for (; i < n; ++i) {
+        if (row[i] < m)
+            m = row[i];
+    }
+    // Pass 2: the first index holding it == the first minimum.
+    return find_first_eq_avx2(row, n, m);
+}
+
+// ---------------------------------------------------------------------
+// SSE4.2: 2 x 64-bit lanes per compare (pcmpeqq is SSE4.1, the signed
+// 64-bit greater-than used by min_index is SSE4.2).
+// ---------------------------------------------------------------------
+
+__attribute__((target("sse4.2"))) static std::uint32_t
+find_first_eq_sse42(const std::uint64_t* row, std::uint32_t n,
+                    std::uint64_t key)
+{
+    const __m128i k = _mm_set1_epi64x(static_cast<long long>(key));
+    std::uint32_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const __m128i v = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(row + i));
+        const int m =
+            _mm_movemask_pd(_mm_castsi128_pd(_mm_cmpeq_epi64(v, k)));
+        if (m != 0)
+            return i + static_cast<std::uint32_t>(__builtin_ctz(
+                           static_cast<unsigned>(m)));
+    }
+    if (i < n && row[i] == key)
+        return i;
+    return NPOS;
+}
+
+__attribute__((target("sse4.2"))) static std::uint32_t
+find_first_eq_either_sse42(const std::uint64_t* row, std::uint32_t n,
+                           std::uint64_t key_a, std::uint64_t key_b)
+{
+    const __m128i ka = _mm_set1_epi64x(static_cast<long long>(key_a));
+    const __m128i kb = _mm_set1_epi64x(static_cast<long long>(key_b));
+    std::uint32_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const __m128i v = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(row + i));
+        const __m128i eq = _mm_or_si128(_mm_cmpeq_epi64(v, ka),
+                                        _mm_cmpeq_epi64(v, kb));
+        const int m = _mm_movemask_pd(_mm_castsi128_pd(eq));
+        if (m != 0)
+            return i + static_cast<std::uint32_t>(__builtin_ctz(
+                           static_cast<unsigned>(m)));
+    }
+    if (i < n && (row[i] == key_a || row[i] == key_b))
+        return i;
+    return NPOS;
+}
+
+__attribute__((target("sse4.2"))) static std::uint32_t
+min_index_sse42(const std::uint64_t* row, std::uint32_t n)
+{
+    if (n < 4)
+        return min_index_scalar(row, n);
+    const __m128i bias = _mm_set1_epi64x(
+        static_cast<long long>(0x8000000000000000ull));
+    __m128i vmin =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(row));
+    std::uint32_t i = 2;
+    for (; i + 2 <= n; i += 2) {
+        const __m128i v = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(row + i));
+        const __m128i gt = _mm_cmpgt_epi64(_mm_xor_si128(vmin, bias),
+                                           _mm_xor_si128(v, bias));
+        vmin = _mm_blendv_epi8(vmin, v, gt);
+    }
+    alignas(16) std::uint64_t lanes[2];
+    _mm_store_si128(reinterpret_cast<__m128i*>(lanes), vmin);
+    std::uint64_t m = lanes[0] < lanes[1] ? lanes[0] : lanes[1];
+    if (i < n && row[i] < m)
+        m = row[i];
+    return find_first_eq_sse42(row, n, m);
+}
+
+#endif // TRIAGE_SIMD_X86
+
+// ---------------------------------------------------------------------
+// Dispatch. Constant-initialized to scalar so any call that happens
+// before dynamic initialization (static-init order) is still correct;
+// a namespace-scope resolver upgrades from CPUID before main().
+// ---------------------------------------------------------------------
+
+namespace {
+
+constexpr Kernels SCALAR_KERNELS = {find_first_eq_scalar,
+                                    find_first_eq_either_scalar,
+                                    min_index_scalar, "scalar"};
+
+Kernels
+resolve_kernels()
+{
+    const char* env = std::getenv("TRIAGE_SIMD");
+    if (env != nullptr && std::strcmp(env, "scalar") == 0)
+        return SCALAR_KERNELS;
+#if TRIAGE_SIMD_X86
+    if (__builtin_cpu_supports("avx2")) {
+        return {find_first_eq_avx2, find_first_eq_either_avx2,
+                min_index_avx2, "avx2"};
+    }
+    if (__builtin_cpu_supports("sse4.2")) {
+        return {find_first_eq_sse42, find_first_eq_either_sse42,
+                min_index_sse42, "sse42"};
+    }
+#endif
+    return SCALAR_KERNELS;
+}
+
+struct Resolver {
+    Resolver() { g_kernels = resolve_kernels(); }
+};
+
+Resolver g_resolver;
+
+} // namespace
+
+constinit Kernels g_kernels = SCALAR_KERNELS;
+
+const char*
+active_kernel()
+{
+    return g_kernels.name;
+}
+
+void
+force_scalar(bool on)
+{
+    g_kernels = on ? SCALAR_KERNELS : resolve_kernels();
+}
+
+} // namespace triage::util::simd

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * SIMD kernels for the packed-64-bit-word set probes on the hot path
+ * (docs/performance.md §Hot-path v2).
+ *
+ * PR 4 laid every hot lookup structure out as a packed array of 64-bit
+ * words with an all-ones "empty" sentinel — cache tag rows
+ * (`SetAssocCache::tags_`), metadata search keys
+ * (`MetadataStore::keys_`), training-unit PCs (`TrainingUnit::pcs_`)
+ * and the tag-compressor probe table — precisely so the per-way scan
+ * could become a vector compare. These kernels are that compare:
+ *
+ *  - find_first_eq      : index of the first word equal to a key
+ *  - find_first_eq_either: first word equal to either of two keys
+ *                          (linear-probe loops: key-or-empty)
+ *  - min_index          : index of the first minimum (LRU victim scans)
+ *
+ * All kernels return exactly what the scalar loop returns — the
+ * *first* matching index — so swapping implementations can never
+ * change a simulated decision; the golden bit-identity ctests run
+ * against both paths in CI.
+ *
+ * Dispatch: one of {avx2, sse42, scalar} is resolved once at startup
+ * from CPUID (never from -march, so a generic Release binary still
+ * vectorizes on capable hosts). `TRIAGE_SIMD=scalar` in the
+ * environment or `force_scalar(true)` pins the scalar path at runtime;
+ * building with -DTRIAGE_SIMD=OFF removes the vector kernels entirely.
+ *
+ * The public wrappers are hybrid: rows at or below INLINE_CUTOFF are
+ * scanned by an inline scalar loop at the call site — a dispatched
+ * kernel is an indirect call, which at set-row widths (4/8/16 ways)
+ * costs more than the whole scan (profiled in docs/performance.md
+ * §Hot-path v2). The vector kernels take over where they pay: scans
+ * longer than a row, such as the tag-compressor probe regions and
+ * flat-map clusters. Every path returns the same first-match index,
+ * so the cutoff can never change a simulated decision.
+ */
+#ifndef TRIAGE_UTIL_SIMD_PROBE_HPP
+#define TRIAGE_UTIL_SIMD_PROBE_HPP
+
+#include <cstdint>
+
+namespace triage::util::simd {
+
+/** "Not found" result, matching the NO_WAY convention of the callers. */
+inline constexpr std::uint32_t NPOS = ~std::uint32_t{0};
+
+/** The three probe shapes, bundled so dispatch swaps them atomically. */
+struct Kernels {
+    std::uint32_t (*find_first_eq)(const std::uint64_t* row,
+                                   std::uint32_t n, std::uint64_t key);
+    std::uint32_t (*find_first_eq_either)(const std::uint64_t* row,
+                                          std::uint32_t n,
+                                          std::uint64_t key_a,
+                                          std::uint64_t key_b);
+    std::uint32_t (*min_index)(const std::uint64_t* row, std::uint32_t n);
+    const char* name; ///< "avx2", "sse41" or "scalar"
+};
+
+/** Active kernel set (constant-initialized to scalar; upgraded by a
+ *  dynamic initializer after CPUID, so calls are always safe). */
+extern Kernels g_kernels;
+
+/** Longest row the wrappers scan inline instead of calling a kernel. */
+inline constexpr std::uint32_t INLINE_CUTOFF = 16;
+
+/** Index of the first element of row[0..n) equal to @p key, or NPOS. */
+inline std::uint32_t
+find_first_eq(const std::uint64_t* row, std::uint32_t n, std::uint64_t key)
+{
+    if (n <= INLINE_CUTOFF) {
+        for (std::uint32_t i = 0; i < n; ++i) {
+            if (row[i] == key)
+                return i;
+        }
+        return NPOS;
+    }
+    return g_kernels.find_first_eq(row, n, key);
+}
+
+/**
+ * Index of the first element equal to @p key_a *or* @p key_b, or NPOS.
+ * The caller distinguishes which matched by re-reading the element —
+ * linear-probe loops use this as "my tag or an empty slot, whichever
+ * comes first".
+ */
+inline std::uint32_t
+find_first_eq_either(const std::uint64_t* row, std::uint32_t n,
+                     std::uint64_t key_a, std::uint64_t key_b)
+{
+    if (n <= INLINE_CUTOFF) {
+        for (std::uint32_t i = 0; i < n; ++i) {
+            if (row[i] == key_a || row[i] == key_b)
+                return i;
+        }
+        return NPOS;
+    }
+    return g_kernels.find_first_eq_either(row, n, key_a, key_b);
+}
+
+/**
+ * Index of the first minimum of row[0..n) (unsigned compare), matching
+ * the scalar `<`-update victim scan where the earliest minimum wins.
+ * @pre n >= 1.
+ */
+inline std::uint32_t
+min_index(const std::uint64_t* row, std::uint32_t n)
+{
+    if (n <= INLINE_CUTOFF) {
+        std::uint32_t best = 0;
+        for (std::uint32_t i = 1; i < n; ++i) {
+            if (row[i] < row[best])
+                best = i;
+        }
+        return best;
+    }
+    return g_kernels.min_index(row, n);
+}
+
+/** Name of the dispatched kernel set: "avx2", "sse41" or "scalar". */
+const char* active_kernel();
+
+/**
+ * Pin (or unpin) the scalar kernels at runtime. Used by the
+ * forced-scalar dispatch tests; re-resolves from CPUID when @p on is
+ * false. Not thread-safe — call only from single-threaded test setup.
+ */
+void force_scalar(bool on);
+
+/** Scalar reference implementations, exposed for differential tests. */
+std::uint32_t find_first_eq_scalar(const std::uint64_t* row,
+                                   std::uint32_t n, std::uint64_t key);
+std::uint32_t find_first_eq_either_scalar(const std::uint64_t* row,
+                                          std::uint32_t n,
+                                          std::uint64_t key_a,
+                                          std::uint64_t key_b);
+std::uint32_t min_index_scalar(const std::uint64_t* row, std::uint32_t n);
+
+} // namespace triage::util::simd
+
+#endif // TRIAGE_UTIL_SIMD_PROBE_HPP

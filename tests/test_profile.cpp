@@ -193,6 +193,48 @@ TEST(Profile, HwStopwatchMeasuresWork)
     EXPECT_LE(s2.cycles, s.cycles + s.cycles / 2 + 1'000'000);
 }
 
+TEST(Profile, MultiplexScaleNeverScheduledIsInvalid)
+{
+    // The group enabled but never hosted by the PMU: every counter
+    // delta reads zero. The scale must be 0 ("no sample"), never 1 —
+    // a 1 here is exactly the bug that shipped a plausible-looking
+    // "instructions_per_access": 0 into the pr8 bench trajectory.
+    EXPECT_EQ(obs::prof::multiplex_scale(1'000'000, 0), 0.0);
+}
+
+TEST(Profile, MultiplexScaleFullyScheduled)
+{
+    EXPECT_EQ(obs::prof::multiplex_scale(500, 500), 1.0);
+    // running > enabled never happens, but clamp to 1 if it did.
+    EXPECT_EQ(obs::prof::multiplex_scale(400, 500), 1.0);
+    // Empty interval: trivially valid, zero deltas are honest zeros.
+    EXPECT_EQ(obs::prof::multiplex_scale(0, 0), 1.0);
+}
+
+TEST(Profile, MultiplexScaleExtrapolatesPartialScheduling)
+{
+    EXPECT_DOUBLE_EQ(obs::prof::multiplex_scale(1000, 250), 4.0);
+    EXPECT_DOUBLE_EQ(obs::prof::multiplex_scale(900, 600), 1.5);
+}
+
+TEST(Profile, HwStopwatchReportsSampleValidity)
+{
+    obs::prof::HwStopwatch hw;
+    hw.start();
+    spin_for_us(500);
+    bool valid = true;
+    const obs::prof::HwSample s = hw.stop(&valid);
+    if (hw.live()) {
+        // A live group that produced a valid sample measured real
+        // instructions; zero would mean the gate failed.
+        if (valid)
+            EXPECT_GT(s.instructions, 0u);
+    } else {
+        // Software fallback can never claim valid hw rates.
+        EXPECT_FALSE(valid);
+    }
+}
+
 // --- Exports ------------------------------------------------------------
 
 TEST(Profile, WriteJsonShapeParses)

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Differential tests for the SIMD set-probe kernels
+ * (util/simd_probe.hpp): the dispatched implementation must return
+ * byte-identical results to the scalar reference on every input —
+ * randomized contents, all-ones sentinels, duplicate matches, full
+ * and empty arrays, and every length around the vector widths (the
+ * 4-lane AVX2 / 2-lane SSE main loops plus their scalar tails).
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/simd_probe.hpp"
+
+namespace simd = triage::util::simd;
+
+namespace {
+
+constexpr std::uint64_t SENTINEL = ~std::uint64_t{0};
+
+/** Random word biased toward collisions: a small alphabet plus the
+ *  all-ones sentinel, so equal runs and duplicate minima are common. */
+std::uint64_t
+biased_word(triage::util::Rng& rng)
+{
+    switch (rng.next_below(4)) {
+    case 0:
+        return SENTINEL;
+    case 1:
+        return rng.next_below(8); // tiny alphabet: duplicates
+    case 2:
+        return rng.next_u64() | (std::uint64_t{1} << 63); // high half
+    default:
+        return rng.next_u64();
+    }
+}
+
+std::vector<std::uint64_t>
+random_array(triage::util::Rng& rng, std::uint32_t n)
+{
+    std::vector<std::uint64_t> v(n);
+    for (auto& w : v)
+        w = biased_word(rng);
+    return v;
+}
+
+/** The raw dispatched kernel set: the public wrappers scan rows at or
+ *  below INLINE_CUTOFF inline, so differential coverage of the vector
+ *  code at small lengths (the tail loops) must bypass the wrapper. */
+const simd::Kernels& K = simd::g_kernels;
+
+/** Lengths covering empty, sub-vector tails, and multi-vector runs. */
+const std::uint32_t LENGTHS[] = {0,  1,  2,  3,  4,  5,  6,  7, 8,
+                                 9,  12, 15, 16, 17, 31, 32, 33, 63,
+                                 64, 65, 100, 128, 129, 255, 256};
+
+} // namespace
+
+TEST(SimdProbe, DispatchReportsAKernel)
+{
+    const std::string name = simd::active_kernel();
+    EXPECT_TRUE(name == "scalar" || name == "sse42" || name == "avx2")
+        << name;
+}
+
+TEST(SimdProbe, FindFirstEqMatchesScalarRandomized)
+{
+    triage::util::Rng rng(0x51'4d'd1'ff);
+    for (std::uint32_t n : LENGTHS) {
+        for (int round = 0; round < 64; ++round) {
+            auto v = random_array(rng, n);
+            // Probe for present values, absent values, and the
+            // sentinel itself (the victim-scan pattern).
+            std::uint64_t keys[3] = {
+                n > 0 ? v[rng.next_below(n)] : 0, rng.next_u64(),
+                SENTINEL};
+            for (std::uint64_t key : keys) {
+                EXPECT_EQ(K.find_first_eq(v.data(), n, key),
+                          simd::find_first_eq_scalar(v.data(), n, key))
+                    << "n=" << n << " key=" << key;
+            }
+        }
+    }
+}
+
+TEST(SimdProbe, FindFirstEqEitherMatchesScalarRandomized)
+{
+    triage::util::Rng rng(0xe1'7e'35'cd);
+    for (std::uint32_t n : LENGTHS) {
+        for (int round = 0; round < 64; ++round) {
+            auto v = random_array(rng, n);
+            const std::uint64_t a =
+                n > 0 && rng.next_below(2) == 0 ? v[rng.next_below(n)]
+                                                : rng.next_u64();
+            // The linear-probe shape: second key is the sentinel.
+            EXPECT_EQ(
+                K.find_first_eq_either(v.data(), n, a, SENTINEL),
+                simd::find_first_eq_either_scalar(v.data(), n, a,
+                                                  SENTINEL))
+                << "n=" << n << " a=" << a;
+            // And two arbitrary keys.
+            const std::uint64_t b = biased_word(rng);
+            EXPECT_EQ(K.find_first_eq_either(v.data(), n, a, b),
+                      simd::find_first_eq_either_scalar(v.data(), n, a,
+                                                        b))
+                << "n=" << n;
+        }
+    }
+}
+
+TEST(SimdProbe, MinIndexMatchesScalarRandomized)
+{
+    triage::util::Rng rng(0x4c'52'55'00);
+    for (std::uint32_t n : LENGTHS) {
+        if (n == 0)
+            continue; // min over an empty range is a precondition
+        for (int round = 0; round < 64; ++round) {
+            auto v = random_array(rng, n);
+            EXPECT_EQ(K.min_index(v.data(), n),
+                      simd::min_index_scalar(v.data(), n))
+                << "n=" << n;
+        }
+    }
+}
+
+TEST(SimdProbe, MinIndexTiesGoToFirst)
+{
+    // All-equal arrays: the scalar `<` scan keeps the first element,
+    // and every kernel must agree (LRU victim determinism).
+    for (std::uint32_t n : {1u, 2u, 3u, 4u, 7u, 8u, 16u, 33u}) {
+        std::vector<std::uint64_t> v(n, 42);
+        EXPECT_EQ(K.min_index(v.data(), n), 0u) << "n=" << n;
+        EXPECT_EQ(simd::min_index(v.data(), n), 0u) << "n=" << n;
+        // Minimum duplicated at positions 1 and n-1.
+        if (n >= 3) {
+            v[1] = 7;
+            v[n - 1] = 7;
+            EXPECT_EQ(K.min_index(v.data(), n), 1u) << "n=" << n;
+            EXPECT_EQ(simd::min_index(v.data(), n), 1u) << "n=" << n;
+        }
+    }
+}
+
+TEST(SimdProbe, MinIndexUnsignedOrdering)
+{
+    // Values straddling the sign bit: the AVX2 kernel compares biased
+    // signed lanes, which must still order as unsigned 64-bit.
+    std::vector<std::uint64_t> v = {
+        0x8000000000000000ull, 0x7fffffffffffffffull, SENTINEL, 0, 5};
+    EXPECT_EQ(K.min_index(v.data(), 5), 3u);
+    v[3] = SENTINEL - 1;
+    EXPECT_EQ(K.min_index(v.data(), 5), 4u);
+}
+
+TEST(SimdProbe, FirstMatchWinsOnDuplicates)
+{
+    std::vector<std::uint64_t> v(64, 9);
+    v[5] = 3;
+    v[40] = 3;
+    EXPECT_EQ(K.find_first_eq(v.data(), 64, 3), 5u);
+    v[2] = SENTINEL;
+    EXPECT_EQ(K.find_first_eq_either(v.data(), 64, 3, SENTINEL), 2u);
+}
+
+TEST(SimdProbe, WrapperCutoffAgreesWithKernels)
+{
+    // The public wrappers switch from an inline scalar loop to the
+    // dispatched kernel at INLINE_CUTOFF; results must be identical on
+    // both sides of the boundary.
+    triage::util::Rng rng(0xc0'7f'0f'f5);
+    for (std::uint32_t n = simd::INLINE_CUTOFF - 2;
+         n <= simd::INLINE_CUTOFF + 2; ++n) {
+        for (int round = 0; round < 32; ++round) {
+            auto v = random_array(rng, n);
+            const std::uint64_t key =
+                rng.next_below(2) == 0 ? v[rng.next_below(n)]
+                                       : biased_word(rng);
+            EXPECT_EQ(simd::find_first_eq(v.data(), n, key),
+                      simd::find_first_eq_scalar(v.data(), n, key));
+            EXPECT_EQ(
+                simd::find_first_eq_either(v.data(), n, key, SENTINEL),
+                simd::find_first_eq_either_scalar(v.data(), n, key,
+                                                  SENTINEL));
+            EXPECT_EQ(simd::min_index(v.data(), n),
+                      simd::min_index_scalar(v.data(), n));
+        }
+    }
+}
+
+TEST(SimdProbe, ForcedScalarDispatchAgrees)
+{
+    // Pin the scalar path through the public dispatch hook and verify
+    // the dispatched wrappers now report (and use) the scalar kernels
+    // against whatever the resolved vector path computed.
+    triage::util::Rng rng(0xf0'5c'a1'a5);
+    std::vector<std::uint64_t> v = random_array(rng, 97);
+    const std::uint64_t key = v[13];
+
+    const std::uint32_t vec_eq = simd::find_first_eq(v.data(), 97, key);
+    const std::uint32_t vec_min = simd::min_index(v.data(), 97);
+
+    simd::force_scalar(true);
+    EXPECT_STREQ(simd::active_kernel(), "scalar");
+    EXPECT_EQ(simd::find_first_eq(v.data(), 97, key), vec_eq);
+    EXPECT_EQ(simd::min_index(v.data(), 97), vec_min);
+    simd::force_scalar(false);
+
+    // Back on the resolved path, results are unchanged.
+    EXPECT_EQ(simd::find_first_eq(v.data(), 97, key), vec_eq);
+    EXPECT_EQ(simd::min_index(v.data(), 97), vec_min);
+}

@@ -78,6 +78,63 @@ TEST(SnapshotArchive, MapBytesIndependentOfInsertionOrder)
     EXPECT_EQ(a.seal(VER, FP), b.seal(VER, FP));
 }
 
+TEST(SnapshotArchive, FlatMapBytesMatchIoMapFormat)
+{
+    // io_flat_map keeps the exact io_map wire format (count + sorted
+    // key/value pairs), so converting a component's container from
+    // unordered_map to FlatMap never perturbs its snapshot bytes.
+    std::unordered_map<std::uint64_t, std::uint32_t> um;
+    util::FlatMap<std::uint64_t, std::uint32_t> fm;
+    for (std::uint64_t k = 0; k < 64; ++k) {
+        um.emplace(k * 977, static_cast<std::uint32_t>(k));
+        fm.ref(k * 977) = static_cast<std::uint32_t>(k);
+    }
+    sim::Snapshot a, b;
+    a.io_map(um);
+    b.io_flat_map(fm);
+    EXPECT_EQ(a.seal(VER, FP), b.seal(VER, FP));
+}
+
+TEST(SnapshotArchive, FlatMapBytesIndependentOfOperationHistory)
+{
+    // Same logical contents via different op histories (and thus
+    // different slot layouts after erases) serialize identically.
+    util::FlatMap<std::uint64_t, std::uint32_t> plain, churned;
+    for (std::uint64_t k = 0; k < 48; ++k)
+        plain.ref(k * 31) = static_cast<std::uint32_t>(k);
+    for (std::uint64_t k = 200; k-- > 0;)
+        churned.ref(k * 31) = 7;
+    for (std::uint64_t k = 48; k < 200; ++k)
+        churned.erase(k * 31);
+    for (std::uint64_t k = 48; k-- > 0;)
+        churned.ref(k * 31) = static_cast<std::uint32_t>(k);
+    sim::Snapshot a, b;
+    a.io_flat_map(plain);
+    b.io_flat_map(churned);
+    EXPECT_EQ(a.seal(VER, FP), b.seal(VER, FP));
+}
+
+TEST(SnapshotArchive, FlatMapRoundTripReplacesStaleState)
+{
+    util::FlatMap<std::uint64_t, std::uint64_t> src;
+    for (std::uint64_t k = 1; k <= 100; ++k)
+        src.ref(k << 12) = k * k;
+    sim::Snapshot save;
+    save.io_flat_map(src);
+    const sim::SnapshotBlob blob = save.seal(VER, FP);
+
+    util::FlatMap<std::uint64_t, std::uint64_t> dst;
+    dst.ref(42) = 42; // must vanish on load
+    sim::Snapshot load;
+    ASSERT_TRUE(sim::Snapshot::open(blob, VER, FP, load));
+    load.io_flat_map(dst);
+    EXPECT_TRUE(load.exhausted());
+    EXPECT_EQ(dst.size(), 100u);
+    EXPECT_EQ(dst.find(42), nullptr);
+    for (std::uint64_t k = 1; k <= 100; ++k)
+        EXPECT_EQ(dst.at(k << 12), k * k);
+}
+
 TEST(SnapshotArchiveDeathTest, SectionMismatchPanics)
 {
     sim::Snapshot save;

@@ -225,3 +225,158 @@ TEST(Log, ThresholdGatesLevels)
     EXPECT_FALSE(tu::log_enabled(tu::LogLevel::Warn));
     tu::set_log_level(saved);
 }
+
+// ---------------------------------------------------------------- FlatMap
+
+#include <unordered_map>
+
+#include "util/flat_map.hpp"
+
+namespace {
+
+/** Randomized op stream driving FlatMap and unordered_map in lockstep. */
+void
+flat_map_equivalence_run(std::uint64_t seed, std::uint32_t key_space,
+                         int ops)
+{
+    tu::Rng rng(seed);
+    tu::FlatMap<std::uint64_t, std::uint64_t> fm;
+    std::unordered_map<std::uint64_t, std::uint64_t> ref;
+    for (int op = 0; op < ops; ++op) {
+        const std::uint64_t k = rng.next_below(key_space);
+        switch (rng.next_below(6)) {
+        case 0:
+        case 1: { // insert / overwrite
+            const std::uint64_t v = rng.next_u64();
+            fm.ref(k) = v;
+            ref[k] = v;
+            break;
+        }
+        case 2: { // increment-through (the reuse_counts_ pattern)
+            ++fm.ref(k);
+            ++ref[k];
+            break;
+        }
+        case 3: // erase
+            EXPECT_EQ(fm.erase(k), ref.erase(k) > 0);
+            break;
+        case 4: { // find
+            const std::uint64_t* p = fm.find(k);
+            auto it = ref.find(k);
+            ASSERT_EQ(p != nullptr, it != ref.end());
+            if (p != nullptr)
+                EXPECT_EQ(*p, it->second);
+            break;
+        }
+        default: { // bulk erase_if on a value predicate
+            const std::uint64_t bit = std::uint64_t{1}
+                                      << rng.next_below(8);
+            fm.erase_if([&](std::uint64_t, std::uint64_t v) {
+                return (v & bit) != 0;
+            });
+            for (auto it = ref.begin(); it != ref.end();) {
+                if ((it->second & bit) != 0)
+                    it = ref.erase(it);
+                else
+                    ++it;
+            }
+            break;
+        }
+        }
+        ASSERT_EQ(fm.size(), ref.size()) << "op " << op;
+    }
+    // Full-content sweep both ways.
+    fm.for_each([&](std::uint64_t k, std::uint64_t v) {
+        auto it = ref.find(k);
+        ASSERT_NE(it, ref.end()) << k;
+        EXPECT_EQ(it->second, v);
+    });
+    std::size_t seen = 0;
+    for (auto [k, v] : fm) {
+        EXPECT_EQ(ref.at(k), v);
+        ++seen;
+    }
+    EXPECT_EQ(seen, ref.size());
+}
+
+} // namespace
+
+TEST(FlatMap, RandomizedEquivalenceDense)
+{
+    // Tiny key space: constant hit/erase churn and heavy duplicates.
+    flat_map_equivalence_run(0xf1a7'0001, 64, 20000);
+}
+
+TEST(FlatMap, RandomizedEquivalenceSparse)
+{
+    // Wide key space: mostly inserts, exercises growth and rehashing.
+    flat_map_equivalence_run(0xf1a7'0002, 1u << 20, 20000);
+}
+
+TEST(FlatMap, ClearRetainsArenaCapacity)
+{
+    tu::FlatMap<std::uint64_t, std::uint32_t> fm;
+    for (std::uint64_t k = 0; k < 1000; ++k)
+        fm.ref(k) = static_cast<std::uint32_t>(k);
+    const std::size_t cap = fm.capacity();
+    EXPECT_GE(cap, 2000u); // load capped at 50%
+    fm.clear();
+    EXPECT_EQ(fm.size(), 0u);
+    EXPECT_EQ(fm.capacity(), cap); // per-quantum overlay reuse
+    for (std::uint64_t k = 0; k < 1000; ++k)
+        EXPECT_EQ(fm.find(k), nullptr);
+    fm.ref(7) = 9;
+    EXPECT_EQ(fm.at(7), 9u);
+    EXPECT_EQ(fm.capacity(), cap);
+}
+
+TEST(FlatMap, EraseBackwardShiftKeepsClustersReachable)
+{
+    // Saturate then erase every other key: backward-shift deletion
+    // must leave every survivor findable (no tombstone holes).
+    tu::FlatMap<std::uint64_t, std::uint64_t> fm;
+    for (std::uint64_t k = 0; k < 4096; ++k)
+        fm.ref(k) = k * 3;
+    for (std::uint64_t k = 0; k < 4096; k += 2)
+        EXPECT_TRUE(fm.erase(k));
+    EXPECT_EQ(fm.size(), 2048u);
+    for (std::uint64_t k = 0; k < 4096; ++k) {
+        const std::uint64_t* p = fm.find(k);
+        if (k % 2 == 0) {
+            EXPECT_EQ(p, nullptr) << k;
+        } else {
+            ASSERT_NE(p, nullptr) << k;
+            EXPECT_EQ(*p, k * 3);
+        }
+    }
+}
+
+TEST(FlatMap, CopyAndMoveSemantics)
+{
+    tu::FlatMap<std::uint64_t, std::uint64_t> a;
+    for (std::uint64_t k = 10; k < 50; ++k)
+        a.ref(k) = k + 1;
+    tu::FlatMap<std::uint64_t, std::uint64_t> b(a);
+    a.ref(99) = 1; // independent storage
+    EXPECT_EQ(b.size(), 40u);
+    EXPECT_EQ(b.find(99), nullptr);
+    EXPECT_EQ(b.at(10), 11u);
+
+    tu::FlatMap<std::uint64_t, std::uint64_t> c(std::move(b));
+    EXPECT_EQ(c.size(), 40u);
+    EXPECT_EQ(c.at(49), 50u);
+}
+
+TEST(FlatMap, EmptyMapQueriesAreSafe)
+{
+    tu::FlatMap<std::uint64_t, std::uint64_t> fm;
+    EXPECT_TRUE(fm.empty());
+    EXPECT_EQ(fm.find(0), nullptr);
+    EXPECT_FALSE(fm.count(5));
+    EXPECT_FALSE(fm.erase(5));
+    fm.clear();
+    std::size_t n = 0;
+    fm.for_each([&](std::uint64_t, std::uint64_t) { ++n; });
+    EXPECT_EQ(n, 0u);
+    EXPECT_EQ(fm.begin(), fm.end());
+}

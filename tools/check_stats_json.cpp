@@ -569,6 +569,14 @@ check_bench(const Value& root)
         if (mode == nullptr || !mode->is_string() ||
             (mode->str != "full" && mode->str != "smoke"))
             fail(tag + ".mode must be 'full' or 'smoke'");
+        // Hot-path v2 onwards: which counter backend produced the hw
+        // rates. Absent on older entries, constrained when present.
+        if (const Value* hb = run.get("hw_backend"); hb != nullptr) {
+            if (!hb->is_string() ||
+                (hb->str != "perf_event" && hb->str != "software"))
+                fail(tag + ".hw_backend must be 'perf_event' or "
+                           "'software'");
+        }
         // Newer runs carry the end-to-end sweep wall clock (cold vs
         // checkpoint-forked); absent on pre-checkpoint trajectory
         // entries, validated whenever present.
@@ -618,17 +626,46 @@ check_bench(const Value& root)
                     fail(rtag + "." + key +
                          " missing or not a finite positive number");
             }
-            // Hardware-counter rates (pr8 onwards): absent on older
-            // trajectory entries, validated whenever present. Zero is
-            // legal — the software fallback reports 0 instructions.
-            for (const char* key :
-                 {"cycles_per_access", "instructions_per_access"}) {
-                if (const Value* v = r.get(key); v != nullptr) {
-                    if (!v->is_number() || !std::isfinite(v->number) ||
-                        v->number < 0.0)
-                        fail(rtag + "." + key +
-                             " not a finite non-negative number");
+            // Rep spread (hot-path v2 onwards): median protocol rows
+            // carry min/max/reps, and the median must sit inside the
+            // spread. Absent on older best-of entries.
+            const Value* reps = r.get("reps");
+            if (reps != nullptr) {
+                if (!reps->is_number() || reps->number < 1.0)
+                    fail(rtag + ".reps must be a positive count");
+                const Value* lo = r.get("seconds_min");
+                const Value* hi = r.get("seconds_max");
+                const Value* med = r.get("seconds");
+                if (lo == nullptr || hi == nullptr ||
+                    !lo->is_number() || !hi->is_number()) {
+                    fail(rtag + ": reps present but seconds_min/"
+                                "seconds_max missing");
+                } else if (med != nullptr && med->is_number() &&
+                           (med->number < lo->number ||
+                            med->number > hi->number)) {
+                    fail(rtag + ": seconds (median) outside "
+                                "[seconds_min, seconds_max]");
                 }
+            }
+            // Hardware-counter rates (pr8 onwards): absent on older
+            // trajectory entries, validated whenever present. The
+            // instruction rate must be genuinely positive — hot-path
+            // v2 gates it on a scheduled perf sample precisely so a
+            // fabricated 0 can no longer appear.
+            if (const Value* v = r.get("cycles_per_access");
+                v != nullptr) {
+                if (!v->is_number() || !std::isfinite(v->number) ||
+                    v->number < 0.0)
+                    fail(rtag + ".cycles_per_access not a finite "
+                                "non-negative number");
+            }
+            if (const Value* v = r.get("instructions_per_access");
+                v != nullptr) {
+                if (!v->is_number() || !std::isfinite(v->number) ||
+                    v->number <= 0.0)
+                    fail(rtag + ".instructions_per_access must be "
+                                "positive when present (a 0 means the "
+                                "counter group never scheduled)");
             }
         }
     }
