@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "exec/checkpoint.hpp"
+#include "frontend/frontend.hpp"
 #include "obs/profile.hpp"
 #include "sim/multicore.hpp"
 #include "sim/system.hpp"
@@ -39,6 +40,21 @@ fingerprint(const sim::MachineConfig& c)
        << c.l1_tlb_entries << ',' << c.l2_tlb_entries << ','
        << c.l2_tlb_latency << ',' << c.page_walk_latency;
     return os.str();
+}
+
+/**
+ * Canonical workload-identity token for one benchmark / mix slot.
+ * `trace:` specs resolve through frontend::trace_job_identity so the
+ * key carries the concrete format plus the file's byte size — two jobs
+ * naming the same path before and after the trace is regenerated must
+ * not share memoized results or warm checkpoints.
+ */
+std::string
+workload_token(const std::string& name)
+{
+    return frontend::is_trace_spec(name)
+               ? frontend::trace_job_identity(name)
+               : name;
 }
 
 std::uint64_t
@@ -107,7 +123,7 @@ key_of(const Job& job)
         for (std::size_t c = 0; c < job.mix.size(); ++c) {
             if (c > 0)
                 w += ',';
-            w += job.mix[c];
+            w += workload_token(job.mix[c]);
         }
         k.workload = w;
     } else if (job.workload_factory) {
@@ -115,7 +131,7 @@ key_of(const Job& job)
     } else {
         if (job.benchmark.empty())
             util::fatal("exec::Job has neither benchmark nor mix");
-        k.workload = "bench:" + job.benchmark;
+        k.workload = "bench:" + workload_token(job.benchmark);
     }
     k.pf = job.prefetcher_factory ? job.variant : job.pf_spec;
     k.degree = job.degree;
@@ -220,9 +236,11 @@ run_job(const Job& job, CheckpointStore* ckpt)
         sys.set_observability(job.obs);
         for (unsigned c = 0; c < cores; ++c) {
             sys.set_prefetcher(c, make_pf(c));
-            auto wl = workloads::make_benchmark(
-                job.mix[c], job.scale.workload_scale, jitter);
-            wl->set_instance(c);
+            auto wl = workloads::make_workload(
+                job.mix[c], job.scale.workload_scale, jitter, c);
+            if (wl == nullptr)
+                util::fatal("exec::Job mix slot " + std::to_string(c) +
+                            " failed to open: '" + job.mix[c] + "'");
             sys.bind(c, *wl);
         }
         warm_with_checkpoint(
@@ -239,11 +257,11 @@ run_job(const Job& job, CheckpointStore* ckpt)
     std::unique_ptr<sim::Workload> wl =
         job.workload_factory
             ? job.workload_factory()
-            : workloads::make_benchmark(job.benchmark,
-                                        job.scale.workload_scale,
-                                        jitter);
+            : workloads::make_workload(job.benchmark,
+                                       job.scale.workload_scale,
+                                       jitter);
     if (wl == nullptr)
-        util::fatal("exec::Job workload_factory returned null ('" +
+        util::fatal("exec::Job workload failed to open ('" +
                     key.workload + "')");
     wl->reset();
     sys.bind(*wl);

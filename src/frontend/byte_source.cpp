@@ -1,0 +1,463 @@
+#include "frontend/byte_source.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "util/log.hpp"
+
+#ifdef TRIAGE_HAVE_ZLIB
+#include <zlib.h>
+#endif
+#ifdef TRIAGE_HAVE_LZMA
+#include <lzma.h>
+#endif
+
+namespace triage::frontend {
+
+namespace {
+
+bool
+has_suffix(const std::string& s, const char* suf)
+{
+    const std::size_t n = std::strlen(suf);
+    return s.size() >= n && s.compare(s.size() - n, n, suf) == 0;
+}
+
+bool
+force_pipe()
+{
+    return std::getenv("TRIAGE_TRACE_FORCE_PIPE") != nullptr;
+}
+
+// ---------------------------------------------------------------------
+// Raw file
+
+class RawFileSource final : public ByteSource
+{
+  public:
+    explicit RawFileSource(std::string path) : ByteSource(std::move(path))
+    {
+        open();
+    }
+
+    ~RawFileSource() override
+    {
+        if (f_ != nullptr)
+            std::fclose(f_);
+    }
+
+    bool ok() const { return f_ != nullptr; }
+
+    std::size_t
+    read(void* p, std::size_t n) override
+    {
+        if (f_ == nullptr)
+            return 0;
+        std::size_t got = std::fread(p, 1, n, f_);
+        if (got < n && std::ferror(f_) != 0)
+            failed_ = true;
+        return got;
+    }
+
+    bool
+    reopen() override
+    {
+        if (f_ != nullptr && std::fseek(f_, 0, SEEK_SET) == 0) {
+            std::clearerr(f_);
+            failed_ = false;
+            return true;
+        }
+        if (f_ != nullptr) {
+            std::fclose(f_);
+            f_ = nullptr;
+        }
+        open();
+        return f_ != nullptr;
+    }
+
+    bool failed() const override { return failed_; }
+
+    std::optional<std::uint64_t>
+    size_bytes() const override
+    {
+        return size_;
+    }
+
+    bool
+    seek(std::uint64_t off) override
+    {
+        if (f_ == nullptr)
+            return false;
+        return std::fseek(f_, static_cast<long>(off), SEEK_SET) == 0;
+    }
+
+  private:
+    void
+    open()
+    {
+        f_ = std::fopen(path_.c_str(), "rb");
+        failed_ = false;
+        size_.reset();
+        if (f_ == nullptr)
+            return;
+        if (std::fseek(f_, 0, SEEK_END) == 0) {
+            long end = std::ftell(f_);
+            if (end >= 0)
+                size_ = static_cast<std::uint64_t>(end);
+        }
+        std::fseek(f_, 0, SEEK_SET);
+    }
+
+    std::FILE* f_ = nullptr;
+    bool failed_ = false;
+    std::optional<std::uint64_t> size_;
+};
+
+// ---------------------------------------------------------------------
+// Piped decompressor fallback (zcat / xzcat)
+
+class PipeSource final : public ByteSource
+{
+  public:
+    PipeSource(std::string path, std::string tool)
+        : ByteSource(std::move(path)), tool_(std::move(tool))
+    {
+        open();
+    }
+
+    ~PipeSource() override { close(); }
+
+    bool ok() const { return f_ != nullptr; }
+
+    std::size_t
+    read(void* p, std::size_t n) override
+    {
+        if (f_ == nullptr)
+            return 0;
+        std::size_t got = std::fread(p, 1, n, f_);
+        if (got < n) {
+            if (std::ferror(f_) != 0)
+                failed_ = true;
+            // EOF: reap the child now so a failed decompressor (bad
+            // archive, missing tool) surfaces as an error, not as a
+            // silently short stream.
+            finish();
+        }
+        return got;
+    }
+
+    bool
+    reopen() override
+    {
+        close();
+        open();
+        return f_ != nullptr;
+    }
+
+    bool failed() const override { return failed_; }
+
+  private:
+    void
+    open()
+    {
+        failed_ = false;
+        // Single-quote the path for the shell popen() spawns;
+        // embedded quotes become '\'' so arbitrary names stay one
+        // argument.
+        std::string quoted = "'";
+        for (char c : path_) {
+            if (c == '\'')
+                quoted += "'\\''";
+            else
+                quoted += c;
+        }
+        quoted += "'";
+        const std::string cmd = tool_ + " -- " + quoted;
+        f_ = ::popen(cmd.c_str(), "r");
+        if (f_ == nullptr)
+            util::warn("trace frontend: cannot spawn '" + cmd + "'");
+    }
+
+    /** pclose at EOF and record a nonzero exit as a stream error. */
+    void
+    finish()
+    {
+        if (f_ == nullptr)
+            return;
+        int status = ::pclose(f_);
+        f_ = nullptr;
+        if (status != 0) {
+            failed_ = true;
+            util::warn(util::format_msg(
+                "trace frontend: '", tool_, "' exited with status ",
+                status, " decompressing ", path_));
+        }
+    }
+
+    void
+    close()
+    {
+        if (f_ != nullptr) {
+            ::pclose(f_);
+            f_ = nullptr;
+        }
+    }
+
+    std::string tool_;
+    std::FILE* f_ = nullptr;
+    bool failed_ = false;
+};
+
+// ---------------------------------------------------------------------
+// zlib
+
+#ifdef TRIAGE_HAVE_ZLIB
+class GzSource final : public ByteSource
+{
+  public:
+    explicit GzSource(std::string path) : ByteSource(std::move(path))
+    {
+        open();
+    }
+
+    ~GzSource() override
+    {
+        if (gz_ != nullptr)
+            gzclose(gz_);
+    }
+
+    bool ok() const { return gz_ != nullptr; }
+
+    std::size_t
+    read(void* p, std::size_t n) override
+    {
+        if (gz_ == nullptr)
+            return 0;
+        int got = gzread(gz_, p, static_cast<unsigned>(n));
+        if (got < 0) {
+            failed_ = true;
+            int errnum = 0;
+            const char* msg = gzerror(gz_, &errnum);
+            util::warn(util::format_msg("trace frontend: gzip error ",
+                                        errnum, " (", msg, ") in ",
+                                        path_));
+            return 0;
+        }
+        if (static_cast<std::size_t>(got) < n) {
+            // Short read: distinguish clean EOF from a truncated or
+            // corrupt member (gzread reports those via gzerror).
+            int errnum = 0;
+            gzerror(gz_, &errnum);
+            if (errnum != Z_OK && errnum != Z_STREAM_END)
+                failed_ = true;
+        }
+        return static_cast<std::size_t>(got);
+    }
+
+    bool
+    reopen() override
+    {
+        failed_ = false;
+        if (gz_ != nullptr && gzrewind(gz_) == 0)
+            return true;
+        if (gz_ != nullptr) {
+            gzclose(gz_);
+            gz_ = nullptr;
+        }
+        open();
+        return gz_ != nullptr;
+    }
+
+    bool failed() const override { return failed_; }
+
+  private:
+    void
+    open()
+    {
+        gz_ = gzopen(path_.c_str(), "rb");
+        if (gz_ != nullptr)
+            gzbuffer(gz_, 1 << 17);
+    }
+
+    gzFile gz_ = nullptr;
+    bool failed_ = false;
+};
+#endif // TRIAGE_HAVE_ZLIB
+
+// ---------------------------------------------------------------------
+// liblzma
+
+#ifdef TRIAGE_HAVE_LZMA
+class XzSource final : public ByteSource
+{
+  public:
+    explicit XzSource(std::string path) : ByteSource(std::move(path))
+    {
+        open();
+    }
+
+    ~XzSource() override { close(); }
+
+    bool ok() const { return f_ != nullptr; }
+
+    std::size_t
+    read(void* p, std::size_t n) override
+    {
+        if (f_ == nullptr || failed_)
+            return 0;
+        strm_.next_out = static_cast<std::uint8_t*>(p);
+        strm_.avail_out = n;
+        while (strm_.avail_out > 0 && !done_) {
+            if (strm_.avail_in == 0 && !eof_in_) {
+                std::size_t got = std::fread(in_.data(), 1, in_.size(),
+                                             f_);
+                if (got < in_.size()) {
+                    if (std::ferror(f_) != 0) {
+                        failed_ = true;
+                        break;
+                    }
+                    eof_in_ = true;
+                }
+                strm_.next_in = in_.data();
+                strm_.avail_in = got;
+            }
+            lzma_ret rc = lzma_code(&strm_, eof_in_ ? LZMA_FINISH
+                                                    : LZMA_RUN);
+            if (rc == LZMA_STREAM_END) {
+                done_ = true;
+            } else if (rc != LZMA_OK) {
+                failed_ = true;
+                util::warn(util::format_msg(
+                    "trace frontend: xz decode error ",
+                    static_cast<int>(rc), " in ", path_));
+                break;
+            } else if (eof_in_ && strm_.avail_in == 0 &&
+                       strm_.avail_out > 0 && !done_) {
+                // Input exhausted mid-stream: truncated archive.
+                failed_ = true;
+                util::warn("trace frontend: truncated xz stream in " +
+                           path_);
+                break;
+            }
+        }
+        return n - strm_.avail_out;
+    }
+
+    bool
+    reopen() override
+    {
+        close();
+        open();
+        return f_ != nullptr;
+    }
+
+    bool failed() const override { return failed_; }
+
+  private:
+    void
+    open()
+    {
+        failed_ = false;
+        done_ = false;
+        eof_in_ = false;
+        in_.resize(1 << 16);
+        f_ = std::fopen(path_.c_str(), "rb");
+        if (f_ == nullptr)
+            return;
+        strm_ = LZMA_STREAM_INIT;
+        if (lzma_stream_decoder(&strm_, UINT64_MAX,
+                                LZMA_CONCATENATED) != LZMA_OK) {
+            std::fclose(f_);
+            f_ = nullptr;
+        }
+    }
+
+    void
+    close()
+    {
+        if (f_ != nullptr) {
+            lzma_end(&strm_);
+            std::fclose(f_);
+            f_ = nullptr;
+        }
+    }
+
+    std::FILE* f_ = nullptr;
+    lzma_stream strm_ = LZMA_STREAM_INIT;
+    std::vector<std::uint8_t> in_;
+    bool eof_in_ = false;
+    bool done_ = false;
+    bool failed_ = false;
+};
+#endif // TRIAGE_HAVE_LZMA
+
+template <typename T>
+std::unique_ptr<ByteSource>
+checked(std::unique_ptr<T> src)
+{
+    if (!src->ok()) {
+        util::warn("trace frontend: cannot open " + src->path());
+        return nullptr;
+    }
+    return src;
+}
+
+} // namespace
+
+std::string
+gz_backend()
+{
+#ifdef TRIAGE_HAVE_ZLIB
+    if (!force_pipe())
+        return "zlib";
+#endif
+    return "pipe(zcat)";
+}
+
+std::string
+xz_backend()
+{
+#ifdef TRIAGE_HAVE_LZMA
+    if (!force_pipe())
+        return "liblzma";
+#endif
+    return "pipe(xzcat)";
+}
+
+std::unique_ptr<ByteSource>
+open_byte_source(const std::string& path)
+{
+    if (has_suffix(path, ".gz")) {
+#ifdef TRIAGE_HAVE_ZLIB
+        if (!force_pipe())
+            return checked(std::make_unique<GzSource>(path));
+#endif
+        return checked(std::make_unique<PipeSource>(path, "zcat"));
+    }
+    if (has_suffix(path, ".xz")) {
+#ifdef TRIAGE_HAVE_LZMA
+        if (!force_pipe())
+            return checked(std::make_unique<XzSource>(path));
+#endif
+        return checked(std::make_unique<PipeSource>(path, "xzcat"));
+    }
+    return checked(std::make_unique<RawFileSource>(path));
+}
+
+bool
+read_exact(ByteSource& src, void* p, std::size_t n)
+{
+    std::size_t done = 0;
+    auto* bytes = static_cast<std::uint8_t*>(p);
+    while (done < n) {
+        std::size_t got = src.read(bytes + done, n - done);
+        if (got == 0)
+            return false;
+        done += got;
+    }
+    return true;
+}
+
+} // namespace triage::frontend

@@ -1,0 +1,113 @@
+#include "frontend/frontend.hpp"
+
+#include <cstdio>
+
+#include "util/log.hpp"
+
+namespace triage::frontend {
+
+namespace {
+
+constexpr const char* PREFIX = "trace";
+
+/** Raw on-disk byte size (compressed size for .gz/.xz), 0 if unstatable. */
+std::uint64_t
+file_bytes(const std::string& path)
+{
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return 0;
+    std::uint64_t n = 0;
+    if (std::fseek(f, 0, SEEK_END) == 0) {
+        long end = std::ftell(f);
+        if (end > 0)
+            n = static_cast<std::uint64_t>(end);
+    }
+    std::fclose(f);
+    return n;
+}
+
+} // namespace
+
+std::unique_ptr<StreamWorkload>
+open_trace(const std::string& path, TraceFormat format)
+{
+    if (format == TraceFormat::Auto && !detect_format(path, format)) {
+        util::warn("trace frontend: cannot infer the format of '" +
+                   path +
+                   "' from its extension; name it explicitly "
+                   "(trace[tria|champsim|memtrace]:<path>, or "
+                   "triagesim --trace-format=...)");
+        return nullptr;
+    }
+    return StreamWorkload::open(path, format);
+}
+
+bool
+is_trace_spec(const std::string& name)
+{
+    if (name.rfind(PREFIX, 0) != 0)
+        return false;
+    const char tail = name.size() > 5 ? name[5] : '\0';
+    return tail == ':' || tail == '[';
+}
+
+bool
+parse_trace_spec(const std::string& name, TraceSpec& out)
+{
+    if (!is_trace_spec(name))
+        return false;
+    std::string rest = name.substr(5);
+    out.format = TraceFormat::Auto;
+    if (rest[0] == '[') {
+        std::size_t close = rest.find(']');
+        if (close == std::string::npos || close + 1 >= rest.size() ||
+            rest[close + 1] != ':') {
+            util::warn("trace frontend: malformed spec '" + name + "'");
+            return false;
+        }
+        const std::string fmt = rest.substr(1, close - 1);
+        if (!parse_format(fmt, out.format) ||
+            out.format == TraceFormat::Auto) {
+            util::warn("trace frontend: unknown trace format '" + fmt +
+                       "' in '" + name +
+                       "' (tria | champsim | memtrace)");
+            return false;
+        }
+        rest = rest.substr(close + 2);
+    } else {
+        rest = rest.substr(1); // skip ':'
+    }
+    if (rest.empty()) {
+        util::warn("trace frontend: empty path in spec '" + name + "'");
+        return false;
+    }
+    out.path = rest;
+    return true;
+}
+
+std::string
+trace_spec(const std::string& path, TraceFormat format)
+{
+    if (format == TraceFormat::Auto)
+        return std::string(PREFIX) + ":" + path;
+    return std::string(PREFIX) + "[" + format_name(format) + "]:" +
+           path;
+}
+
+std::string
+trace_job_identity(const std::string& spec)
+{
+    TraceSpec t;
+    if (!parse_trace_spec(spec, t))
+        util::fatal("trace frontend: bad trace spec in a job key: '" +
+                    spec + "'");
+    TraceFormat fmt = t.format;
+    if (fmt == TraceFormat::Auto && !detect_format(t.path, fmt))
+        util::fatal("trace frontend: cannot resolve the format of '" +
+                    t.path + "' for a job key");
+    return std::string(PREFIX) + "[" + format_name(fmt) + "]:" +
+           t.path + "@" + std::to_string(file_bytes(t.path));
+}
+
+} // namespace triage::frontend

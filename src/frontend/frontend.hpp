@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Trace-frontend entry points: open external trace files as streamed
+ * workloads, and the `trace:` workload-spec grammar that names them
+ * anywhere a benchmark name is accepted (docs/traces.md).
+ *
+ * Spec grammar:
+ *
+ *   trace:<path>          format auto-detected from the extension
+ *   trace[<fmt>]:<path>   explicit format: tria | champsim | memtrace
+ *
+ * Compression is orthogonal: a `.gz` / `.xz` suffix on the path
+ * selects transparent streaming decompression in the byte layer.
+ */
+#ifndef TRIAGE_FRONTEND_FRONTEND_HPP
+#define TRIAGE_FRONTEND_FRONTEND_HPP
+
+#include <memory>
+#include <string>
+
+#include "frontend/stream_workload.hpp"
+
+namespace triage::frontend {
+
+/**
+ * Open @p path as a streamed workload. TraceFormat::Auto resolves
+ * from the extension; an unrecognized extension warns and fails.
+ * @return null (with a warning naming the cause) on any failure —
+ *         missing file, bad header, unknown format.
+ */
+std::unique_ptr<StreamWorkload> open_trace(
+    const std::string& path, TraceFormat format = TraceFormat::Auto);
+
+/** A parsed `trace:` workload spec. */
+struct TraceSpec {
+    std::string path;
+    TraceFormat format = TraceFormat::Auto;
+};
+
+/** Does @p name use the `trace:` / `trace[fmt]:` spec grammar? */
+bool is_trace_spec(const std::string& name);
+
+/**
+ * Parse a `trace:` spec. @return false (with a warning) on a
+ * malformed spec — unknown format name, empty path.
+ */
+bool parse_trace_spec(const std::string& name, TraceSpec& out);
+
+/** Compose the canonical spec string for @p path / @p format. */
+std::string trace_spec(const std::string& path, TraceFormat format);
+
+/**
+ * Canonical job-identity string for a trace spec: the resolved format,
+ * the path, and the on-disk byte size (`trace[fmt]:path@bytes`). The
+ * byte size folds "same path, regenerated contents" into a different
+ * exec::JobKey, so memoized results and warm checkpoints never leak
+ * across a file swap. Fatal on a malformed spec — keys must never be
+ * silently ambiguous.
+ */
+std::string trace_job_identity(const std::string& spec);
+
+} // namespace triage::frontend
+
+#endif // TRIAGE_FRONTEND_FRONTEND_HPP

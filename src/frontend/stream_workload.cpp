@@ -1,0 +1,166 @@
+#include "frontend/stream_workload.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace triage::frontend {
+
+namespace {
+
+/** Display name: basename with compression + format suffixes shorn. */
+std::string
+display_name(const std::string& path)
+{
+    std::size_t slash = path.find_last_of('/');
+    std::string base =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    for (const char* suf : {".gz", ".xz"}) {
+        std::size_t n = std::string(suf).size();
+        if (base.size() > n && base.compare(base.size() - n, n, suf) == 0)
+            base.resize(base.size() - n);
+    }
+    for (const char* suf : {".tria", ".tri", ".champsimtrace",
+                            ".champsim", ".memtrace", ".mtr"}) {
+        std::size_t n = std::string(suf).size();
+        if (base.size() > n &&
+            base.compare(base.size() - n, n, suf) == 0) {
+            base.resize(base.size() - n);
+            break;
+        }
+    }
+    return base.empty() ? path : base;
+}
+
+} // namespace
+
+StreamWorkload::StreamWorkload(std::string path, TraceFormat format,
+                               std::unique_ptr<ByteSource> src,
+                               std::unique_ptr<TraceDecoder> dec)
+    : path_(std::move(path)), name_(display_name(path_)),
+      format_(format), src_(std::move(src)), dec_(std::move(dec))
+{
+    chunk_.reserve(kChunkRecords);
+}
+
+std::unique_ptr<StreamWorkload>
+StreamWorkload::open(const std::string& path, TraceFormat format)
+{
+    TRIAGE_ASSERT(format != TraceFormat::Auto,
+                  "resolve TraceFormat::Auto before open()");
+    auto src = open_byte_source(path);
+    if (src == nullptr)
+        return nullptr;
+    auto dec = make_decoder(format);
+    if (!dec->begin(*src))
+        return nullptr;
+    return std::unique_ptr<StreamWorkload>(new StreamWorkload(
+        path, format, std::move(src), std::move(dec)));
+}
+
+void
+StreamWorkload::reset()
+{
+    chunk_.clear();
+    chunk_pos_ = 0;
+    at_end_ = false;
+    // The byte source was validated at open; losing it mid-run (file
+    // deleted, pipe tool gone) cannot be papered over — an empty
+    // restart would silently change the simulated stream.
+    if (!src_->reopen())
+        util::fatal("StreamWorkload: cannot reopen " + path_);
+    dec_ = make_decoder(format_);
+    if (!dec_->begin(*src_))
+        util::fatal("StreamWorkload: " + path_ +
+                    " changed mid-run (header re-validation failed)");
+}
+
+bool
+StreamWorkload::refill()
+{
+    chunk_.clear();
+    chunk_pos_ = 0;
+    sim::TraceRecord r;
+    while (chunk_.size() < kChunkRecords && dec_->next(*src_, r)) {
+        r.addr += addr_offset_;
+        r.pc += pc_offset_;
+        chunk_.push_back(r);
+    }
+    if (chunk_.empty()) {
+        at_end_ = true;
+        return false;
+    }
+    if (chunk_.size() < kChunkRecords)
+        at_end_ = true; // decoder hit EOF; drain what it produced
+    return true;
+}
+
+bool
+StreamWorkload::next(sim::TraceRecord& out)
+{
+    if (chunk_pos_ >= chunk_.size()) {
+        if (at_end_ || !refill())
+            return false;
+    }
+    out = chunk_[chunk_pos_++];
+    return true;
+}
+
+std::uint64_t
+StreamWorkload::skip(std::uint64_t n)
+{
+    std::uint64_t done = 0;
+    while (done < n) {
+        if (chunk_pos_ < chunk_.size()) {
+            const std::uint64_t take = std::min<std::uint64_t>(
+                n - done, chunk_.size() - chunk_pos_);
+            chunk_pos_ += take;
+            done += take;
+            continue;
+        }
+        if (at_end_)
+            break;
+        // Between chunks the decoder may seek instead of decode
+        // (raw .tria): checkpoint restore of a deep stream position
+        // becomes one lseek instead of a re-decode of the prefix.
+        const std::uint64_t want = n - done;
+        std::uint64_t skipped = 0;
+        if (dec_->fast_skip(*src_, want, skipped)) {
+            done += skipped;
+            if (skipped < want)
+                at_end_ = true;
+            continue;
+        }
+        if (!refill())
+            break;
+    }
+    return done;
+}
+
+std::unique_ptr<sim::Workload>
+StreamWorkload::clone() const
+{
+    auto copy = open(path_, format_);
+    if (copy == nullptr)
+        util::fatal("StreamWorkload: cannot clone " + path_);
+    copy->set_instance(instance_);
+    return copy;
+}
+
+void
+StreamWorkload::set_instance(unsigned instance_id)
+{
+    TRIAGE_ASSERT(chunk_.empty() && chunk_pos_ == 0,
+                  "set_instance before the first read");
+    instance_ = instance_id;
+    addr_offset_ = static_cast<sim::Addr>(instance_id) << 44;
+    pc_offset_ = static_cast<sim::Pc>(instance_id) << 48;
+}
+
+std::uint64_t
+StreamWorkload::declared_records() const
+{
+    return dec_->total_records();
+}
+
+} // namespace triage::frontend

@@ -171,11 +171,17 @@ CoreModel::restore_workload_position(std::uint64_t n)
 {
     TRIAGE_ASSERT(wl_ != nullptr, "no workload bound");
     wl_->reset();
-    TraceRecord rec;
-    for (std::uint64_t i = 0; i < n; ++i) {
-        if (!wl_->next(rec)) {
+    std::uint64_t remaining = n;
+    while (remaining > 0) {
+        // skip() lets seekable workloads (raw .tria streams, vectors)
+        // restore a deep cursor in O(passes) instead of O(records);
+        // the default implementation replays next() calls, so the
+        // wrap-at-EOF rule below matches run_records exactly.
+        const std::uint64_t got = wl_->skip(remaining);
+        remaining -= got;
+        if (remaining > 0) {
             wl_->reset();
-            if (!wl_->next(rec))
+            if (got == 0)
                 break; // empty workload
         }
     }

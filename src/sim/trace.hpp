@@ -58,6 +58,28 @@ class Workload
      */
     virtual bool next(TraceRecord& out) = 0;
 
+    /**
+     * Advance the cursor by up to @p n records, discarding them.
+     * @return records actually skipped — less than @p n only at
+     * end-of-trace (the caller may reset() and continue).
+     *
+     * Semantically identical to @p n next() calls with the output
+     * ignored; overrides exist so cursor restoration after a
+     * checkpoint restore (CoreModel::restore_workload_position) can
+     * seek instead of re-decoding a long prefix. An override MUST
+     * leave the stream in exactly the state the next() loop would
+     * have — the replay-equality contract checkpoints depend on.
+     */
+    virtual std::uint64_t
+    skip(std::uint64_t n)
+    {
+        TraceRecord r;
+        std::uint64_t done = 0;
+        while (done < n && next(r))
+            ++done;
+        return done;
+    }
+
     /** Benchmark name (matches the paper's x-axis labels). */
     virtual const std::string& name() const = 0;
 
@@ -82,6 +104,15 @@ class VectorWorkload final : public Workload
             return false;
         out = records_[pos_++];
         return true;
+    }
+
+    std::uint64_t
+    skip(std::uint64_t n) override
+    {
+        const std::uint64_t avail = records_.size() - pos_;
+        const std::uint64_t take = n < avail ? n : avail;
+        pos_ += static_cast<std::size_t>(take);
+        return take;
     }
 
     const std::string& name() const override { return name_; }

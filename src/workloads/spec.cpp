@@ -3,6 +3,7 @@
 #include <functional>
 #include <unordered_map>
 
+#include "frontend/frontend.hpp"
 #include "util/bitops.hpp"
 #include "util/log.hpp"
 
@@ -421,6 +422,27 @@ make_benchmark(const std::string& name, double scale,
         length = 1;
     return std::make_unique<SyntheticWorkload>(name, seed, length,
                                                it->second.build(seed));
+}
+
+std::unique_ptr<sim::Workload>
+make_workload(const std::string& spec, double scale,
+              std::uint64_t seed_jitter, unsigned instance)
+{
+    if (frontend::is_trace_spec(spec)) {
+        frontend::TraceSpec ts;
+        if (!frontend::parse_trace_spec(spec, ts))
+            return nullptr; // parse already warned
+        auto wl = frontend::open_trace(ts.path, ts.format);
+        if (wl != nullptr && instance != 0)
+            wl->set_instance(instance);
+        // scale / seed_jitter intentionally unused: a trace is a fixed
+        // recording, so every replica replays the identical stream.
+        return wl;
+    }
+    auto wl = make_benchmark(spec, scale, seed_jitter);
+    if (instance != 0)
+        wl->set_instance(instance);
+    return wl;
 }
 
 const std::vector<std::string>&

@@ -11,6 +11,7 @@
 #ifndef TRIAGE_WORKLOADS_SPEC_HPP
 #define TRIAGE_WORKLOADS_SPEC_HPP
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -30,6 +31,23 @@ namespace triage::workloads {
 std::unique_ptr<SyntheticWorkload>
 make_benchmark(const std::string& name, double scale = 1.0,
                std::uint64_t seed_jitter = 0);
+
+/**
+ * Resolve any workload spec string: a benchmark-analog name from the
+ * table, or a `trace:<path>` / `trace[<fmt>]:<path>` spec naming an
+ * external trace file (frontend::parse_trace_spec grammar). Trace
+ * workloads stream from disk with bounded memory; @p scale and
+ * @p seed_jitter apply to benchmark analogs only (a trace is a fixed
+ * recording — replicas of it are the identical stream). @p instance
+ * selects the per-core address-space offset for multi-programmed
+ * mixes (Workload-level set_instance for analogs happens in the
+ * kernels; traces shift addr/pc by the instance id).
+ * Fatal on unknown benchmark names; returns nullptr only if a trace
+ * file cannot be opened.
+ */
+std::unique_ptr<sim::Workload>
+make_workload(const std::string& spec, double scale = 1.0,
+              std::uint64_t seed_jitter = 0, unsigned instance = 0);
 
 /** The paper's irregular SPEC2006 subset (Figure 5 x-axis). */
 const std::vector<std::string>& irregular_spec();

@@ -9,18 +9,6 @@ namespace triage::workloads {
 
 namespace {
 
-/** On-disk record layout (packed, exactly 20 bytes). */
-#pragma pack(push, 1)
-struct PackedRecord {
-    std::uint64_t pc;
-    std::uint64_t addr;
-    std::uint16_t dep;
-    std::uint8_t nonmem;
-    std::uint8_t flags;
-};
-#pragma pack(pop)
-static_assert(sizeof(PackedRecord) == 20, "packed record layout");
-
 struct FileCloser {
     void
     operator()(std::FILE* f) const
@@ -57,31 +45,49 @@ save_trace(const std::string& path, sim::Workload& wl,
     if (std::fwrite(&magic, sizeof(magic), 1, f.get()) != 1 ||
         std::fwrite(&version, sizeof(version), 1, f.get()) != 1 ||
         std::fwrite(&count, sizeof(count), 1, f.get()) != 1) {
+        util::warn("save_trace: header write failed for " + path);
         return 0;
     }
     sim::TraceRecord r;
-    std::vector<PackedRecord> buf;
+    std::vector<PackedTraceRecord> buf;
     buf.reserve(kFlushRecords);
     while (count < max_records && wl.next(r)) {
         buf.push_back({r.pc, r.addr, r.dep_distance, r.nonmem_before,
-                       static_cast<std::uint8_t>(r.is_write ? 1 : 0)});
+                       static_cast<std::uint8_t>(
+                           r.is_write ? TRACE_FLAG_WRITE : 0)});
         ++count;
         if (buf.size() == kFlushRecords) {
-            if (std::fwrite(buf.data(), sizeof(PackedRecord),
-                            buf.size(), f.get()) != buf.size())
+            if (std::fwrite(buf.data(), sizeof(PackedTraceRecord),
+                            buf.size(), f.get()) != buf.size()) {
+                util::warn(util::format_msg(
+                    "save_trace: short write after ", count,
+                    " records to ", path));
                 return 0;
+            }
             buf.clear();
         }
     }
     if (!buf.empty() &&
-        std::fwrite(buf.data(), sizeof(PackedRecord), buf.size(),
+        std::fwrite(buf.data(), sizeof(PackedTraceRecord), buf.size(),
                     f.get()) != buf.size()) {
+        util::warn(util::format_msg("save_trace: short write after ",
+                                    count, " records to ", path));
         return 0;
     }
     // Patch the record count in the header.
     if (std::fseek(f.get(), sizeof(magic) + sizeof(version), SEEK_SET) !=
             0 ||
         std::fwrite(&count, sizeof(count), 1, f.get()) != 1) {
+        util::warn("save_trace: header count patch failed for " + path);
+        return 0;
+    }
+    // The stdio buffer still holds the tail of the trace; an ENOSPC
+    // (or any other error) surfacing only at the destructor's fclose
+    // would be swallowed there and let a torn file report success.
+    // Flush and check the stream NOW, before declaring victory.
+    if (std::fflush(f.get()) != 0 || std::ferror(f.get()) != 0) {
+        util::warn("save_trace: flush failed for " + path +
+                   " (disk full?) — the file is incomplete");
         return 0;
     }
     return count;
@@ -105,21 +111,56 @@ load_trace(const std::string& path)
         util::warn("load_trace: bad header in " + path);
         return nullptr;
     }
+    // The header count sizes the upcoming reserve(); trusting it as
+    // read would let a corrupt or hostile header drive an unbounded
+    // allocation. It must agree exactly with the bytes present.
+    if (std::fseek(f.get(), 0, SEEK_END) != 0) {
+        util::warn("load_trace: cannot stat " + path);
+        return nullptr;
+    }
+    const long end = std::ftell(f.get());
+    if (end < 0 ||
+        static_cast<std::uint64_t>(end) < TRACE_HEADER_BYTES) {
+        util::warn("load_trace: truncated header in " + path);
+        return nullptr;
+    }
+    const std::uint64_t body =
+        static_cast<std::uint64_t>(end) - TRACE_HEADER_BYTES;
+    if (body % TRACE_RECORD_BYTES != 0 ||
+        body / TRACE_RECORD_BYTES != count) {
+        util::warn(util::format_msg(
+            "load_trace: header count ", count,
+            " disagrees with file size ", end, " in ", path,
+            " (corrupt or truncated trace)"));
+        return nullptr;
+    }
+    if (std::fseek(f.get(), static_cast<long>(TRACE_HEADER_BYTES),
+                   SEEK_SET) != 0) {
+        util::warn("load_trace: seek failed in " + path);
+        return nullptr;
+    }
     std::vector<sim::TraceRecord> records;
     records.reserve(count);
-    std::vector<PackedRecord> buf(kFlushRecords);
+    std::vector<PackedTraceRecord> buf(kFlushRecords);
     std::uint64_t remaining = count;
     while (remaining > 0) {
         std::size_t want = std::min<std::uint64_t>(remaining, buf.size());
-        if (std::fread(buf.data(), sizeof(PackedRecord), want,
+        if (std::fread(buf.data(), sizeof(PackedTraceRecord), want,
                        f.get()) != want) {
             util::warn("load_trace: truncated trace " + path);
             return nullptr;
         }
         for (std::size_t i = 0; i < want; ++i) {
-            records.push_back({buf[i].pc, buf[i].addr,
-                               (buf[i].flags & 1) != 0, buf[i].nonmem,
-                               buf[i].dep});
+            sim::TraceRecord rec;
+            if (!unpack_trace_record(buf[i], rec)) {
+                util::warn(util::format_msg(
+                    "load_trace: unknown flags bits 0x",
+                    static_cast<unsigned>(buf[i].flags), " at record ",
+                    count - remaining + i, " in ", path,
+                    " (written by a newer format revision?)"));
+                return nullptr;
+            }
+            records.push_back(rec);
         }
         remaining -= want;
     }

@@ -26,6 +26,54 @@ namespace triage::workloads {
 inline constexpr std::uint32_t TRACE_MAGIC = 0x41495254; // "TRIA"
 inline constexpr std::uint32_t TRACE_VERSION = 1;
 
+/** Header bytes preceding the record array (magic + version + count). */
+inline constexpr std::size_t TRACE_HEADER_BYTES = 16;
+
+/** flags bit 0: the reference is a store. */
+inline constexpr std::uint8_t TRACE_FLAG_WRITE = 0x01;
+
+/**
+ * Every flags bit this reader understands. Records with any other bit
+ * set are rejected: bits 1-7 are reserved for future format revisions,
+ * and silently ignoring them would let a version-2 writer feed a
+ * version-1 reader without anyone noticing the lost semantics.
+ */
+inline constexpr std::uint8_t TRACE_FLAG_MASK = TRACE_FLAG_WRITE;
+
+/** On-disk record layout (packed, exactly 20 bytes, little-endian).
+ *  Shared by the in-memory loader here and the streaming frontend
+ *  (src/frontend/decoder.cpp). */
+#pragma pack(push, 1)
+struct PackedTraceRecord {
+    std::uint64_t pc;
+    std::uint64_t addr;
+    std::uint16_t dep;
+    std::uint8_t nonmem;
+    std::uint8_t flags;
+};
+#pragma pack(pop)
+static_assert(sizeof(PackedTraceRecord) == 20, "packed record layout");
+
+inline constexpr std::size_t TRACE_RECORD_BYTES =
+    sizeof(PackedTraceRecord);
+
+/**
+ * Unpack one on-disk record. @return false when @p in carries unknown
+ * flags bits (reserved-bit guard above); @p out is then unspecified.
+ */
+inline bool
+unpack_trace_record(const PackedTraceRecord& in, sim::TraceRecord& out)
+{
+    if ((in.flags & ~TRACE_FLAG_MASK) != 0)
+        return false;
+    out.pc = in.pc;
+    out.addr = in.addr;
+    out.is_write = (in.flags & TRACE_FLAG_WRITE) != 0;
+    out.nonmem_before = in.nonmem;
+    out.dep_distance = in.dep;
+    return true;
+}
+
 /**
  * Record up to @p max_records references of @p wl into @p path.
  * @return the number of records written (0 on I/O failure).

@@ -6,9 +6,11 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <cstdio>
 #include <string>
 #include <unordered_set>
+#include <vector>
 
 #include "cache/cache.hpp"
 #include "cache/hierarchy.hpp"
@@ -428,6 +430,119 @@ TEST(TraceIo, SaveStopsAtWorkloadEnd)
         ++n;
     EXPECT_EQ(n, 100);
     std::remove(path.c_str());
+}
+
+namespace {
+
+/** Forge a .tria file: a header claiming @p count, then @p body bytes. */
+std::string
+forge_trace(const std::string& name, std::uint64_t count,
+            const std::vector<unsigned char>& body)
+{
+    std::string path = ::testing::TempDir() + name;
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    EXPECT_NE(f, nullptr);
+    std::uint32_t magic = workloads::TRACE_MAGIC;
+    std::uint32_t version = workloads::TRACE_VERSION;
+    std::fwrite(&magic, sizeof(magic), 1, f);
+    std::fwrite(&version, sizeof(version), 1, f);
+    std::fwrite(&count, sizeof(count), 1, f);
+    if (!body.empty())
+        std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    return path;
+}
+
+std::vector<unsigned char>
+packed_records(std::size_t n, std::uint8_t flags = 0)
+{
+    std::vector<unsigned char> b(n * workloads::TRACE_RECORD_BYTES, 0);
+    for (std::size_t i = 0; i < n; ++i)
+        b[i * workloads::TRACE_RECORD_BYTES +
+          offsetof(workloads::PackedTraceRecord, flags)] = flags;
+    return b;
+}
+
+} // namespace
+
+TEST(TraceIo, LoadRejectsForgedGiantCount)
+{
+    // Regression: a forged header count of 2^60 must be rejected by
+    // the count-vs-file-size check BEFORE reserve() — trusting it
+    // would attempt a ~20 EB allocation.
+    auto path = forge_trace("triage_giant_count.tri",
+                            std::uint64_t{1} << 60, packed_records(2));
+    EXPECT_EQ(workloads::load_trace(path), nullptr);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, LoadRejectsTruncatedHeader)
+{
+    std::string path = ::testing::TempDir() + "triage_trunc_header.tri";
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::uint32_t magic = workloads::TRACE_MAGIC;
+    std::fwrite(&magic, sizeof(magic), 1, f); // 4 of 16 header bytes
+    std::fclose(f);
+    EXPECT_EQ(workloads::load_trace(path), nullptr);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, LoadRejectsMidRecordTruncation)
+{
+    // Count says 3 but the third record is cut mid-way: the body size
+    // is no longer a record multiple.
+    auto body = packed_records(3);
+    body.resize(body.size() - 7);
+    auto path = forge_trace("triage_trunc_record.tri", 3, body);
+    EXPECT_EQ(workloads::load_trace(path), nullptr);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, LoadRejectsCountSizeMismatch)
+{
+    // Whole records on disk, but fewer than the header claims (a
+    // crashed writer that never patched the header back).
+    auto path =
+        forge_trace("triage_count_mismatch.tri", 5, packed_records(3));
+    EXPECT_EQ(workloads::load_trace(path), nullptr);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, LoadRejectsUnknownFlagsBits)
+{
+    // Bits outside TRACE_FLAG_MASK mean a newer format revision (or
+    // corruption); silently masking them would misread such traces.
+    auto path = forge_trace("triage_bad_flags.tri", 2,
+                            packed_records(2, 0x82));
+    EXPECT_EQ(workloads::load_trace(path), nullptr);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, LoadAcceptsKnownFlags)
+{
+    auto path = forge_trace("triage_good_flags.tri", 2,
+                            packed_records(2, workloads::TRACE_FLAG_WRITE));
+    auto wl = workloads::load_trace(path);
+    ASSERT_NE(wl, nullptr);
+    sim::TraceRecord r;
+    ASSERT_TRUE(wl->next(r));
+    EXPECT_TRUE(r.is_write);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, SaveReportsFlushFailure)
+{
+    // /dev/full accepts writes into the stdio buffer and fails them at
+    // flush with ENOSPC; before the fflush/ferror check, save_trace
+    // reported full success on exactly this torn-file case.
+    std::FILE* probe = std::fopen("/dev/full", "wb");
+    if (probe == nullptr)
+        GTEST_SKIP() << "/dev/full not available";
+    std::fclose(probe);
+    std::vector<sim::TraceRecord> recs(10, {0x4, 0x1000, false, 1, 0});
+    sim::VectorWorkload wl("enospc", recs);
+    EXPECT_EQ(workloads::save_trace("/dev/full", wl, 10), 0u);
 }
 
 // ---------------------------------------------------------------------

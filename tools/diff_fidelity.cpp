@@ -16,7 +16,10 @@
  *   ckpt     a run forked from a memoized warm-state checkpoint vs the
  *            same run warming up cold (single-core and 2-core mix);
  *   threaded a Sharded-mode mix on N worker threads vs the same mix on
- *            one thread (sharded results are thread-count invariant).
+ *            one thread (sharded results are thread-count invariant);
+ *   stream   a trace replayed through the streaming frontend (bounded
+ *            memory, plus a gzip leg and a warm-checkpoint fork) vs
+ *            the same trace fully loaded in memory.
  *
  * Exit status 0 iff every selected pair matches; mismatching fields
  * are printed one per line.
@@ -28,13 +31,17 @@
 #include <string>
 #include <vector>
 
+#include <cstdlib>
+
 #include "exec/checkpoint.hpp"
 #include "exec/job.hpp"
 #include "exec/lab.hpp"
+#include "frontend/frontend.hpp"
 #include "sim/config.hpp"
 #include "verify/diff.hpp"
 #include "workloads/chain.hpp"
 #include "workloads/spec.hpp"
+#include "workloads/trace_io.hpp"
 
 namespace {
 
@@ -56,7 +63,7 @@ usage(const char* argv0)
     std::printf(
         "usage: %s [options]\n"
         "  --pair=P        degree0 | mix1 | split | jobs | ckpt | "
-        "threaded | all (default all)\n"
+        "threaded | stream | all (default all)\n"
         "  --benchmark=B   benchmark analog (default mcf)\n"
         "  --warmup=N      warmup records per run (default 100000)\n"
         "  --measure=N     measured records per run (default 400000)\n"
@@ -324,6 +331,71 @@ pair_threaded(const Options& o)
     return ok;
 }
 
+/**
+ * A trace replayed through the streaming frontend must be
+ * stat-identical to the same trace fully loaded into memory — the
+ * bounded-memory path changes nothing observable. Extra legs: the
+ * same replay from a gzip-compressed copy (skipped when the gzip tool
+ * is unavailable), and a streamed run forked from a warm checkpoint
+ * vs the cold streamed run (the skip()-based cursor restore).
+ */
+bool
+pair_stream(const Options& o)
+{
+    const std::string path = "diff_fidelity_stream.tria";
+    {
+        auto src = workloads::make_benchmark(o.benchmark);
+        const std::uint64_t n = o.warmup + o.measure;
+        if (workloads::save_trace(path, *src, n) != n) {
+            std::printf("FAIL stream (cannot record %s)\n",
+                        path.c_str());
+            return false;
+        }
+    }
+
+    exec::Job streamed = base_job(o);
+    streamed.benchmark = "trace:" + path;
+    streamed.pf_spec = "triage_dyn";
+    streamed.degree = o.degree;
+
+    exec::Job loaded = base_job(o);
+    loaded.benchmark.clear();
+    loaded.pf_spec = "triage_dyn";
+    loaded.degree = o.degree;
+    loaded.variant = "inmem:" + path;
+    loaded.workload_factory = [path] {
+        return workloads::load_trace(path);
+    };
+
+    const sim::RunResult mem = exec::run_job(loaded);
+    bool ok = report("stream-vs-inmem",
+                     verify::diff_results(mem, exec::run_job(streamed)));
+
+    {
+        // Warm-checkpoint fork on the streamed workload: produce then
+        // restore, both matching the in-memory reference.
+        exec::CheckpointStore store;
+        ok &= report("stream-ckpt-produce",
+                     verify::diff_results(
+                         mem, exec::run_job(streamed, &store)));
+        ok &= report("stream-ckpt-fork",
+                     verify::diff_results(
+                         mem, exec::run_job(streamed, &store)));
+    }
+
+    if (std::system(("gzip -kf " + path + " 2>/dev/null").c_str()) == 0) {
+        exec::Job gz = streamed;
+        gz.benchmark = "trace:" + path + ".gz";
+        ok &= report("stream-gz",
+                     verify::diff_results(mem, exec::run_job(gz)));
+        std::remove((path + ".gz").c_str());
+    } else {
+        std::printf("SKIP stream-gz (gzip unavailable)\n");
+    }
+    std::remove(path.c_str());
+    return ok;
+}
+
 } // namespace
 
 int
@@ -346,9 +418,11 @@ main(int argc, char** argv)
         ok &= pair_ckpt(o);
     if (all || o.pair == "threaded")
         ok &= pair_threaded(o);
+    if (all || o.pair == "stream")
+        ok &= pair_stream(o);
     if (!all && o.pair != "degree0" && o.pair != "mix1" &&
         o.pair != "split" && o.pair != "jobs" && o.pair != "ckpt" &&
-        o.pair != "threaded") {
+        o.pair != "threaded" && o.pair != "stream") {
         std::fprintf(stderr, "unknown pair: %s\n", o.pair.c_str());
         return 2;
     }

@@ -10,8 +10,11 @@
  * Examples:
  *   triagesim --benchmark=mcf --prefetcher=triage_dyn
  *   triagesim --mix=mcf,omnetpp,bwaves,sphinx3 --prefetcher=bo+triage_dyn
- *   triagesim --benchmark=mcf --save-trace=mcf.tri --records=1000000
- *   triagesim --trace=mcf.tri --prefetcher=misb --no-baseline
+ *   triagesim --benchmark=mcf --save-trace=mcf.tria --records=1000000
+ *   triagesim --trace=mcf.tria.gz --prefetcher=misb --no-baseline
+ *   triagesim --trace=app.champsimtrace.xz --trace-format=champsim
+ *   triagesim --trace=app.champsimtrace.xz --save-trace=app.tria
+ *   triagesim --mix=mcf,trace:app.tria.gz,bwaves,sphinx3
  *   triagesim --list
  */
 #include <algorithm>
@@ -24,6 +27,7 @@
 #include <vector>
 
 #include "exec/lab.hpp"
+#include "frontend/frontend.hpp"
 #include "obs/observer.hpp"
 #include "obs/profile.hpp"
 #include "verify/invariants.hpp"
@@ -46,6 +50,7 @@ struct Options {
     std::string benchmark = "mcf";
     std::vector<std::string> mix;
     std::string trace_path;
+    std::string trace_format; ///< tria|champsim|memtrace ("" = auto)
     std::string save_trace_path;
     std::string prefetcher = "triage_dyn";
     std::uint32_t degree = 1;
@@ -83,9 +88,17 @@ usage()
     std::cout <<
         "triagesim — Triage prefetcher simulator driver\n\n"
         "  --benchmark=NAME       synthetic analog to run (default mcf)\n"
-        "  --mix=A,B,C,D          multi-core mix (one benchmark per core)\n"
-        "  --trace=FILE           replay a recorded trace instead\n"
-        "  --save-trace=FILE      record the benchmark to FILE and exit\n"
+        "  --mix=A,B,C,D          multi-core mix (one benchmark or\n"
+        "                         trace:FILE spec per core)\n"
+        "  --trace=FILE           replay a trace file instead, streamed\n"
+        "                         with bounded memory; .tria, ChampSim\n"
+        "                         and memtrace formats, transparently\n"
+        "                         decompressing .gz/.xz (docs/traces.md)\n"
+        "  --trace-format=F       tria|champsim|memtrace; default: infer\n"
+        "                         from the extension, .tria if unnamed\n"
+        "  --save-trace=FILE      record the benchmark — or convert\n"
+        "                         --trace=FILE — to a .tria file, then\n"
+        "                         exit\n"
         "  --records=N            records to save with --save-trace;\n"
         "                         without --save-trace, an alias for\n"
         "                         --measure (explicit --measure wins)\n"
@@ -179,6 +192,8 @@ parse(int argc, char** argv, Options& o)
             }
         } else if (auto v = val("trace")) {
             o.trace_path = *v;
+        } else if (auto v = val("trace-format")) {
+            o.trace_format = *v;
         } else if (auto v = val("save-trace")) {
             o.save_trace_path = *v;
         } else if (auto v = val("prefetcher")) {
@@ -425,11 +440,38 @@ main(int argc, char** argv)
         return 0;
     }
 
+    // Resolve the input trace format once: the explicit flag wins,
+    // then the extension, then .tria for unnamed legacy paths (the
+    // header magic still rejects anything that is not one).
+    frontend::TraceFormat tfmt = frontend::TraceFormat::Auto;
+    if (!o.trace_format.empty() &&
+        (!frontend::parse_format(o.trace_format, tfmt) ||
+         tfmt == frontend::TraceFormat::Auto)) {
+        std::cerr << "unknown --trace-format: " << o.trace_format
+                  << " (tria | champsim | memtrace)\n";
+        return 1;
+    }
+    if (!o.trace_path.empty() && tfmt == frontend::TraceFormat::Auto &&
+        !frontend::detect_format(o.trace_path, tfmt))
+        tfmt = frontend::TraceFormat::Tria;
+
     if (!o.save_trace_path.empty()) {
-        auto wl = workloads::make_benchmark(o.benchmark, o.scale);
+        // Source: --trace (format conversion, e.g. ChampSim -> .tria)
+        // or a benchmark analog (trace recording). Both stream.
+        std::unique_ptr<sim::Workload> wl;
+        std::string source;
+        if (!o.trace_path.empty()) {
+            wl = frontend::open_trace(o.trace_path, tfmt);
+            if (wl == nullptr)
+                return 1;
+            source = o.trace_path;
+        } else {
+            wl = workloads::make_benchmark(o.benchmark, o.scale);
+            source = o.benchmark;
+        }
         auto n = workloads::save_trace(o.save_trace_path, *wl,
                                        o.records);
-        std::cout << "wrote " << n << " records of '" << o.benchmark
+        std::cout << "wrote " << n << " records of '" << source
                   << "' to " << o.save_trace_path << "\n";
         return n > 0 ? 0 : 1;
     }
@@ -451,12 +493,13 @@ main(int argc, char** argv)
     scale.measure_records = o.measure;
     scale.workload_scale = o.scale;
 
-    // Validate the trace file before handing it to worker threads.
+    // Validate the trace file before handing it to worker threads —
+    // a streaming open (header only), never a whole-file load.
     std::string label;
     if (!o.mix.empty()) {
         label = o.prefetcher;
     } else if (!o.trace_path.empty()) {
-        if (workloads::load_trace(o.trace_path) == nullptr)
+        if (frontend::open_trace(o.trace_path, tfmt) == nullptr)
             return 1;
         label = o.trace_path + " / " + o.prefetcher;
     } else {
@@ -499,10 +542,10 @@ main(int argc, char** argv)
         if (!o.mix.empty()) {
             j.mix = o.mix;
         } else if (!o.trace_path.empty()) {
-            j.workload_factory = [path = o.trace_path] {
-                return workloads::load_trace(path);
-            };
-            j.variant = "trace:" + o.trace_path;
+            // A trace spec is a first-class benchmark name: the job
+            // streams the file with bounded memory and its JobKey
+            // carries the resolved format + path + byte size.
+            j.benchmark = frontend::trace_spec(o.trace_path, tfmt);
         } else {
             j.benchmark = o.benchmark;
         }
